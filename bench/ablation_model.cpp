@@ -1,0 +1,124 @@
+// Ablation bench for the model design choices DESIGN.md calls out:
+//   1. log-transformed targets (paper section 5.2) vs raw times
+//   2. bagging size k (paper uses 11) in {1, 3, 11}
+//   3. feature encoding: log2 of power-of-two parameters vs raw values
+//   4. sampler: uniform random (paper) vs Latin hypercube
+// Each variant trains on the same budget and reports held-out mean relative
+// error on convolution @ Nvidia K40.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "ml/metrics.hpp"
+#include "tuner/sampler.hpp"
+
+namespace {
+
+using namespace pt;
+
+struct Variant {
+  std::string label;
+  tuner::AnnPerformanceModel::Options model;
+  bool use_lhs = false;
+};
+
+double evaluate_variant(const Variant& variant, tuner::Evaluator& eval,
+                        std::size_t training, std::size_t test_n,
+                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  // Shared held-out test set per seed.
+  std::vector<std::uint64_t> used;
+  const auto test_set = exp::collect_valid_samples(eval, test_n, rng, used);
+
+  // Training set: sampler-specific.
+  std::vector<tuner::TrainingSample> train;
+  if (variant.use_lhs) {
+    const tuner::LatinHypercubeSampler sampler;
+    for (const auto& config :
+         sampler.sample(eval.space(), training * 3 / 2, rng)) {
+      if (train.size() >= training) break;
+      const auto m = eval.measure(config);
+      if (m.valid) train.push_back({config, m.time_ms});
+    }
+  } else {
+    train = exp::collect_valid_samples(eval, training, rng, used);
+  }
+  if (train.empty()) return -1.0;
+
+  tuner::AnnPerformanceModel model(variant.model);
+  model.fit(eval.space(), train, rng);
+
+  std::vector<double> actual;
+  std::vector<tuner::Configuration> configs;
+  for (const auto& s : test_set) {
+    actual.push_back(s.time_ms);
+    configs.push_back(s.config);
+  }
+  return ml::mean_relative_error(model.predict_many_ms(configs), actual);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Ablation: model design choices (convolution @ Nvidia K40)", false);
+  const auto training = static_cast<std::size_t>(args.get("training", 1500L));
+  const auto test_n = static_cast<std::size_t>(args.get("test-samples", 300L));
+  const auto repeats = static_cast<std::size_t>(args.get("repeats", 2L));
+
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench_obj = benchkit::make_benchmark("convolution");
+
+  std::vector<Variant> variants;
+  {
+    Variant paper;
+    paper.label = "paper default (log targets, k=11, log2 features, random)";
+    variants.push_back(paper);
+
+    Variant raw_targets = paper;
+    raw_targets.label = "raw targets (no log transform)";
+    raw_targets.model.log_targets = false;
+    variants.push_back(raw_targets);
+
+    Variant k1 = paper;
+    k1.label = "single network (k=1, no bagging)";
+    k1.model.ensemble.k = 1;
+    variants.push_back(k1);
+
+    Variant k3 = paper;
+    k3.label = "small ensemble (k=3)";
+    k3.model.ensemble.k = 3;
+    variants.push_back(k3);
+
+    Variant raw_features = paper;
+    raw_features.label = "raw feature encoding (paper's literal encoding)";
+    raw_features.model.encoding = tuner::FeatureEncoding::kRaw;
+    variants.push_back(raw_features);
+
+    Variant lhs = paper;
+    lhs.label = "Latin hypercube training sampler";
+    lhs.use_lhs = true;
+    variants.push_back(lhs);
+  }
+
+  common::Table table({"Variant", "Mean relative error"});
+  for (const auto& variant : variants) {
+    common::RunningStats stats;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      benchkit::BenchmarkEvaluator eval(
+          *bench_obj, platform.device_by_name(archsim::kNvidiaK40));
+      const double mre =
+          evaluate_variant(variant, eval, training, test_n, 100 + r);
+      if (mre >= 0.0) stats.add(mre);
+    }
+    table.add_row({variant.label,
+                   stats.count() ? common::fmt_pct(stats.mean()) : std::string("n/a")});
+    std::cout << "  [" << variant.label << " done]\n" << std::flush;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  if (args.get("csv", false)) table.print_csv(std::cout);
+  return 0;
+}

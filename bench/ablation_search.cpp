@@ -1,0 +1,73 @@
+// Search-strategy comparison at an equal measurement budget: the paper's
+// two-stage ML tuner vs pure random search, hill climbing with restarts and
+// simulated annealing, on convolution for all three main devices. Reported
+// as slowdown vs the exhaustive global optimum.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Ablation: search strategies at equal budget (convolution)", false);
+  const auto budget = static_cast<std::size_t>(args.get("budget", 1100L));
+  const auto repeats = static_cast<std::size_t>(args.get("repeats", 2L));
+
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench_obj = benchkit::make_benchmark("convolution");
+
+  common::Table table({"Device", "Strategy", "Slowdown vs optimum",
+                       "Evaluations"});
+  for (const auto& device_name : bench::main_devices()) {
+    benchkit::BenchmarkEvaluator inner(
+        *bench_obj, platform.device_by_name(device_name));
+    tuner::CachingEvaluator eval(inner);
+    const double optimum = tuner::exhaustive_search(eval).best_time_ms;
+
+    common::RunningStats tuner_sd;
+    common::RunningStats random_sd;
+    common::RunningStats hill_sd;
+    common::RunningStats anneal_sd;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      common::Rng rng(1000 + r);
+
+      tuner::AutoTunerOptions topt;
+      topt.training_samples = budget - 100;
+      topt.second_stage_size = 100;
+      const auto ml_result = tuner::AutoTuner(topt).tune(eval, rng);
+      if (ml_result.success) tuner_sd.add(ml_result.best_time_ms / optimum);
+
+      const auto rnd = tuner::random_search(eval, budget, rng);
+      if (rnd.success) random_sd.add(rnd.best_time_ms / optimum);
+
+      const auto hill = tuner::hill_climb(eval, budget / 40, rng);
+      if (hill.success) hill_sd.add(hill.best_time_ms / optimum);
+
+      tuner::AnnealingOptions aopt;
+      aopt.evaluations = budget;
+      const auto sa = tuner::simulated_annealing(eval, aopt, rng);
+      if (sa.success) anneal_sd.add(sa.best_time_ms / optimum);
+    }
+    auto row = [&](const char* label, const common::RunningStats& s,
+                   std::size_t evals) {
+      table.add_row({device_name, label,
+                     s.count() ? common::fmt(s.mean(), 3)
+                               : std::string("no result"),
+                     std::to_string(evals)});
+    };
+    row("ML two-stage (paper)", tuner_sd, budget);
+    row("random search", random_sd, budget);
+    row("hill climbing", hill_sd, budget);
+    row("simulated annealing", anneal_sd, budget);
+    std::cout << "  [" << device_name << " done]\n" << std::flush;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  if (args.get("csv", false)) table.print_csv(std::cout);
+  return 0;
+}

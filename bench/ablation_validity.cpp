@@ -1,0 +1,75 @@
+// Extension bench: the validity classifier (the paper's future work,
+// sections 7-8) on the paper's hardest case — stereo on the GPUs, where the
+// baseline tuner's second stage is frequently all-invalid ("the auto-tuner
+// gives no prediction at all"). Compares, per device:
+//   baseline tuner     (invalid configurations ignored, as in the paper)
+//   + validity filter  (stage-2 candidates screened by the classifier)
+// reporting success rate, result quality vs a random baseline, and the
+// classifier's held-out accuracy.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Extension: validity-classifier filter for the second stage (stereo)",
+      false);
+  const auto training = static_cast<std::size_t>(args.get("training", 1500L));
+  const auto m = static_cast<std::size_t>(args.get("m", 150L));
+  const auto repeats = static_cast<std::size_t>(args.get("repeats", 2L));
+  const auto baseline_n =
+      static_cast<std::size_t>(args.get("baseline", 10000L));
+
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench_obj = benchkit::make_benchmark("stereo");
+
+  common::Table table({"Device", "Variant", "Successes",
+                       "Slowdown vs random baseline", "Stage-2 invalid"});
+  for (const auto& device_name : bench::main_devices()) {
+    benchkit::BenchmarkEvaluator inner(
+        *bench_obj, platform.device_by_name(device_name));
+    tuner::CachingEvaluator eval(inner);
+    common::Rng baseline_rng(42);
+    const auto random_best =
+        tuner::random_search(eval, baseline_n, baseline_rng);
+    if (!random_best.success) continue;
+
+    for (const bool use_filter : {false, true}) {
+      common::RunningStats slowdown;
+      common::RunningStats stage2_invalid;
+      std::size_t successes = 0;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        tuner::AutoTunerOptions opts;
+        opts.training_samples = training;
+        opts.second_stage_size = m;
+        opts.validity_filter = use_filter;
+        common::Rng rng(7000 + r);
+        const auto result = tuner::AutoTuner(opts).tune(eval, rng);
+        stage2_invalid.add(static_cast<double>(result.stage2_invalid));
+        if (!result.success) continue;
+        ++successes;
+        slowdown.add(result.best_time_ms / random_best.best_time_ms);
+      }
+      table.add_row(
+          {device_name,
+           use_filter ? "with validity filter" : "baseline (paper)",
+           std::to_string(successes) + "/" + std::to_string(repeats),
+           slowdown.count() ? common::fmt(slowdown.mean(), 3)
+                            : std::string("no prediction"),
+           common::fmt(stage2_invalid.mean(), 1)});
+      std::cout << "  [" << device_name << " "
+                << (use_filter ? "filtered" : "baseline") << " done]\n"
+                << std::flush;
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  if (args.get("csv", false)) table.print_csv(std::cout);
+  return 0;
+}

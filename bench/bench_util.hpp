@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries: common CLI
+// flags, device selection, and table printing for the experiment results.
+//
+// Every binary accepts:
+//   --repeats=N      models/tuner runs per point (default varies)
+//   --seed=S         RNG seed (default 1)
+//   --full           run the paper's full protocol instead of the default
+//                    reduced one (slower, same shape)
+//   --csv            additionally print results as CSV
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/registry.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "experiments/error_curves.hpp"
+#include "experiments/tuner_eval.hpp"
+
+namespace pt::bench {
+
+/// The three devices of the paper's main evaluation.
+inline std::vector<std::string> main_devices() {
+  return {archsim::kIntelI7, archsim::kNvidiaK40, archsim::kAmdHd7970};
+}
+
+/// Training-size ladders.
+inline std::vector<std::size_t> paper_training_sizes() {
+  return {100, 200,  300,  400,  500,  600,  700,  800,
+          900, 1000, 1500, 2000, 2500, 3000, 3500, 4000};
+}
+inline std::vector<std::size_t> reduced_training_sizes() {
+  return {100, 250, 500, 1000, 2000, 4000};
+}
+
+/// Print a header naming the figure and the protocol in use.
+inline void print_banner(const std::string& title, bool full_protocol) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << (full_protocol
+                    ? "protocol: full (paper)"
+                    : "protocol: reduced (use --full for the paper grid)")
+            << "\n"
+            << "==============================================================\n";
+}
+
+/// Render an error curve as a table (one row per training size).
+inline void print_error_curves(const std::vector<exp::ErrorCurve>& curves,
+                               bool csv) {
+  if (curves.empty()) return;
+  std::vector<std::string> header = {"training configs"};
+  for (const auto& c : curves) header.push_back(c.label);
+  common::Table table(header);
+  for (std::size_t i = 0; i < curves.front().points.size(); ++i) {
+    std::vector<std::string> row = {
+        std::to_string(curves.front().points[i].training_size)};
+    for (const auto& c : curves) {
+      row.push_back(i < c.points.size()
+                        ? common::fmt_pct(c.points[i].mean_relative_error)
+                        : "n/a");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+}
+
+/// Render a slowdown grid (rows = N, columns = M).
+inline void print_slowdown_grid(const exp::SlowdownGrid& grid, bool csv) {
+  std::cout << grid.label << "  (global optimum: "
+            << common::fmt_time_ms(grid.optimum_ms) << ")\n";
+  // Collect the axes.
+  std::vector<std::size_t> ns;
+  std::vector<std::size_t> ms;
+  for (const auto& cell : grid.cells) {
+    if (ns.empty() || ns.back() != cell.training_size) {
+      if (std::find(ns.begin(), ns.end(), cell.training_size) == ns.end())
+        ns.push_back(cell.training_size);
+    }
+    if (std::find(ms.begin(), ms.end(), cell.second_stage_size) == ms.end())
+      ms.push_back(cell.second_stage_size);
+  }
+  std::vector<std::string> header = {"N \\ M"};
+  for (const auto m : ms) header.push_back(std::to_string(m));
+  common::Table table(header);
+  for (const auto n : ns) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto m : ms) {
+      std::string cell_text = "missing";
+      for (const auto& cell : grid.cells) {
+        if (cell.training_size == n && cell.second_stage_size == m &&
+            cell.mean_slowdown) {
+          cell_text = common::fmt(*cell.mean_slowdown, 3);
+        }
+      }
+      row.push_back(cell_text);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+}
+
+}  // namespace pt::bench

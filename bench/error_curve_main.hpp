@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared driver for Figures 4, 5 and 6: mean relative prediction error vs
+// number of training configurations, for all three benchmarks on one device.
+//
+// Paper's shape: error falls steeply up to ~1000-2000 training samples, then
+// flattens. At 4000 samples: Intel 6.1-8.3%, Nvidia K40 12.5-14.7%,
+// AMD HD 7970 12.6-21.2% with raycasting clearly the most predictable
+// benchmark on AMD (manual rather than driver-pragma unrolling).
+
+#include "bench_util.hpp"
+
+namespace pt::bench {
+
+inline int run_error_curve_figure(const std::string& figure_title,
+                                  const std::string& device_name, int argc,
+                                  char** argv) {
+  const common::CliArgs args(argc, argv);
+  const bool full = args.get("full", false);
+  print_banner(figure_title, full);
+
+  const clsim::Platform platform = archsim::default_platform();
+  const clsim::Device device = platform.device_by_name(device_name);
+
+  exp::ErrorCurveOptions opts;
+  opts.training_sizes =
+      full ? paper_training_sizes() : reduced_training_sizes();
+  opts.repeats = static_cast<std::size_t>(
+      args.get("repeats", full ? 3L : 2L));
+  opts.test_samples =
+      static_cast<std::size_t>(args.get("test-samples", 400L));
+  opts.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+
+  std::vector<exp::ErrorCurve> curves;
+  for (const auto& name : benchkit::benchmark_names()) {
+    const auto bench = benchkit::make_benchmark(name);
+    benchkit::BenchmarkEvaluator eval(*bench, device);
+    exp::ErrorCurve curve = exp::compute_error_curve(eval, opts);
+    curve.label = name;
+    curves.push_back(std::move(curve));
+    std::cout << "  [" << name << " done]\n" << std::flush;
+  }
+
+  std::cout << "\nMean relative prediction error on " << device_name
+            << " (held-out configurations, mean of " << opts.repeats
+            << " models):\n";
+  print_error_curves(curves, args.get("csv", false));
+
+  // Paper-vs-measured summary at the largest training size.
+  std::cout << "\nAt " << curves.front().points.back().training_size
+            << " training configurations:";
+  for (const auto& c : curves) {
+    std::cout << "  " << c.label << "="
+              << common::fmt_pct(c.points.back().mean_relative_error);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace pt::bench

@@ -1,0 +1,60 @@
+// Figure 1: the motivational experiment. Exhaustively find each device's
+// best convolution configuration, then measure each best configuration on
+// every device and report the slowdown against that device's own optimum.
+//
+// Paper's shape: the three per-device optima all differ; the best Nvidia
+// configuration is ~17x slower than optimal on the Intel CPU; the two GPUs'
+// best configurations cost each other ~3x. A configuration can also be
+// outright *invalid* on another device (e.g. a 512-item work-group exceeds
+// the HD 7970's 256-item limit) — reported as such.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiments/motivation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner("Figure 1: cross-device slowdown of per-device best "
+                      "configurations (convolution)",
+                      false);
+
+  const clsim::Platform platform = archsim::default_platform();
+  std::vector<clsim::Device> devices;
+  for (const auto& name : bench::main_devices())
+    devices.push_back(platform.device_by_name(name));
+
+  const auto bench_obj = benchkit::make_benchmark("convolution");
+  const exp::MotivationResult result =
+      exp::cross_device_slowdowns(*bench_obj, devices);
+
+  std::cout << "\nPer-device optima (exhaustive search over "
+            << bench_obj->space().size() << " configurations):\n";
+  common::Table bests({"Device", "Best time", "Best configuration"});
+  for (const auto& b : result.bests) {
+    bests.add_row({b.device, common::fmt_time_ms(b.time_ms),
+                   bench_obj->space().to_string(b.config)});
+  }
+  bests.print(std::cout);
+
+  std::cout << "\nSlowdown of config (row) when run on device (column):\n";
+  std::vector<std::string> header = {"config \\ device"};
+  for (const auto& b : result.bests) header.push_back(b.device);
+  common::Table matrix(header);
+  for (const auto& from : result.bests) {
+    std::vector<std::string> row = {"best " + from.device};
+    for (const auto& on : result.bests) {
+      for (const auto& cell : result.matrix) {
+        if (cell.config_from == from.device && cell.run_on == on.device) {
+          row.push_back(cell.valid ? common::fmt(cell.slowdown, 2)
+                                   : "invalid");
+        }
+      }
+    }
+    matrix.add_row(std::move(row));
+  }
+  matrix.print(std::cout);
+  if (args.get("csv", false)) matrix.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 4: mean prediction error vs training set size on the Intel i7 3770.
+// Paper: 6.1-8.3% at 4000 training configurations — the most predictable
+// device (uniform memory, few invalid configurations, long kernel times).
+
+#include "error_curve_main.hpp"
+
+int main(int argc, char** argv) {
+  return pt::bench::run_error_curve_figure(
+      "Figure 4: mean prediction error vs training size, Intel i7 3770",
+      pt::archsim::kIntelI7, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 5: mean prediction error vs training set size on the Nvidia K40.
+// Paper: 12.5-14.7% at 4000 training configurations.
+
+#include "error_curve_main.hpp"
+
+int main(int argc, char** argv) {
+  return pt::bench::run_error_curve_figure(
+      "Figure 5: mean prediction error vs training size, Nvidia K40",
+      pt::archsim::kNvidiaK40, argc, argv);
+}

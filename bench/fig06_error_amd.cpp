@@ -1,0 +1,13 @@
+// Figure 6: mean prediction error vs training set size on the AMD HD 7970.
+// Paper: 12.6-21.2% at 4000 training configurations, with raycasting
+// markedly better than convolution/stereo — its traversal loop is unrolled
+// manually with macros, while the other two rely on the AMD driver's
+// unreliable `#pragma unroll` (section 7).
+
+#include "error_curve_main.hpp"
+
+int main(int argc, char** argv) {
+  return pt::bench::run_error_curve_figure(
+      "Figure 6: mean prediction error vs training size, AMD Radeon HD 7970",
+      pt::archsim::kAmdHd7970, argc, argv);
+}

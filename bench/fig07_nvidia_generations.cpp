@@ -1,0 +1,45 @@
+// Figure 7: convolution prediction error across three Nvidia generations —
+// C2070 (Fermi), K40 (Kepler), GTX980 (Maxwell).
+//
+// Paper's shape: K40 and C2070 track each other closely; the GTX980 is
+// slightly worse (the newest architecture has the most behaviour the simple
+// feature set cannot capture).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  const bool full = args.get("full", false);
+  bench::print_banner(
+      "Figure 7: convolution prediction error across Nvidia generations",
+      full);
+
+  const clsim::Platform platform = archsim::default_platform();
+  exp::ErrorCurveOptions opts;
+  opts.training_sizes = full ? bench::paper_training_sizes()
+                             : bench::reduced_training_sizes();
+  opts.repeats =
+      static_cast<std::size_t>(args.get("repeats", full ? 3L : 2L));
+  opts.test_samples =
+      static_cast<std::size_t>(args.get("test-samples", 400L));
+  opts.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+
+  const auto bench_obj = benchkit::make_benchmark("convolution");
+  std::vector<exp::ErrorCurve> curves;
+  for (const char* name :
+       {archsim::kNvidiaK40, archsim::kNvidiaGtx980, archsim::kNvidiaC2070}) {
+    benchkit::BenchmarkEvaluator eval(*bench_obj,
+                                      platform.device_by_name(name));
+    exp::ErrorCurve curve = exp::compute_error_curve(eval, opts);
+    curve.label = name;
+    curves.push_back(std::move(curve));
+    std::cout << "  [" << name << " done]\n" << std::flush;
+  }
+
+  std::cout << "\nMean relative prediction error (convolution):\n";
+  bench::print_error_curves(curves, args.get("csv", false));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figures 8, 9, 10: predicted vs actual execution time scatter for the
+// convolution benchmark on the Intel i7, Nvidia K40 and AMD HD 7970 — 100
+// held-out configurations, a single (non-averaged) model, log-log axes.
+//
+// Paper's shape: a tight diagonal band on every device; on the Intel CPU
+// the points split into clusters because configurations that use image
+// memory *without* local-memory staging pay the software-sampling tax and
+// are far slower than everything else.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Figures 8-10: predicted vs actual execution times (convolution)",
+      false);
+  const auto training =
+      static_cast<std::size_t>(args.get("training", 2000L));
+  const auto points = static_cast<std::size_t>(args.get("points", 100L));
+
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench_obj = benchkit::make_benchmark("convolution");
+
+  for (const auto& device_name : bench::main_devices()) {
+    benchkit::BenchmarkEvaluator eval(
+        *bench_obj, platform.device_by_name(device_name));
+    tuner::AnnPerformanceModel::Options model;
+    model.ensemble.k = 1;  // single model, as in the paper's scatter plots
+    const auto scatter = exp::compute_scatter(
+        eval, training, points, model,
+        static_cast<std::uint64_t>(args.get("seed", 5L)));
+
+    std::cout << "\n--- " << device_name << " (" << scatter.size()
+              << " held-out configs, " << training
+              << " training configs) ---\n";
+    std::vector<double> log_actual;
+    std::vector<double> log_predicted;
+    std::vector<double> rel_err;
+    for (const auto& p : scatter) {
+      log_actual.push_back(std::log10(p.actual_ms));
+      log_predicted.push_back(std::log10(p.predicted_ms));
+      rel_err.push_back(std::abs(p.predicted_ms - p.actual_ms) /
+                        p.actual_ms);
+    }
+    std::cout << "log-log Pearson r = "
+              << common::fmt(common::pearson(log_actual, log_predicted), 3)
+              << ", mean relative error = "
+              << common::fmt_pct(common::mean(rel_err)) << "\n";
+
+    // ASCII scatter on log-log axes (the paper's Figs 8-10).
+    const auto [min_it, max_it] =
+        std::minmax_element(log_actual.begin(), log_actual.end());
+    const double lo = std::min(
+        *min_it, *std::min_element(log_predicted.begin(), log_predicted.end()));
+    const double hi = std::max(
+        *max_it, *std::max_element(log_predicted.begin(), log_predicted.end()));
+    const int kw = 61;
+    const int kh = 21;
+    std::vector<std::string> canvas(kh, std::string(kw, ' '));
+    for (int d = 0; d < std::min(kw, kh); ++d)
+      canvas[kh - 1 - d * kh / std::min(kw, kh)]
+            [d * kw / std::min(kw, kh)] = '.';
+    auto to_cell = [&](double v, int extent) {
+      const double t = (v - lo) / std::max(1e-12, hi - lo);
+      return std::clamp(static_cast<int>(t * (extent - 1)), 0, extent - 1);
+    };
+    for (std::size_t i = 0; i < scatter.size(); ++i) {
+      const int x = to_cell(log_actual[i], kw);
+      const int y = kh - 1 - to_cell(log_predicted[i], kh);
+      canvas[y][x] = 'o';
+    }
+    std::cout << "predicted (log10 ms) vertical vs actual (log10 ms) "
+                 "horizontal, range ["
+              << common::fmt(lo, 2) << ", " << common::fmt(hi, 2) << "]:\n";
+    for (const auto& line : canvas) std::cout << "  |" << line << "|\n";
+
+    if (args.get("csv", false)) {
+      std::cout << "actual_ms,predicted_ms\n";
+      for (const auto& p : scatter)
+        std::cout << p.actual_ms << "," << p.predicted_ms << "\n";
+    }
+  }
+  return 0;
+}

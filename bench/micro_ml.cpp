@@ -1,0 +1,117 @@
+// google-benchmark micro-benchmarks for the ML substrate: matrix kernels,
+// network forward/backward, ensemble training and bulk prediction — the
+// operations whose throughput bounds the tuner's "orders of magnitude faster
+// than running the benchmarks" prediction scan (paper section 5.3).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/ensemble.hpp"
+#include "ml/mlp.hpp"
+#include "ml/trainer.hpp"
+
+namespace {
+
+using namespace pt;
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         common::Rng& rng) {
+  ml::Matrix m(rows, cols);
+  for (auto& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  const ml::Matrix a = random_matrix(n, n, rng);
+  const ml::Matrix b = random_matrix(n, n, rng);
+  ml::Matrix c;
+  for (auto _ : state) {
+    ml::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n * 2);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(2);
+  ml::Mlp net(9, {ml::LayerSpec{30, ml::Activation::kSigmoid},
+                  ml::LayerSpec{1, ml::Activation::kLinear}});
+  net.init_weights(rng);
+  const ml::Matrix x = random_matrix(batch, 9, rng);
+  for (auto _ : state) {
+    const ml::Matrix y = net.forward_batch(x);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MlpBackwardBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(3);
+  ml::Mlp net(9, {ml::LayerSpec{30, ml::Activation::kSigmoid},
+                  ml::LayerSpec{1, ml::Activation::kLinear}});
+  net.init_weights(rng);
+  const ml::Matrix x = random_matrix(batch, 9, rng);
+  const ml::Matrix t = random_matrix(batch, 1, rng);
+  ml::Gradients grads = net.make_gradients();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.backward_batch(x, t, grads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_MlpBackwardBatch)->Arg(256)->Arg(2048);
+
+void BM_EnsembleTrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(4);
+  ml::Dataset data;
+  data.x = random_matrix(n, 9, rng);
+  data.y = ml::Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 9; ++c) acc += data.x(i, c);
+    data.y(i, 0) = acc;
+  }
+  ml::BaggingEnsemble::Options opts;
+  opts.k = 3;
+  opts.trainer.common.max_epochs = 100;
+  for (auto _ : state) {
+    ml::BaggingEnsemble ensemble(opts);
+    ensemble.fit(data, rng);
+    benchmark::DoNotOptimize(ensemble.member_count());
+  }
+}
+BENCHMARK(BM_EnsembleTrain)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_EnsemblePredictBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  ml::Dataset data;
+  data.x = random_matrix(400, 9, rng);
+  data.y = random_matrix(400, 1, rng);
+  ml::BaggingEnsemble::Options opts;
+  opts.k = 11;  // paper's ensemble size
+  opts.trainer.common.max_epochs = 30;
+  ml::BaggingEnsemble ensemble(opts);
+  ensemble.fit(data, rng);
+  const ml::Matrix query = random_matrix(n, 9, rng);
+  for (auto _ : state) {
+    const auto out = ensemble.predict_batch(query);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EnsemblePredictBatch)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

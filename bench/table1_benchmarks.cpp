@@ -1,0 +1,48 @@
+// Table 1 of the paper: the benchmark suite. Prints each benchmark's
+// description and the instantiated problem geometry, verified against the
+// live objects (so the table cannot drift from the code).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "benchmarks/convolution.hpp"
+#include "benchmarks/raycasting.hpp"
+#include "benchmarks/stereo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner("Table 1: Benchmarks used", false);
+
+  const benchkit::ConvolutionBenchmark conv;
+  const benchkit::RaycastingBenchmark ray;
+  const benchkit::StereoBenchmark stereo;
+
+  common::Table table({"Benchmark", "Description", "Instantiated geometry"});
+  table.add_row(
+      {"convolution",
+       "convolution of 2048x2048 2D image with 5x5 box filter, "
+       "example of stencil computation",
+       std::to_string(conv.geometry().width) + "x" +
+           std::to_string(conv.geometry().height) + ", radius " +
+           std::to_string(conv.geometry().radius)});
+  table.add_row(
+      {"raycasting",
+       "volume visualization generating 1024x1024 2D image from "
+       "512x512x512 3D volume data",
+       std::to_string(ray.geometry().width) + "x" +
+           std::to_string(ray.geometry().height) + " from " +
+           std::to_string(ray.geometry().volume) + "^3 volume"});
+  table.add_row(
+      {"stereo",
+       "computing disparity between two 1024x1024 stereo images to "
+       "determine distances to objects",
+       std::to_string(stereo.geometry().width) + "x" +
+           std::to_string(stereo.geometry().height) + ", " +
+           std::to_string(stereo.geometry().max_disparity) +
+           " disparities, window radius " +
+           std::to_string(stereo.geometry().window_radius)});
+  table.print(std::cout);
+  if (args.get("csv", false)) table.print_csv(std::cout);
+  return 0;
+}

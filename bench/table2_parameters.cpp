@@ -1,0 +1,34 @@
+// Table 2 of the paper: tuning parameters per benchmark and their values,
+// printed from the live parameter spaces, plus the space sizes quoted in the
+// text (131K / 655K / 2359K).
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  bench::print_banner("Table 2: Parameters used for the benchmarks", false);
+
+  for (const auto& name : benchkit::benchmark_names()) {
+    const auto bench = benchkit::make_benchmark_small(name);
+    std::cout << "\n--- " << name << " ---\n";
+    common::Table table({"Parameter", "Possible values"});
+    for (std::size_t d = 0; d < bench->space().dimension_count(); ++d) {
+      const auto& p = bench->space().parameter(d);
+      std::ostringstream values;
+      for (std::size_t i = 0; i < p.values.size(); ++i) {
+        if (i) values << ",";
+        values << p.values[i];
+      }
+      table.add_row({p.name, values.str()});
+    }
+    table.print(std::cout);
+    if (args.get("csv", false)) table.print_csv(std::cout);
+    std::cout << "configuration space size: " << bench->space().size()
+              << " (" << bench->space().size() / 1024 << "K)\n";
+  }
+  return 0;
+}

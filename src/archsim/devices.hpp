@@ -1,0 +1,48 @@
+#pragma once
+
+// Catalog of modeled devices — the five pieces of hardware the paper
+// evaluates on (section 6):
+//
+//   Intel Core i7 3770   (Ivy Bridge CPU, 4C/8T, AVX)
+//   Nvidia Tesla K40     (Kepler GK110B GPU)
+//   AMD Radeon HD 7970   (GCN Tahiti GPU)
+//   Nvidia Tesla C2070   (Fermi GF100 GPU, Fig 7)
+//   Nvidia GTX 980       (Maxwell GM204 GPU, Fig 7)
+//
+// Microarchitectural parameters follow the public datasheets; the noise
+// magnitudes are calibrated so the prediction-error floors match the paper's
+// per-device accuracy ordering (CPU < Nvidia < AMD, GTX980 slightly worse
+// than the older Nvidia parts).
+
+#include <memory>
+#include <string>
+
+#include "archsim/timing_model.hpp"
+#include "clsim/device.hpp"
+#include "clsim/platform.hpp"
+
+namespace pt::archsim {
+
+[[nodiscard]] clsim::DeviceInfo intel_i7_3770_info();
+[[nodiscard]] clsim::DeviceInfo nvidia_k40_info();
+[[nodiscard]] clsim::DeviceInfo amd_hd7970_info();
+[[nodiscard]] clsim::DeviceInfo nvidia_c2070_info();
+[[nodiscard]] clsim::DeviceInfo nvidia_gtx980_info();
+
+/// Build a Device from an info record, sharing the given timing model.
+[[nodiscard]] clsim::Device make_device(
+    clsim::DeviceInfo info, std::shared_ptr<const TimingModel> model);
+
+/// The paper's full device roster as one platform. Every device shares one
+/// TimingModel instance configured by `options`.
+[[nodiscard]] clsim::Platform default_platform(
+    TimingModel::Options options = TimingModel::Options());
+
+/// Canonical device names used throughout benches and docs.
+inline constexpr const char* kIntelI7 = "Intel i7 3770";
+inline constexpr const char* kNvidiaK40 = "Nvidia K40";
+inline constexpr const char* kAmdHd7970 = "AMD Radeon HD 7970";
+inline constexpr const char* kNvidiaC2070 = "Nvidia C2070";
+inline constexpr const char* kNvidiaGtx980 = "Nvidia GTX980";
+
+}  // namespace pt::archsim

@@ -1,0 +1,41 @@
+#include "benchmarks/benchmark.hpp"
+
+namespace pt::benchkit {
+
+BenchmarkEvaluator::BenchmarkEvaluator(const TunableBenchmark& benchmark,
+                                       clsim::Device device)
+    : benchmark_(&benchmark),
+      device_(device),
+      queue_(device, clsim::CommandQueue::Options{
+                         clsim::ExecMode::kTimingOnly, nullptr}) {}
+
+std::string BenchmarkEvaluator::name() const {
+  return benchmark_->name() + "@" + device_.name();
+}
+
+tuner::Measurement BenchmarkEvaluator::measure(
+    const tuner::Configuration& config) {
+  tuner::Measurement result;
+  try {
+    LaunchPlan plan = benchmark_->prepare(device_, config);
+    queue_.record_build(plan.build_time_ms, benchmark_->name());
+    result.cost_ms += plan.build_time_ms;
+    const clsim::Event ev =
+        queue_.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+    result.valid = true;
+    result.time_ms = ev.duration_ms();
+    result.cost_ms += ev.duration_ms();
+    result.status = clsim::Status::kSuccess;
+  } catch (const clsim::ClException& e) {
+    if (!e.is_invalid_configuration()) throw;  // programming error
+    result.valid = false;
+    result.status = e.status();
+    // A rejected configuration still wastes time: the build (or the build
+    // attempt) plus the failed launch round-trip.
+    result.cost_ms += device_.info().base_compile_ms * 0.5 +
+                      2.0 * device_.info().launch_overhead_ms;
+  }
+  return result;
+}
+
+}  // namespace pt::benchkit

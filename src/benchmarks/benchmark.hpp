@@ -1,0 +1,80 @@
+#pragma once
+
+// TunableBenchmark: a parameterized OpenCL workload — a tuning space (paper
+// Table 2), a clsim Program whose kernel factories specialize per
+// configuration, and launch geometry derived from the configuration.
+// BenchmarkEvaluator adapts a (benchmark, device) pair to the tuner's
+// Evaluator interface, turning driver rejections into invalid measurements.
+
+#include <memory>
+#include <string>
+
+#include "clsim/clsim.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/param.hpp"
+
+namespace pt::benchkit {
+
+/// A kernel built and configured for one (device, configuration) pair.
+struct LaunchPlan {
+  clsim::Kernel kernel;
+  clsim::NDRange global;
+  clsim::NDRange local;
+  double build_time_ms = 0.0;
+};
+
+class TunableBenchmark {
+ public:
+  virtual ~TunableBenchmark() = default;
+
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+  [[nodiscard]] virtual const tuner::ParamSpace& space() const noexcept = 0;
+
+  /// Map a configuration to the -D define set the kernel factory consumes.
+  [[nodiscard]] virtual clsim::BuildOptions build_options(
+      const tuner::Configuration& config) const = 0;
+
+  /// Build the kernel and compute the ND-range for a configuration. Throws
+  /// ClException (kBuildProgramFailure) for statically invalid
+  /// configurations; launch-time invalidity surfaces at enqueue.
+  [[nodiscard]] virtual LaunchPlan prepare(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const = 0;
+
+  /// Run the kernel functionally on the device and compare its output with
+  /// the scalar reference; returns the max absolute error. Use benchmarks
+  /// constructed with small geometries — this executes every work-item.
+  [[nodiscard]] virtual double verify(const clsim::Device& device,
+                                      const tuner::Configuration& config) const = 0;
+};
+
+/// Adapts (benchmark, device) to tuner::Evaluator. Measurements run on a
+/// timing-only queue; invalid configurations are caught and reported with
+/// their cost (failed builds and launches still take time — section 6).
+class BenchmarkEvaluator final : public tuner::Evaluator {
+ public:
+  BenchmarkEvaluator(const TunableBenchmark& benchmark, clsim::Device device);
+
+  [[nodiscard]] const tuner::ParamSpace& space() const override {
+    return benchmark_->space();
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] tuner::Measurement measure(
+      const tuner::Configuration& config) override;
+
+  [[nodiscard]] const clsim::Device& device() const noexcept {
+    return device_;
+  }
+  /// The queue accumulating the simulated data-gathering timeline.
+  [[nodiscard]] const clsim::CommandQueue& queue() const noexcept {
+    return queue_;
+  }
+
+ private:
+  const TunableBenchmark* benchmark_;
+  clsim::Device device_;
+  clsim::CommandQueue queue_;
+};
+
+}  // namespace pt::benchkit

@@ -1,0 +1,406 @@
+#include "benchmarks/convolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pt::benchkit {
+
+namespace {
+
+/// Everything a convolution kernel instance needs, captured by value
+/// (memory objects are shared handles, so copies are cheap).
+struct ConvData {
+  clsim::Buffer input;
+  clsim::Buffer padded;
+  clsim::Image2D image;
+  clsim::Buffer filter;
+  clsim::Buffer output;
+  std::size_t width;
+  std::size_t height;
+  int radius;
+};
+
+/// Fully decoded tuning configuration.
+struct ConvConfig {
+  int wg_x, wg_y, ppt_x, ppt_y;
+  bool use_image, use_local, pad, interleaved, unroll;
+};
+
+ConvConfig decode_options(const clsim::BuildOptions& o) {
+  ConvConfig c{};
+  c.wg_x = o.require("WG_X");
+  c.wg_y = o.require("WG_Y");
+  c.ppt_x = o.require("PPT_X");
+  c.ppt_y = o.require("PPT_Y");
+  c.use_image = o.require("USE_IMAGE") != 0;
+  c.use_local = o.require("USE_LOCAL") != 0;
+  c.pad = o.require("PAD") != 0;
+  c.interleaved = o.require("INTERLEAVED") != 0;
+  c.unroll = o.require("UNROLL") != 0;
+  return c;
+}
+
+std::size_t tile_width(const ConvConfig& c, int radius) {
+  return static_cast<std::size_t>(c.wg_x * c.ppt_x + 2 * radius);
+}
+std::size_t tile_height(const ConvConfig& c, int radius) {
+  return static_cast<std::size_t>(c.wg_y * c.ppt_y + 2 * radius);
+}
+
+/// Static profile consumed by the timing model (DESIGN.md, convolution).
+clsim::KernelProfile make_profile(const ConvData& data, const ConvConfig& c,
+                                  std::uint64_t fingerprint) {
+  using clsim::AccessPattern;
+  using clsim::MemorySpace;
+
+  clsim::KernelProfile p;
+  p.kernel_name = "convolution";
+  p.config_fingerprint = fingerprint;
+
+  const int d = 2 * data.radius + 1;
+  const double taps = static_cast<double>(d * d);
+  const double outputs = static_cast<double>(c.ppt_x) * c.ppt_y;
+  const std::size_t group_items =
+      static_cast<std::size_t>(c.wg_x) * static_cast<std::size_t>(c.wg_y);
+
+  // Arithmetic: one MAD per tap per output, plus addressing; explicit
+  // boundary clamping (no padding, no image sampler) costs extra integer
+  // ops and divergent branches.
+  p.flops_per_item = outputs * taps * 2.0;
+  double addr_ops = outputs * taps * 1.5;
+  if (!c.pad && !c.use_image && !c.use_local) addr_ops += outputs * taps * 2.0;
+  p.int_ops_per_item = addr_ops;
+  p.divergence = (c.pad || c.use_image) ? 0.02 : 0.08;
+
+  // The filter loop: d*d trips per output, unrolled via a driver pragma.
+  clsim::LoopInfo filter_loop;
+  filter_loop.trip_count = taps * outputs;
+  filter_loop.unroll_factor = c.unroll ? 8 : 1;
+  filter_loop.via_driver_pragma = true;
+  p.loops.push_back(filter_loop);
+
+  const std::size_t stride_bytes = static_cast<std::size_t>(c.ppt_x) * 4;
+
+  if (c.use_local) {
+    const double tile_elems =
+        static_cast<double>(tile_width(c, data.radius)) *
+        static_cast<double>(tile_height(c, data.radius));
+    // Cooperative tile fill: each element loaded once per group.
+    clsim::MemoryStream fill;
+    fill.space = c.use_image ? MemorySpace::kImage : MemorySpace::kGlobal;
+    fill.pattern = AccessPattern::kCoalesced;
+    fill.accesses_per_item = tile_elems / static_cast<double>(group_items);
+    fill.bytes_per_access = 4;
+    fill.reuse_factor = 1.0;
+    p.streams.push_back(fill);
+    // Compute reads come from local memory.
+    clsim::MemoryStream local_reads;
+    local_reads.space = MemorySpace::kLocal;
+    local_reads.pattern = c.interleaved ? AccessPattern::kCoalesced
+                                        : AccessPattern::kStrided;
+    local_reads.stride_bytes = stride_bytes;
+    local_reads.accesses_per_item = outputs * taps;
+    local_reads.bytes_per_access = 4;
+    p.streams.push_back(local_reads);
+    p.local_mem_bytes_per_group =
+        tile_width(c, data.radius) * tile_height(c, data.radius) * 4;
+    p.barriers_per_item = 1.0;
+  } else {
+    clsim::MemoryStream reads;
+    reads.space = c.use_image ? MemorySpace::kImage : MemorySpace::kGlobal;
+    reads.pattern = c.interleaved ? AccessPattern::kTiled2D
+                                  : AccessPattern::kStrided;
+    reads.stride_bytes = stride_bytes;
+    reads.accesses_per_item = outputs * taps;
+    reads.bytes_per_access = 4;
+    reads.reuse_factor = taps;  // stencil overlap between neighbours
+    p.streams.push_back(reads);
+  }
+
+  // Filter coefficients: broadcast constant reads.
+  clsim::MemoryStream coeff;
+  coeff.space = MemorySpace::kConstant;
+  coeff.pattern = AccessPattern::kBroadcast;
+  coeff.accesses_per_item = outputs * taps;
+  coeff.bytes_per_access = 4;
+  coeff.reuse_factor = static_cast<double>(group_items);
+  p.streams.push_back(coeff);
+
+  // Output stores.
+  clsim::MemoryStream stores;
+  stores.space = MemorySpace::kGlobal;
+  stores.pattern = (c.interleaved || c.ppt_x == 1)
+                       ? AccessPattern::kCoalesced
+                       : AccessPattern::kStrided;
+  stores.stride_bytes = stride_bytes;
+  stores.accesses_per_item = outputs;
+  stores.bytes_per_access = 4;
+  stores.is_write = true;
+  p.streams.push_back(stores);
+
+  p.constant_mem_bytes = static_cast<std::size_t>(taps) * 4;
+  p.registers_per_item = static_cast<std::size_t>(
+      16.0 + std::min(96.0, outputs * (c.use_local ? 0.5 : 1.0)) +
+      (c.unroll ? 6.0 : 0.0) + (c.use_local ? 4.0 : 0.0));
+  p.compile_complexity = 1200.0 + (c.unroll ? taps * 60.0 : 0.0) +
+                         (c.use_local ? 400.0 : 0.0) +
+                         (c.use_image ? 200.0 : 0.0);
+  return p;
+}
+
+/// Functional kernel body: every variant computes the identical
+/// clamp-to-edge box filter.
+clsim::KernelBody make_body(ConvData data, ConvConfig c) {
+  return [data, c](clsim::WorkItemCtx& ctx) -> clsim::WorkItemTask {
+    const long width = static_cast<long>(data.width);
+    const long height = static_cast<long>(data.height);
+    const int radius = data.radius;
+    const int diameter = 2 * radius + 1;
+    const long pad_stride = width + 2 * radius;
+
+    const auto in = data.input.as<const float>();
+    const auto padded = data.padded.as<const float>();
+    const auto coeffs = data.filter.as<const float>();
+    auto out = data.output.as<float>();
+
+    // Clamp-to-edge read through whichever path the configuration picked.
+    auto load = [&](long x, long y) -> float {
+      if (c.use_image) return data.image.sample(x, y);
+      if (c.pad)
+        return padded[static_cast<std::size_t>((y + radius) * pad_stride +
+                                               (x + radius))];
+      const long cx = std::clamp<long>(x, 0, width - 1);
+      const long cy = std::clamp<long>(y, 0, height - 1);
+      return in[static_cast<std::size_t>(cy * width + cx)];
+    };
+
+    const long lx = static_cast<long>(ctx.local_id(0));
+    const long ly = static_cast<long>(ctx.local_id(1));
+    const long group_x = static_cast<long>(ctx.group_id(0));
+    const long group_y = static_cast<long>(ctx.group_id(1));
+    const long group_items = static_cast<long>(c.wg_x) * c.wg_y;
+    const long lid = ly * c.wg_x + lx;
+
+    // The output tile this group covers (identical for both layouts).
+    const long tile_out_x = group_x * c.wg_x * c.ppt_x;
+    const long tile_out_y = group_y * c.wg_y * c.ppt_y;
+
+    std::span<float> tile;
+    const long tw = static_cast<long>(c.wg_x) * c.ppt_x + 2 * radius;
+    const long th = static_cast<long>(c.wg_y) * c.ppt_y + 2 * radius;
+    if (c.use_local) {
+      tile = ctx.local_alloc<float>(static_cast<std::size_t>(tw * th));
+      for (long idx = lid; idx < tw * th; idx += group_items) {
+        const long tx = idx % tw;
+        const long ty = idx / tw;
+        tile[static_cast<std::size_t>(idx)] =
+            load(tile_out_x - radius + tx, tile_out_y - radius + ty);
+      }
+      co_await ctx.barrier();
+    }
+
+    for (int oy = 0; oy < c.ppt_y; ++oy) {
+      for (int ox = 0; ox < c.ppt_x; ++ox) {
+        const long out_x =
+            c.interleaved ? tile_out_x + static_cast<long>(ox) * c.wg_x + lx
+                          : (group_x * c.wg_x + lx) * c.ppt_x + ox;
+        const long out_y =
+            c.interleaved ? tile_out_y + static_cast<long>(oy) * c.wg_y + ly
+                          : (group_y * c.wg_y + ly) * c.ppt_y + oy;
+        if (out_x >= width || out_y >= height) continue;
+
+        float sum = 0.0f;
+        for (int fy = 0; fy < diameter; ++fy) {
+          for (int fx = 0; fx < diameter; ++fx) {
+            float v;
+            if (c.use_local) {
+              const long tx = out_x - tile_out_x + fx;
+              const long ty = out_y - tile_out_y + fy;
+              v = tile[static_cast<std::size_t>(ty * tw + tx)];
+            } else {
+              v = load(out_x + fx - radius, out_y + fy - radius);
+            }
+            sum += v * coeffs[static_cast<std::size_t>(fy * diameter + fx)];
+          }
+        }
+        out[static_cast<std::size_t>(out_y * width + out_x)] = sum;
+      }
+    }
+    co_return;
+  };
+}
+
+}  // namespace
+
+float ConvolutionBenchmark::input_value(std::size_t x, std::size_t y) noexcept {
+  // Deterministic, smooth-ish signal with enough variation to catch
+  // indexing bugs in every kernel variant.
+  const double fx = static_cast<double>(x);
+  const double fy = static_cast<double>(y);
+  return static_cast<float>(0.5 + 0.25 * std::sin(0.11 * fx) +
+                            0.25 * std::cos(0.07 * fy + 0.013 * fx));
+}
+
+ConvolutionBenchmark::ConvolutionBenchmark(const Geometry& geometry)
+    : geometry_(geometry),
+      input_(geometry.width * geometry.height * sizeof(float)),
+      padded_((geometry.width + 2 * geometry.radius) *
+              (geometry.height + 2 * geometry.radius) * sizeof(float)),
+      image_(geometry.width, geometry.height),
+      filter_(static_cast<std::size_t>(2 * geometry.radius + 1) *
+              static_cast<std::size_t>(2 * geometry.radius + 1) *
+              sizeof(float)),
+      output_(geometry.width * geometry.height * sizeof(float)),
+      program_("convolution") {
+  const std::size_t w = geometry_.width;
+  const std::size_t h = geometry_.height;
+  const int r = geometry_.radius;
+
+  auto in = input_.as<float>();
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x)
+      in[y * w + x] = input_value(x, y);
+
+  // Padded copy whose apron replicates the clamped edge, so the padded
+  // path computes the same result as explicit clamping.
+  auto pad = padded_.as<float>();
+  const std::size_t pw = w + 2 * r;
+  const std::size_t ph = h + 2 * r;
+  for (std::size_t y = 0; y < ph; ++y) {
+    for (std::size_t x = 0; x < pw; ++x) {
+      const long sx = std::clamp<long>(static_cast<long>(x) - r, 0,
+                                       static_cast<long>(w) - 1);
+      const long sy = std::clamp<long>(static_cast<long>(y) - r, 0,
+                                       static_cast<long>(h) - 1);
+      pad[y * pw + x] = in[static_cast<std::size_t>(sy) * w +
+                           static_cast<std::size_t>(sx)];
+    }
+  }
+
+  auto img = image_.data();
+  std::copy(in.begin(), in.end(), img.begin());
+
+  const int d = 2 * r + 1;
+  auto coeffs = filter_.as<float>();
+  for (auto& cf : coeffs) cf = 1.0f / static_cast<float>(d * d);
+
+  build_space();
+  build_program();
+}
+
+void ConvolutionBenchmark::build_space() {
+  const std::vector<int> pow2 = {1, 2, 4, 8, 16, 32, 64, 128};
+  const std::vector<int> onoff = {0, 1};
+  space_.add("WG_X", pow2);
+  space_.add("WG_Y", pow2);
+  space_.add("PPT_X", pow2);
+  space_.add("PPT_Y", pow2);
+  space_.add("USE_IMAGE", onoff);
+  space_.add("USE_LOCAL", onoff);
+  space_.add("PAD", onoff);
+  space_.add("INTERLEAVED", onoff);
+  space_.add("UNROLL", onoff);
+}
+
+void ConvolutionBenchmark::build_program() {
+  ConvData data{input_, padded_, image_, filter_, output_,
+                geometry_.width, geometry_.height, geometry_.radius};
+  program_.add_kernel(
+      "convolution",
+      [data](const clsim::DeviceInfo& /*device*/,
+             const clsim::BuildOptions& options) -> clsim::CompiledKernel {
+        const ConvConfig c = decode_options(options);
+        if (static_cast<std::size_t>(c.ppt_x) > data.width ||
+            static_cast<std::size_t>(c.ppt_y) > data.height)
+          throw clsim::ClException(
+              clsim::Status::kBuildProgramFailure,
+              "per-thread work exceeds the image extent");
+        const std::uint64_t fp = clsim::fingerprint_values(
+            {c.wg_x, c.wg_y, c.ppt_x, c.ppt_y, c.use_image, c.use_local,
+             c.pad, c.interleaved, c.unroll},
+            clsim::fnv1a("convolution", 11));
+        clsim::CompiledKernel compiled;
+        compiled.name = "convolution";
+        compiled.profile = make_profile(data, c, fp);
+        compiled.body = make_body(data, c);
+        return compiled;
+      });
+}
+
+clsim::BuildOptions ConvolutionBenchmark::build_options(
+    const tuner::Configuration& config) const {
+  clsim::BuildOptions options;
+  for (std::size_t d = 0; d < space_.dimension_count(); ++d)
+    options.define(space_.parameter(d).name, config.values[d]);
+  return options;
+}
+
+LaunchPlan ConvolutionBenchmark::prepare(
+    const clsim::Device& device, const tuner::Configuration& config) const {
+  const clsim::BuildOptions options = build_options(config);
+  auto [kernel, build_ms] =
+      program_.build_kernel(device, "convolution", options);
+  const auto ppt_x = static_cast<std::size_t>(space_.value_of(config, "PPT_X"));
+  const auto ppt_y = static_cast<std::size_t>(space_.value_of(config, "PPT_Y"));
+  const auto wg_x = static_cast<std::size_t>(space_.value_of(config, "WG_X"));
+  const auto wg_y = static_cast<std::size_t>(space_.value_of(config, "WG_Y"));
+  // Hosts round the global size up to a multiple of the work-group size;
+  // surplus work-items are guarded out inside the kernel.
+  auto round_up = [](std::size_t need, std::size_t wg) {
+    return (need + wg - 1) / wg * wg;
+  };
+  const std::size_t need_x = (geometry_.width + ppt_x - 1) / ppt_x;
+  const std::size_t need_y = (geometry_.height + ppt_y - 1) / ppt_y;
+  LaunchPlan plan{std::move(kernel),
+                  clsim::NDRange(round_up(need_x, wg_x), round_up(need_y, wg_y)),
+                  clsim::NDRange(wg_x, wg_y), build_ms};
+  return plan;
+}
+
+double ConvolutionBenchmark::verify(const clsim::Device& device,
+                                    const tuner::Configuration& config) const {
+  LaunchPlan plan = prepare(device, config);
+  // Clear the (shared) output so stale results cannot mask failures.
+  auto out = output_.as<float>();
+  std::fill(out.begin(), out.end(), -1.0f);
+
+  clsim::CommandQueue queue(
+      device,
+      clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+  queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+
+  const auto expected = reference();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    max_err = std::max(max_err,
+                       static_cast<double>(std::abs(out[i] - expected[i])));
+  return max_err;
+}
+
+std::vector<float> ConvolutionBenchmark::reference() const {
+  const long w = static_cast<long>(geometry_.width);
+  const long h = static_cast<long>(geometry_.height);
+  const int r = geometry_.radius;
+  const int d = 2 * r + 1;
+  const auto in = input_.as<const float>();
+  const auto coeffs = filter_.as<const float>();
+  std::vector<float> out(static_cast<std::size_t>(w * h));
+  for (long y = 0; y < h; ++y) {
+    for (long x = 0; x < w; ++x) {
+      float sum = 0.0f;
+      for (int fy = 0; fy < d; ++fy) {
+        for (int fx = 0; fx < d; ++fx) {
+          const long sx = std::clamp<long>(x + fx - r, 0, w - 1);
+          const long sy = std::clamp<long>(y + fy - r, 0, h - 1);
+          sum += in[static_cast<std::size_t>(sy * w + sx)] *
+                 coeffs[static_cast<std::size_t>(fy * d + fx)];
+        }
+      }
+      out[static_cast<std::size_t>(y * w + x)] = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace pt::benchkit

@@ -1,0 +1,75 @@
+#pragma once
+
+// Convolution benchmark (paper Table 1): 2D convolution of a 2048x2048
+// image with a 5x5 box filter — a stencil computation. Nine tuning
+// parameters (Table 2): work-group shape, outputs per thread, and five
+// boolean optimizations (image memory, local-memory tiling, input padding,
+// interleaved output assignment, driver-pragma loop unrolling). The space
+// has 8*8*8*8 * 2^5 = 131,072 configurations.
+//
+// All configurations are functionally equivalent: boundary handling is
+// clamp-to-edge, implemented either by explicit clamping, by a pre-padded
+// input whose apron replicates the edge, or by the image sampler.
+
+#include <cstddef>
+
+#include "benchmarks/benchmark.hpp"
+
+namespace pt::benchkit {
+
+class ConvolutionBenchmark final : public TunableBenchmark {
+ public:
+  struct Geometry {
+    std::size_t width = 2048;
+    std::size_t height = 2048;
+    int radius = 2;  // 5x5 box filter
+  };
+
+  /// Full paper-scale instance.
+  ConvolutionBenchmark() : ConvolutionBenchmark(Geometry{}) {}
+  /// Custom instance (tests use small images so functional runs are cheap).
+  explicit ConvolutionBenchmark(const Geometry& geometry);
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const tuner::ParamSpace& space() const noexcept override {
+    return space_;
+  }
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+
+  [[nodiscard]] clsim::BuildOptions build_options(
+      const tuner::Configuration& config) const override;
+
+  [[nodiscard]] LaunchPlan prepare(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const override;
+
+  [[nodiscard]] double verify(const clsim::Device& device,
+                              const tuner::Configuration& config) const override;
+
+  /// Scalar reference result (clamp-to-edge box filter of the input).
+  [[nodiscard]] std::vector<float> reference() const;
+
+  /// The deterministic input signal (exposed for tests).
+  [[nodiscard]] static float input_value(std::size_t x, std::size_t y) noexcept;
+
+ private:
+  void build_space();
+  void build_program();
+
+  std::string name_ = "convolution";
+  Geometry geometry_;
+  tuner::ParamSpace space_;
+
+  // Shared data objects (handle semantics; kernels capture copies).
+  clsim::Buffer input_;    // width*height floats
+  clsim::Buffer padded_;   // (width+2R)*(height+2R), apron = clamped edges
+  clsim::Image2D image_;   // same pixels as input_
+  clsim::Buffer filter_;   // (2R+1)^2 coefficients (box)
+  clsim::Buffer output_;   // width*height floats
+
+  clsim::Program program_;
+};
+
+}  // namespace pt::benchkit

@@ -1,0 +1,428 @@
+#include "benchmarks/raycasting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::benchkit {
+
+namespace {
+
+struct RayData {
+  clsim::Buffer volume;
+  clsim::Image3D volume_image;
+  clsim::Buffer tf;
+  clsim::Image2D tf_image;
+  clsim::Buffer output;
+  std::size_t n;  // volume edge
+  std::size_t width;
+  std::size_t height;
+  float termination_alpha;
+};
+
+struct RayConfig {
+  int wg_x, wg_y, ppt_x, ppt_y;
+  bool image_data, image_tf, local_tf, const_tf, interleaved;
+  int unroll;
+};
+
+RayConfig decode_options(const clsim::BuildOptions& o) {
+  RayConfig c{};
+  c.wg_x = o.require("WG_X");
+  c.wg_y = o.require("WG_Y");
+  c.ppt_x = o.require("PPT_X");
+  c.ppt_y = o.require("PPT_Y");
+  c.image_data = o.require("IMAGE_DATA") != 0;
+  c.image_tf = o.require("IMAGE_TF") != 0;
+  c.local_tf = o.require("LOCAL_TF") != 0;
+  c.const_tf = o.require("CONST_TF") != 0;
+  c.interleaved = o.require("INTERLEAVED") != 0;
+  c.unroll = o.require("UNROLL");
+  return c;
+}
+
+clsim::KernelProfile make_profile(const RayData& data, const RayConfig& c,
+                                  std::uint64_t fingerprint) {
+  using clsim::AccessPattern;
+  using clsim::MemorySpace;
+
+  clsim::KernelProfile p;
+  p.kernel_name = "raycasting";
+  p.config_fingerprint = fingerprint;
+
+  const double rays = static_cast<double>(c.ppt_x) * c.ppt_y;
+  // Early ray termination cuts the average traversal depth.
+  const double avg_steps = 0.6 * static_cast<double>(data.n);
+  const std::size_t group_items =
+      static_cast<std::size_t>(c.wg_x) * static_cast<std::size_t>(c.wg_y);
+
+  p.flops_per_item = rays * avg_steps * 10.0;
+  p.int_ops_per_item = rays * avg_steps * 6.0;
+  p.divergence = 0.25;  // data-dependent early exit
+
+  // Traversal loop, manually unrolled with preprocessor macros.
+  clsim::LoopInfo march;
+  march.trip_count = rays * avg_steps;
+  march.unroll_factor = static_cast<std::size_t>(c.unroll);
+  march.via_driver_pragma = false;
+  p.loops.push_back(march);
+
+  // Volume samples: one per step.
+  clsim::MemoryStream vol;
+  vol.space = c.image_data ? MemorySpace::kImage : MemorySpace::kGlobal;
+  vol.pattern = c.image_data
+                    ? AccessPattern::kTiled2D
+                    : (c.interleaved ? AccessPattern::kCoalesced
+                                     : AccessPattern::kStrided);
+  vol.stride_bytes = static_cast<std::size_t>(c.ppt_x) * 4;
+  vol.accesses_per_item = rays * avg_steps;
+  vol.bytes_per_access = 4;
+  // Several rays pass near each voxel when the image oversamples the volume.
+  vol.reuse_factor = std::max(
+      1.0, static_cast<double>(data.width) / static_cast<double>(data.n) *
+               static_cast<double>(data.height) / static_cast<double>(data.n));
+  p.streams.push_back(vol);
+
+  // Transfer-function lookups: one per step, data-dependent index. The
+  // 2 KiB table is cache-resident on every modern device; represent the
+  // hit rate by shrinking the off-chip traffic for cached paths.
+  clsim::MemoryStream tf;
+  tf.accesses_per_item = rays * avg_steps;
+  tf.bytes_per_access = 8;  // (emission, alpha) pair
+  tf.pattern = AccessPattern::kRandom;
+  if (c.local_tf) {
+    tf.space = MemorySpace::kLocal;
+    // Cooperative fill from the next level down (image/constant/global).
+    clsim::MemoryStream fill;
+    fill.space = c.image_tf ? MemorySpace::kImage
+                            : (c.const_tf ? MemorySpace::kConstant
+                                          : MemorySpace::kGlobal);
+    fill.pattern = AccessPattern::kCoalesced;
+    fill.accesses_per_item =
+        static_cast<double>(RaycastingBenchmark::kTfEntries) /
+        static_cast<double>(group_items);
+    fill.bytes_per_access = 8;
+    p.streams.push_back(fill);
+    p.local_mem_bytes_per_group = RaycastingBenchmark::kTfEntries * 8;
+    p.barriers_per_item = 1.0;
+  } else if (c.const_tf) {
+    tf.space = MemorySpace::kConstant;  // divergent constant reads serialize
+    p.constant_mem_bytes = RaycastingBenchmark::kTfEntries * 8;
+  } else if (c.image_tf) {
+    tf.space = MemorySpace::kImage;
+    tf.accesses_per_item *= 0.1;  // texture cache absorbs the hot table
+  } else {
+    tf.space = MemorySpace::kGlobal;
+    tf.accesses_per_item *= 0.1;  // L1/L2-resident
+  }
+  p.streams.push_back(tf);
+
+  clsim::MemoryStream stores;
+  stores.space = MemorySpace::kGlobal;
+  stores.pattern = (c.interleaved || c.ppt_x == 1)
+                       ? AccessPattern::kCoalesced
+                       : AccessPattern::kStrided;
+  stores.stride_bytes = static_cast<std::size_t>(c.ppt_x) * 4;
+  stores.accesses_per_item = rays;
+  stores.bytes_per_access = 4;
+  stores.is_write = true;
+  p.streams.push_back(stores);
+
+  p.registers_per_item = static_cast<std::size_t>(
+      24.0 + 2.0 * c.unroll + std::min(48.0, rays * 2.0) +
+      (c.local_tf ? 4.0 : 0.0));
+  p.compile_complexity =
+      1500.0 + 80.0 * c.unroll + (c.local_tf ? 300.0 : 0.0) +
+      (c.image_data ? 200.0 : 0.0) + (c.image_tf ? 150.0 : 0.0);
+  return p;
+}
+
+clsim::KernelBody make_body(RayData data, RayConfig c) {
+  return [data, c](clsim::WorkItemCtx& ctx) -> clsim::WorkItemTask {
+    const long n = static_cast<long>(data.n);
+    const long width = static_cast<long>(data.width);
+    const long height = static_cast<long>(data.height);
+    const auto vol = data.volume.as<const float>();
+    const auto tf_buf = data.tf.as<const float>();
+    auto out = data.output.as<float>();
+
+    // Optionally stage the transfer function in local memory.
+    std::span<float> tf_local;
+    if (c.local_tf) {
+      const long group_items = static_cast<long>(c.wg_x) * c.wg_y;
+      const long lid = static_cast<long>(ctx.local_id(1)) * c.wg_x +
+                       static_cast<long>(ctx.local_id(0));
+      tf_local = ctx.local_alloc<float>(RaycastingBenchmark::kTfEntries * 2);
+      for (long i = lid;
+           i < static_cast<long>(RaycastingBenchmark::kTfEntries);
+           i += group_items) {
+        // Pull through the configured source space (functionally identical).
+        if (c.image_tf) {
+          tf_local[static_cast<std::size_t>(2 * i)] =
+              data.tf_image.sample(i, 0, 0);
+          tf_local[static_cast<std::size_t>(2 * i + 1)] =
+              data.tf_image.sample(i, 0, 1);
+        } else {
+          tf_local[static_cast<std::size_t>(2 * i)] =
+              tf_buf[static_cast<std::size_t>(2 * i)];
+          tf_local[static_cast<std::size_t>(2 * i + 1)] =
+              tf_buf[static_cast<std::size_t>(2 * i + 1)];
+        }
+      }
+      co_await ctx.barrier();
+    }
+
+    auto sample_volume = [&](long vx, long vy, long vz) -> float {
+      if (c.image_data) return data.volume_image.sample(vx, vy, vz);
+      const long cx = std::clamp<long>(vx, 0, n - 1);
+      const long cy = std::clamp<long>(vy, 0, n - 1);
+      const long cz = std::clamp<long>(vz, 0, n - 1);
+      return vol[static_cast<std::size_t>((cz * n + cy) * n + cx)];
+    };
+    auto lookup_tf = [&](int idx, float& emission, float& alpha) {
+      if (c.local_tf) {
+        emission = tf_local[static_cast<std::size_t>(2 * idx)];
+        alpha = tf_local[static_cast<std::size_t>(2 * idx + 1)];
+      } else if (c.image_tf) {
+        emission = data.tf_image.sample(idx, 0, 0);
+        alpha = data.tf_image.sample(idx, 0, 1);
+      } else {
+        // Constant and plain-global lookups read the same buffer.
+        emission = tf_buf[static_cast<std::size_t>(2 * idx)];
+        alpha = tf_buf[static_cast<std::size_t>(2 * idx + 1)];
+      }
+    };
+
+    const long lx = static_cast<long>(ctx.local_id(0));
+    const long ly = static_cast<long>(ctx.local_id(1));
+    const long group_x = static_cast<long>(ctx.group_id(0));
+    const long group_y = static_cast<long>(ctx.group_id(1));
+    const long tile_x = group_x * c.wg_x * c.ppt_x;
+    const long tile_y = group_y * c.wg_y * c.ppt_y;
+
+    for (int ry = 0; ry < c.ppt_y; ++ry) {
+      for (int rx = 0; rx < c.ppt_x; ++rx) {
+        const long px = c.interleaved
+                            ? tile_x + static_cast<long>(rx) * c.wg_x + lx
+                            : (group_x * c.wg_x + lx) * c.ppt_x + rx;
+        const long py = c.interleaved
+                            ? tile_y + static_cast<long>(ry) * c.wg_y + ly
+                            : (group_y * c.wg_y + ly) * c.ppt_y + ry;
+        if (px >= width || py >= height) continue;
+
+        const long vx = px * n / width;
+        const long vy = py * n / height;
+        float color = 0.0f;
+        float acc_alpha = 0.0f;
+        for (long z = 0; z < n; ++z) {
+          const float dens = sample_volume(vx, vy, z);
+          const int idx = std::clamp<int>(
+              static_cast<int>(dens *
+                               static_cast<float>(
+                                   RaycastingBenchmark::kTfEntries)),
+              0, static_cast<int>(RaycastingBenchmark::kTfEntries) - 1);
+          float emission = 0.0f;
+          float alpha = 0.0f;
+          lookup_tf(idx, emission, alpha);
+          color += (1.0f - acc_alpha) * alpha * emission;
+          acc_alpha += (1.0f - acc_alpha) * alpha;
+          if (acc_alpha > data.termination_alpha) break;
+        }
+        out[static_cast<std::size_t>(py * width + px)] = color;
+      }
+    }
+    co_return;
+  };
+}
+
+}  // namespace
+
+float RaycastingBenchmark::density(std::size_t x, std::size_t y,
+                                   std::size_t z) noexcept {
+  const double fx = static_cast<double>(x);
+  const double fy = static_cast<double>(y);
+  const double fz = static_cast<double>(z);
+  const double v = 0.5 + 0.2 * std::sin(0.21 * fx + 0.1 * fz) +
+                   0.2 * std::cos(0.17 * fy) +
+                   0.1 * std::sin(0.05 * (fx + fy + fz));
+  return static_cast<float>(std::clamp(v, 0.0, 0.999));
+}
+
+RaycastingBenchmark::RaycastingBenchmark(const Geometry& geometry)
+    : geometry_(geometry),
+      materialized_(geometry.volume <= kMaxFunctionalVolume),
+      volume_(materialized_ ? geometry.volume * geometry.volume *
+                                  geometry.volume * sizeof(float)
+                            : sizeof(float)),
+      volume_image_(materialized_ ? geometry.volume : 1,
+                    materialized_ ? geometry.volume : 1,
+                    materialized_ ? geometry.volume : 1),
+      tf_(kTfEntries * 2 * sizeof(float)),
+      tf_image_(kTfEntries, 1, 2),
+      output_(geometry.width * geometry.height * sizeof(float)),
+      program_("raycasting") {
+  if (materialized_) {
+    const std::size_t n = geometry_.volume;
+    auto vol = volume_.as<float>();
+    auto img = volume_image_.data();
+    for (std::size_t z = 0; z < n; ++z)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t x = 0; x < n; ++x) {
+          const float v = density(x, y, z);
+          vol[(z * n + y) * n + x] = v;
+          img[(z * n + y) * n + x] = v;
+        }
+  }
+
+  auto tf = tf_.as<float>();
+  auto tfi = tf_image_.data();
+  for (std::size_t i = 0; i < kTfEntries; ++i) {
+    const double t = static_cast<double>(i) / (kTfEntries - 1);
+    // Emission ramps up with density; opacity is low for "air", higher for
+    // "tissue" — enough alpha variation to exercise early termination.
+    const float emission = static_cast<float>(t * t);
+    const float alpha = static_cast<float>(t > 0.55 ? 0.08 * t : 0.002);
+    tf[2 * i] = emission;
+    tf[2 * i + 1] = alpha;
+    tfi[2 * i] = emission;
+    tfi[2 * i + 1] = alpha;
+  }
+
+  build_space();
+  build_program();
+}
+
+void RaycastingBenchmark::build_space() {
+  const std::vector<int> pow2 = {1, 2, 4, 8, 16, 32, 64, 128};
+  const std::vector<int> onoff = {0, 1};
+  space_.add("WG_X", pow2);
+  space_.add("WG_Y", pow2);
+  space_.add("PPT_X", pow2);
+  space_.add("PPT_Y", pow2);
+  space_.add("IMAGE_DATA", onoff);
+  space_.add("IMAGE_TF", onoff);
+  space_.add("LOCAL_TF", onoff);
+  space_.add("CONST_TF", onoff);
+  space_.add("INTERLEAVED", onoff);
+  space_.add("UNROLL", {1, 2, 4, 8, 16});
+}
+
+void RaycastingBenchmark::build_program() {
+  RayData data{volume_,  volume_image_,   tf_,
+               tf_image_, output_,        geometry_.volume,
+               geometry_.width, geometry_.height, geometry_.termination_alpha};
+  const bool materialized = materialized_;
+  program_.add_kernel(
+      "raycasting",
+      [data, materialized](const clsim::DeviceInfo& /*device*/,
+             const clsim::BuildOptions& options) -> clsim::CompiledKernel {
+        const RayConfig c = decode_options(options);
+        if (static_cast<std::size_t>(c.ppt_x) > data.width ||
+            static_cast<std::size_t>(c.ppt_y) > data.height)
+          throw clsim::ClException(clsim::Status::kBuildProgramFailure,
+                                   "rays per thread exceed the image extent");
+        const std::uint64_t fp = clsim::fingerprint_values(
+            {c.wg_x, c.wg_y, c.ppt_x, c.ppt_y, c.image_data, c.image_tf,
+             c.local_tf, c.const_tf, c.interleaved, c.unroll},
+            clsim::fnv1a("raycasting", 10));
+        clsim::CompiledKernel compiled;
+        compiled.name = "raycasting";
+        compiled.profile = make_profile(data, c, fp);
+        if (materialized) {
+          compiled.body = make_body(data, c);
+        } else {
+          compiled.body = [](clsim::WorkItemCtx&) -> clsim::WorkItemTask {
+            throw clsim::ClException(
+                clsim::Status::kInvalidOperation,
+                "raycasting volume not materialized (timing-only instance; "
+                "construct with Geometry::volume <= kMaxFunctionalVolume "
+                "for functional runs)");
+            co_return;  // unreachable; makes this lambda a coroutine
+          };
+        }
+        return compiled;
+      });
+}
+
+clsim::BuildOptions RaycastingBenchmark::build_options(
+    const tuner::Configuration& config) const {
+  clsim::BuildOptions options;
+  for (std::size_t d = 0; d < space_.dimension_count(); ++d)
+    options.define(space_.parameter(d).name, config.values[d]);
+  return options;
+}
+
+LaunchPlan RaycastingBenchmark::prepare(
+    const clsim::Device& device, const tuner::Configuration& config) const {
+  const clsim::BuildOptions options = build_options(config);
+  auto [kernel, build_ms] =
+      program_.build_kernel(device, "raycasting", options);
+  const auto ppt_x = static_cast<std::size_t>(space_.value_of(config, "PPT_X"));
+  const auto ppt_y = static_cast<std::size_t>(space_.value_of(config, "PPT_Y"));
+  const auto wg_x = static_cast<std::size_t>(space_.value_of(config, "WG_X"));
+  const auto wg_y = static_cast<std::size_t>(space_.value_of(config, "WG_Y"));
+  auto round_up = [](std::size_t need, std::size_t wg) {
+    return (need + wg - 1) / wg * wg;
+  };
+  const std::size_t need_x = (geometry_.width + ppt_x - 1) / ppt_x;
+  const std::size_t need_y = (geometry_.height + ppt_y - 1) / ppt_y;
+  return LaunchPlan{std::move(kernel),
+                    clsim::NDRange(round_up(need_x, wg_x),
+                                   round_up(need_y, wg_y)),
+                    clsim::NDRange(wg_x, wg_y), build_ms};
+}
+
+double RaycastingBenchmark::verify(const clsim::Device& device,
+                                   const tuner::Configuration& config) const {
+  if (!materialized_)
+    throw std::logic_error(
+        "RaycastingBenchmark::verify: timing-only instance (volume > "
+        "kMaxFunctionalVolume)");
+  LaunchPlan plan = prepare(device, config);
+  auto out = output_.as<float>();
+  std::fill(out.begin(), out.end(), -1.0f);
+
+  clsim::CommandQueue queue(
+      device,
+      clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+  queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+
+  const auto expected = reference();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    max_err = std::max(max_err,
+                       static_cast<double>(std::abs(out[i] - expected[i])));
+  return max_err;
+}
+
+std::vector<float> RaycastingBenchmark::reference() const {
+  const long n = static_cast<long>(geometry_.volume);
+  const long width = static_cast<long>(geometry_.width);
+  const long height = static_cast<long>(geometry_.height);
+  const auto vol = volume_.as<const float>();
+  const auto tf = tf_.as<const float>();
+  std::vector<float> out(static_cast<std::size_t>(width * height));
+  for (long py = 0; py < height; ++py) {
+    for (long px = 0; px < width; ++px) {
+      const long vx = px * n / width;
+      const long vy = py * n / height;
+      float color = 0.0f;
+      float acc_alpha = 0.0f;
+      for (long z = 0; z < n; ++z) {
+        const float dens = vol[static_cast<std::size_t>((z * n + vy) * n + vx)];
+        const int idx = std::clamp<int>(
+            static_cast<int>(dens * static_cast<float>(kTfEntries)), 0,
+            static_cast<int>(kTfEntries) - 1);
+        const float emission = tf[static_cast<std::size_t>(2 * idx)];
+        const float alpha = tf[static_cast<std::size_t>(2 * idx + 1)];
+        color += (1.0f - acc_alpha) * alpha * emission;
+        acc_alpha += (1.0f - acc_alpha) * alpha;
+        if (acc_alpha > geometry_.termination_alpha) break;
+      }
+      out[static_cast<std::size_t>(py * width + px)] = color;
+    }
+  }
+  return out;
+}
+
+}  // namespace pt::benchkit

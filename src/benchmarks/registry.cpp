@@ -1,0 +1,48 @@
+#include "benchmarks/registry.hpp"
+
+#include <stdexcept>
+
+#include "benchmarks/convolution.hpp"
+#include "benchmarks/raycasting.hpp"
+#include "benchmarks/stereo.hpp"
+
+namespace pt::benchkit {
+
+std::vector<std::string> benchmark_names() {
+  return {"convolution", "raycasting", "stereo"};
+}
+
+std::unique_ptr<TunableBenchmark> make_benchmark(const std::string& name) {
+  if (name == "convolution")
+    return std::make_unique<ConvolutionBenchmark>();
+  if (name == "raycasting") return std::make_unique<RaycastingBenchmark>();
+  if (name == "stereo") return std::make_unique<StereoBenchmark>();
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::unique_ptr<TunableBenchmark> make_benchmark_small(
+    const std::string& name) {
+  if (name == "convolution") {
+    ConvolutionBenchmark::Geometry g;
+    g.width = 48;
+    g.height = 32;
+    return std::make_unique<ConvolutionBenchmark>(g);
+  }
+  if (name == "raycasting") {
+    RaycastingBenchmark::Geometry g;
+    g.volume = 16;
+    g.width = 24;
+    g.height = 16;
+    return std::make_unique<RaycastingBenchmark>(g);
+  }
+  if (name == "stereo") {
+    StereoBenchmark::Geometry g;
+    g.width = 32;
+    g.height = 24;
+    g.max_disparity = 8;
+    return std::make_unique<StereoBenchmark>(g);
+  }
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace pt::benchkit

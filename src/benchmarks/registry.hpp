@@ -1,0 +1,27 @@
+#pragma once
+
+// By-name construction of the paper's benchmarks, used by the bench
+// harnesses and examples ("--benchmark=stereo").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmark.hpp"
+
+namespace pt::benchkit {
+
+/// Names of the available benchmarks, in paper order.
+[[nodiscard]] std::vector<std::string> benchmark_names();
+
+/// Construct a paper-scale benchmark by name; throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] std::unique_ptr<TunableBenchmark> make_benchmark(
+    const std::string& name);
+
+/// Construct a small-geometry instance suitable for functional verification
+/// (every work-item actually executes).
+[[nodiscard]] std::unique_ptr<TunableBenchmark> make_benchmark_small(
+    const std::string& name);
+
+}  // namespace pt::benchkit

@@ -1,0 +1,74 @@
+#pragma once
+
+// Stereo benchmark (paper Table 1): dense disparity estimation between two
+// 1024x1024 rectified images by window-based SAD block matching over a
+// disparity range, producing a disparity map (distance to objects).
+//
+// Tuning parameters (Table 2): work-group shape, outputs per thread, the
+// memory space of each input image (image memory and/or local tiling,
+// independently for left and right), and three driver-pragma unroll factors:
+// the disparity loop {1,2,4,8} and the window difference loops in x and y
+// {1,2,4} each. Space size: 8^4 * 2^4 * 4*3*3 = 2,359,296 — the largest of
+// the three benchmarks, and (via the right image's disparity-extended local
+// tile) the one with the most invalid configurations on GPUs.
+
+#include "benchmarks/benchmark.hpp"
+
+namespace pt::benchkit {
+
+class StereoBenchmark final : public TunableBenchmark {
+ public:
+  struct Geometry {
+    std::size_t width = 1024;
+    std::size_t height = 1024;
+    int max_disparity = 64;
+    int window_radius = 2;  // 5x5 SAD window
+  };
+
+  StereoBenchmark() : StereoBenchmark(Geometry{}) {}
+  explicit StereoBenchmark(const Geometry& geometry);
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const tuner::ParamSpace& space() const noexcept override {
+    return space_;
+  }
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+
+  [[nodiscard]] clsim::BuildOptions build_options(
+      const tuner::Configuration& config) const override;
+
+  [[nodiscard]] LaunchPlan prepare(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const override;
+
+  [[nodiscard]] double verify(const clsim::Device& device,
+                              const tuner::Configuration& config) const override;
+
+  /// Scalar reference disparity map.
+  [[nodiscard]] std::vector<float> reference() const;
+
+  /// Deterministic left-image intensity and the planted disparity field.
+  [[nodiscard]] static float left_value(std::size_t x, std::size_t y) noexcept;
+  [[nodiscard]] static int true_disparity(std::size_t x, std::size_t y,
+                                          int max_disparity) noexcept;
+
+ private:
+  void build_space();
+  void build_program();
+
+  std::string name_ = "stereo";
+  Geometry geometry_;
+  tuner::ParamSpace space_;
+
+  clsim::Buffer left_;
+  clsim::Buffer right_;
+  clsim::Image2D left_image_;
+  clsim::Image2D right_image_;
+  clsim::Buffer output_;  // disparity per pixel (float)
+
+  clsim::Program program_;
+};
+
+}  // namespace pt::benchkit

@@ -1,0 +1,14 @@
+#pragma once
+
+// Umbrella header for the simulated OpenCL runtime.
+
+#include "clsim/device.hpp"     // IWYU pragma: export
+#include "clsim/error.hpp"      // IWYU pragma: export
+#include "clsim/executor.hpp"   // IWYU pragma: export
+#include "clsim/kernel.hpp"     // IWYU pragma: export
+#include "clsim/kernel_profile.hpp"  // IWYU pragma: export
+#include "clsim/memory.hpp"     // IWYU pragma: export
+#include "clsim/platform.hpp"   // IWYU pragma: export
+#include "clsim/queue.hpp"      // IWYU pragma: export
+#include "clsim/types.hpp"      // IWYU pragma: export
+#include "clsim/work_item.hpp"  // IWYU pragma: export

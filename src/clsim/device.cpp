@@ -1,0 +1,17 @@
+#include "clsim/device.hpp"
+
+#include <stdexcept>
+
+namespace pt::clsim {
+
+Device::Device(DeviceInfo info, std::shared_ptr<const TimingOracle> oracle)
+    : info_(std::make_shared<const DeviceInfo>(std::move(info))),
+      oracle_(std::move(oracle)) {
+  if (!oracle_) throw std::invalid_argument("Device: null timing oracle");
+  if (info_->compute_units == 0)
+    throw std::invalid_argument("Device: zero compute units");
+  if (info_->simd_width == 0)
+    throw std::invalid_argument("Device: zero SIMD width");
+}
+
+}  // namespace pt::clsim

@@ -1,0 +1,25 @@
+#include "clsim/error.hpp"
+
+namespace pt::clsim {
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kSuccess: return "CL_SUCCESS";
+    case Status::kDeviceNotFound: return "CL_DEVICE_NOT_FOUND";
+    case Status::kBuildProgramFailure: return "CL_BUILD_PROGRAM_FAILURE";
+    case Status::kInvalidKernelName: return "CL_INVALID_KERNEL_NAME";
+    case Status::kInvalidKernelArgs: return "CL_INVALID_KERNEL_ARGS";
+    case Status::kInvalidWorkDimension: return "CL_INVALID_WORK_DIMENSION";
+    case Status::kInvalidWorkGroupSize: return "CL_INVALID_WORK_GROUP_SIZE";
+    case Status::kInvalidWorkItemSize: return "CL_INVALID_WORK_ITEM_SIZE";
+    case Status::kOutOfResources: return "CL_OUT_OF_RESOURCES";
+    case Status::kOutOfLocalMemory: return "CL_OUT_OF_LOCAL_MEMORY";
+    case Status::kInvalidValue: return "CL_INVALID_VALUE";
+    case Status::kInvalidOperation: return "CL_INVALID_OPERATION";
+    case Status::kProfilingInfoNotAvailable:
+      return "CL_PROFILING_INFO_NOT_AVAILABLE";
+  }
+  return "CL_UNKNOWN";
+}
+
+}  // namespace pt::clsim

@@ -1,0 +1,56 @@
+#pragma once
+
+// Error model of the simulated OpenCL runtime. Codes mirror the OpenCL
+// status codes the paper's tuner has to cope with: invalid work-group
+// shapes, resource exhaustion (local memory, registers), and build failures.
+// Invalid tuning configurations surface as ClException with one of these
+// codes, exactly like a real driver rejecting clEnqueueNDRangeKernel.
+
+#include <stdexcept>
+#include <string>
+
+namespace pt::clsim {
+
+enum class Status {
+  kSuccess = 0,
+  kDeviceNotFound,
+  kBuildProgramFailure,
+  kInvalidKernelName,
+  kInvalidKernelArgs,
+  kInvalidWorkDimension,
+  kInvalidWorkGroupSize,   // group shape does not divide global / exceeds max
+  kInvalidWorkItemSize,    // per-dimension limit exceeded
+  kOutOfResources,         // registers / scratch exhausted at launch
+  kOutOfLocalMemory,       // local allocation exceeds device local memory
+  kInvalidValue,
+  kInvalidOperation,
+  kProfilingInfoNotAvailable,
+};
+
+[[nodiscard]] const char* to_string(Status status) noexcept;
+
+/// Exception thrown by runtime entry points; carries the OpenCL-like status.
+class ClException : public std::runtime_error {
+ public:
+  ClException(Status status, const std::string& message)
+      : std::runtime_error(std::string(to_string(status)) + ": " + message),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+  /// True for the statuses that correspond to an *invalid tuning
+  /// configuration* (as opposed to a programming error): these are the
+  /// failures the auto-tuner must tolerate and skip.
+  [[nodiscard]] bool is_invalid_configuration() const noexcept {
+    return status_ == Status::kInvalidWorkGroupSize ||
+           status_ == Status::kInvalidWorkItemSize ||
+           status_ == Status::kOutOfResources ||
+           status_ == Status::kOutOfLocalMemory ||
+           status_ == Status::kBuildProgramFailure;
+  }
+
+ private:
+  Status status_;
+};
+
+}  // namespace pt::clsim

@@ -1,0 +1,93 @@
+#include "clsim/executor.hpp"
+
+#include <vector>
+
+namespace pt::clsim {
+
+void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
+                          std::size_t local_mem_bytes,
+                          const KernelBody& body) const {
+  const std::size_t dims = global.dimensions();
+  if (dims == 0)
+    throw ClException(Status::kInvalidWorkDimension, "empty global range");
+  if (local.dimensions() != dims)
+    throw ClException(Status::kInvalidWorkDimension,
+                      "local range dimensionality differs from global");
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (local[d] == 0)
+      throw ClException(Status::kInvalidWorkGroupSize, "zero local size");
+    if (global[d] % local[d] != 0)
+      throw ClException(Status::kInvalidWorkGroupSize,
+                        "local size does not divide global size");
+  }
+  if (!body)
+    throw ClException(Status::kInvalidOperation,
+                      "kernel has no functional body");
+
+  const std::size_t groups_x = global.extent(0) / local.extent(0);
+  const std::size_t groups_y = global.extent(1) / local.extent(1);
+  const std::size_t groups_z = global.extent(2) / local.extent(2);
+  const std::size_t total_groups = groups_x * groups_y * groups_z;
+
+  auto run_one = [&](std::size_t flat) {
+    const std::array<std::size_t, 3> gid = {
+        flat % groups_x, (flat / groups_x) % groups_y,
+        flat / (groups_x * groups_y)};
+    run_group(global, local, dims, gid, local_mem_bytes, body);
+  };
+
+  if (pool_ != nullptr && total_groups > 1) {
+    pool_->parallel_for(0, total_groups, run_one);
+  } else {
+    for (std::size_t g = 0; g < total_groups; ++g) run_one(g);
+  }
+}
+
+void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
+                                std::size_t dims,
+                                std::array<std::size_t, 3> group_id,
+                                std::size_t local_mem_bytes,
+                                const KernelBody& body) const {
+  const std::size_t items = local.total();
+  WorkGroupState group_state(local_mem_bytes);
+
+  // Contexts must outlive the coroutines that reference them.
+  std::vector<WorkItemCtx> contexts;
+  contexts.reserve(items);
+  for (std::size_t lz = 0; lz < local.extent(2); ++lz)
+    for (std::size_t ly = 0; ly < local.extent(1); ++ly)
+      for (std::size_t lx = 0; lx < local.extent(0); ++lx)
+        contexts.emplace_back(global, local, dims, group_id,
+                              std::array<std::size_t, 3>{lx, ly, lz},
+                              &group_state);
+
+  std::vector<WorkItemTask> tasks;
+  tasks.reserve(items);
+  for (auto& ctx : contexts) tasks.push_back(body(ctx));
+
+  // Round-based scheduling: resume every live item once per round; a round
+  // ends with every item either done or parked at the same barrier.
+  std::size_t done = 0;
+  while (done < items) {
+    std::size_t finished_this_round = 0;
+    std::size_t at_barrier = 0;
+    for (auto& task : tasks) {
+      if (task.done()) continue;
+      task.resume();
+      if (task.done()) {
+        ++finished_this_round;
+      } else if (task.at_barrier()) {
+        ++at_barrier;
+      }
+    }
+    done += finished_this_round;
+    if (at_barrier != 0 && done != 0 && done < items) {
+      // Some items passed their last barrier and returned while others are
+      // still waiting — undefined behaviour in OpenCL, an error here.
+      throw ClException(Status::kInvalidOperation,
+                        "barrier divergence inside a work-group");
+    }
+  }
+}
+
+}  // namespace pt::clsim

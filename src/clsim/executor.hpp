@@ -1,0 +1,42 @@
+#pragma once
+
+// Functional ND-range executor: runs a kernel body over every work-item of
+// an ND-range with OpenCL semantics (work-groups, local memory, barriers).
+// Used for correctness; timing comes from the device's oracle, not from
+// host wall-clock.
+
+#include <cstddef>
+
+#include "clsim/types.hpp"
+#include "clsim/work_item.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pt::clsim {
+
+class NDRangeExecutor {
+ public:
+  /// pool == nullptr executes work-groups sequentially on the calling
+  /// thread; otherwise groups are distributed across the pool (they are
+  /// independent by construction, like on a real device).
+  explicit NDRangeExecutor(common::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Execute `body` for every work-item. `local_mem_bytes` sizes each
+  /// group's local arena. The local range must evenly divide the global
+  /// range in every used dimension (checked; the queue validates against
+  /// device limits before calling this).
+  ///
+  /// Throws ClException(kInvalidOperation) on barrier divergence (some items
+  /// of a group finished while others wait at a barrier), and rethrows any
+  /// exception escaping a kernel body.
+  void run(const NDRange& global, const NDRange& local,
+           std::size_t local_mem_bytes, const KernelBody& body) const;
+
+ private:
+  void run_group(const NDRange& global, const NDRange& local,
+                 std::size_t dims, std::array<std::size_t, 3> group_id,
+                 std::size_t local_mem_bytes, const KernelBody& body) const;
+
+  common::ThreadPool* pool_;
+};
+
+}  // namespace pt::clsim

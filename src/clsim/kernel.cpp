@@ -1,0 +1,153 @@
+#include "clsim/kernel.hpp"
+
+#include <sstream>
+
+namespace pt::clsim {
+
+int BuildOptions::require(const std::string& name) const {
+  const auto it = defines_.find(name);
+  if (it == defines_.end())
+    throw ClException(Status::kBuildProgramFailure,
+                      "missing required define " + name);
+  return it->second;
+}
+
+int BuildOptions::get(const std::string& name, int fallback) const noexcept {
+  const auto it = defines_.find(name);
+  return it == defines_.end() ? fallback : it->second;
+}
+
+std::string BuildOptions::to_string() const {
+  std::ostringstream ss;
+  bool first = true;
+  for (const auto& [name, value] : defines_) {
+    if (!first) ss << ' ';
+    first = false;
+    ss << "-D " << name << '=' << value;
+  }
+  return ss.str();
+}
+
+void KernelArgs::set(std::size_t index, KernelArg arg) {
+  if (index >= args_.size()) args_.resize(index + 1);
+  args_[index] = std::move(arg);
+}
+
+const KernelArg& KernelArgs::at(std::size_t index) const {
+  if (index >= args_.size() ||
+      std::holds_alternative<std::monostate>(args_[index]))
+    throw ClException(Status::kInvalidKernelArgs,
+                      "kernel argument " + std::to_string(index) + " not set");
+  return args_[index];
+}
+
+Buffer KernelArgs::buffer(std::size_t index) const {
+  const auto& arg = at(index);
+  if (const auto* b = std::get_if<Buffer>(&arg)) return *b;
+  throw ClException(Status::kInvalidKernelArgs,
+                    "argument " + std::to_string(index) + " is not a buffer");
+}
+
+Image2D KernelArgs::image2d(std::size_t index) const {
+  const auto& arg = at(index);
+  if (const auto* img = std::get_if<Image2D>(&arg)) return *img;
+  throw ClException(Status::kInvalidKernelArgs,
+                    "argument " + std::to_string(index) + " is not an Image2D");
+}
+
+Image3D KernelArgs::image3d(std::size_t index) const {
+  const auto& arg = at(index);
+  if (const auto* img = std::get_if<Image3D>(&arg)) return *img;
+  throw ClException(Status::kInvalidKernelArgs,
+                    "argument " + std::to_string(index) + " is not an Image3D");
+}
+
+int KernelArgs::scalar_int(std::size_t index) const {
+  const auto& arg = at(index);
+  if (const auto* v = std::get_if<int>(&arg)) return *v;
+  throw ClException(Status::kInvalidKernelArgs,
+                    "argument " + std::to_string(index) + " is not an int");
+}
+
+float KernelArgs::scalar_float(std::size_t index) const {
+  const auto& arg = at(index);
+  if (const auto* v = std::get_if<float>(&arg)) return *v;
+  throw ClException(Status::kInvalidKernelArgs,
+                    "argument " + std::to_string(index) + " is not a float");
+}
+
+Kernel::Kernel(Device device, CompiledKernel compiled)
+    : device_(std::move(device)),
+      compiled_(std::make_shared<const CompiledKernel>(std::move(compiled))) {}
+
+Status Kernel::validate_launch(const NDRange& global,
+                               const NDRange& local) const noexcept {
+  const DeviceInfo& dev = device_.info();
+  const std::size_t dims = global.dimensions();
+  if (dims == 0 || dims > 3) return Status::kInvalidWorkDimension;
+  if (local.dimensions() != dims) return Status::kInvalidWorkGroupSize;
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (local[d] == 0) return Status::kInvalidWorkGroupSize;
+    if (local[d] > dev.max_work_item_sizes[d]) return Status::kInvalidWorkItemSize;
+    if (global[d] % local[d] != 0) return Status::kInvalidWorkGroupSize;
+  }
+  const std::size_t group_items = local.total();
+  if (group_items > dev.max_work_group_size)
+    return Status::kInvalidWorkGroupSize;
+
+  const KernelProfile& prof = compiled_->profile;
+  if (prof.local_mem_bytes_per_group > dev.local_mem_bytes)
+    return Status::kOutOfLocalMemory;
+  if (prof.constant_mem_bytes > dev.constant_mem_bytes)
+    return Status::kOutOfResources;
+  // A group must fit the register file of one compute unit.
+  if (prof.registers_per_item * group_items > dev.registers_per_cu)
+    return Status::kOutOfResources;
+  if (prof.uses_space(MemorySpace::kImage) && !dev.images_supported)
+    return Status::kInvalidOperation;
+  return Status::kSuccess;
+}
+
+void Program::add_kernel(const std::string& kernel_name,
+                         KernelFactory factory) {
+  if (!factory)
+    throw ClException(Status::kInvalidValue, "null kernel factory");
+  factories_[kernel_name] = std::move(factory);
+}
+
+std::vector<std::string> Program::kernel_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+Program::BuildResult Program::build(const Device& device,
+                                    const BuildOptions& options) const {
+  BuildResult result;
+  result.kernels.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    CompiledKernel compiled = factory(device.info(), options);
+    result.build_time_ms +=
+        device.oracle().compile_time_ms(device.info(), compiled.profile);
+    result.kernels.emplace_back(device, std::move(compiled));
+  }
+  return result;
+}
+
+std::pair<Kernel, double> Program::build_kernel(
+    const Device& device, const std::string& kernel_name,
+    const BuildOptions& options) const {
+  const auto it = factories_.find(kernel_name);
+  if (it == factories_.end())
+    throw ClException(Status::kInvalidKernelName,
+                      "no kernel named " + kernel_name + " in program " +
+                          name_);
+  CompiledKernel compiled = it->second(device.info(), options);
+  const double build_ms =
+      device.oracle().compile_time_ms(device.info(), compiled.profile);
+  return {Kernel(device, std::move(compiled)), build_ms};
+}
+
+}  // namespace pt::clsim

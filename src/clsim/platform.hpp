@@ -1,0 +1,40 @@
+#pragma once
+
+// Platform: the device roster (clGetPlatformIDs/clGetDeviceIDs analogue).
+// Device construction lives in archsim (the catalog of modeled hardware);
+// this class only holds and queries a set of devices.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clsim/device.hpp"
+
+namespace pt::clsim {
+
+class Platform {
+ public:
+  Platform(std::string name, std::vector<Device> devices)
+      : name_(std::move(name)), devices_(std::move(devices)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Device>& devices() const noexcept {
+    return devices_;
+  }
+
+  /// All devices of the given type.
+  [[nodiscard]] std::vector<Device> devices_of_type(DeviceType type) const;
+
+  /// Device whose name contains `needle` (case-sensitive), if any.
+  [[nodiscard]] std::optional<Device> find_device(
+      const std::string& needle) const;
+
+  /// Device by exact name; throws ClException(kDeviceNotFound) if absent.
+  [[nodiscard]] Device device_by_name(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace pt::clsim

@@ -1,0 +1,38 @@
+#include "clsim/types.hpp"
+
+#include <sstream>
+
+namespace pt::clsim {
+
+std::string to_string(const NDRange& range) {
+  std::ostringstream ss;
+  ss << '(';
+  const std::size_t dims = range.dimensions();
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (d) ss << ", ";
+    ss << range[d];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+const char* to_string(DeviceType type) noexcept {
+  switch (type) {
+    case DeviceType::kCpu: return "CPU";
+    case DeviceType::kGpu: return "GPU";
+    case DeviceType::kAccelerator: return "Accelerator";
+  }
+  return "Unknown";
+}
+
+const char* to_string(MemorySpace space) noexcept {
+  switch (space) {
+    case MemorySpace::kGlobal: return "global";
+    case MemorySpace::kLocal: return "local";
+    case MemorySpace::kConstant: return "constant";
+    case MemorySpace::kImage: return "image";
+  }
+  return "unknown";
+}
+
+}  // namespace pt::clsim

@@ -1,0 +1,181 @@
+#pragma once
+
+// Work-item execution machinery. Each work-item runs as a C++20 coroutine so
+// kernels can call `co_await ctx.barrier()` with real OpenCL semantics: all
+// work-items of a group reach the barrier before any proceeds. The executor
+// resumes items in rounds between barriers.
+//
+// Kernel bodies have the signature
+//   WorkItemTask body(WorkItemCtx& ctx);
+// and use ctx for ids, local memory and barriers. Bodies that never barrier
+// can ignore the coroutine aspect entirely (just `co_return` at the end).
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "clsim/error.hpp"
+#include "clsim/types.hpp"
+
+namespace pt::clsim {
+
+/// Tag type returned by WorkItemCtx::barrier(); awaiting it parks the item.
+struct BarrierTag {};
+
+/// Coroutine handle type for one work-item's execution.
+class WorkItemTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+    bool at_barrier = false;
+
+    WorkItemTask get_return_object() {
+      return WorkItemTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    /// `co_await BarrierTag{}` marks the item as parked at a barrier.
+    auto await_transform(BarrierTag) noexcept {
+      struct Awaiter {
+        promise_type* promise;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {
+          promise->at_barrier = true;
+        }
+        void await_resume() const noexcept { promise->at_barrier = false; }
+      };
+      return Awaiter{this};
+    }
+  };
+
+  WorkItemTask() = default;
+  explicit WorkItemTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  WorkItemTask(WorkItemTask&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  WorkItemTask& operator=(WorkItemTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  WorkItemTask(const WorkItemTask&) = delete;
+  WorkItemTask& operator=(const WorkItemTask&) = delete;
+  ~WorkItemTask() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept { return handle_.done(); }
+  [[nodiscard]] bool at_barrier() const noexcept {
+    return handle_.promise().at_barrier;
+  }
+
+  /// Run until the next barrier or completion; rethrows kernel exceptions.
+  void resume() {
+    handle_.resume();
+    if (handle_.done() && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Per-work-group shared state: the local-memory arena.
+class WorkGroupState {
+ public:
+  explicit WorkGroupState(std::size_t local_mem_bytes)
+      : arena_(local_mem_bytes) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return arena_.size(); }
+  [[nodiscard]] std::byte* base() noexcept { return arena_.data(); }
+
+ private:
+  std::vector<std::byte> arena_;
+};
+
+/// Everything a kernel body can ask about its work-item, plus local memory
+/// allocation and barriers. One instance per work-item; the local arena is
+/// shared across the group, and because every item executes the same
+/// allocation sequence, per-item cursors hand out identical offsets.
+class WorkItemCtx {
+ public:
+  WorkItemCtx(NDRange global, NDRange local, std::size_t dims,
+              std::array<std::size_t, 3> group_id,
+              std::array<std::size_t, 3> local_id,
+              WorkGroupState* group_state)
+      : global_(global),
+        local_(local),
+        dims_(dims),
+        group_id_(group_id),
+        local_id_(local_id),
+        group_state_(group_state) {}
+
+  [[nodiscard]] std::size_t work_dim() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t global_size(std::size_t d) const noexcept {
+    return global_.extent(d);
+  }
+  [[nodiscard]] std::size_t local_size(std::size_t d) const noexcept {
+    return local_.extent(d);
+  }
+  [[nodiscard]] std::size_t num_groups(std::size_t d) const noexcept {
+    return global_.extent(d) / local_.extent(d);
+  }
+  [[nodiscard]] std::size_t group_id(std::size_t d) const noexcept {
+    return group_id_[d];
+  }
+  [[nodiscard]] std::size_t local_id(std::size_t d) const noexcept {
+    return local_id_[d];
+  }
+  [[nodiscard]] std::size_t global_id(std::size_t d) const noexcept {
+    return group_id_[d] * local_.extent(d) + local_id_[d];
+  }
+
+  /// Allocate `count` Ts from the group-shared local arena. All items of the
+  /// group receive the same span (same allocation sequence → same offsets).
+  template <typename T>
+  [[nodiscard]] std::span<T> local_alloc(std::size_t count) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (cursor_ + align - 1) / align * align;
+    const std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > group_state_->capacity())
+      throw ClException(Status::kOutOfLocalMemory,
+                        "local_alloc exceeds the group's local arena");
+    cursor_ = offset + bytes;
+    return {reinterpret_cast<T*>(group_state_->base() + offset), count};
+  }
+
+  /// Work-group barrier; usage: `co_await ctx.barrier();`
+  [[nodiscard]] BarrierTag barrier() const noexcept { return {}; }
+
+ private:
+  NDRange global_;
+  NDRange local_;
+  std::size_t dims_;
+  std::array<std::size_t, 3> group_id_;
+  std::array<std::size_t, 3> local_id_;
+  WorkGroupState* group_state_;
+  std::size_t cursor_ = 0;
+};
+
+/// A kernel's functional body: invoked once per work-item.
+using KernelBody = std::function<WorkItemTask(WorkItemCtx&)>;
+
+}  // namespace pt::clsim

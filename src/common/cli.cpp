@@ -1,0 +1,62 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pt::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  return value(name).value_or(fallback);
+}
+
+long CliArgs::get(const std::string& name, long fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliArgs::get(const std::string& name, bool fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value(name);
+  if (!v) return true;  // bare --flag
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+}  // namespace pt::common

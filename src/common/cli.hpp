@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal command-line option parser for the bench/example binaries.
+// Supports --name=value, --name value, and boolean --flag forms.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pt::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Raw value of --name, if one was supplied.
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  /// const char* fallbacks must not decay to the bool overload.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const char* fallback) const {
+    return get(name, std::string(fallback));
+  }
+  [[nodiscard]] long get(const std::string& name, long fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get(const std::string& name, bool fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::unordered_map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pt::common

@@ -1,0 +1,67 @@
+#pragma once
+
+// Leveled logging with a process-global threshold. Kept intentionally tiny:
+// the runtime and tuner emit progress lines; tests silence them.
+
+#include <sstream>
+#include <string>
+
+namespace pt::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a single line at the given level (thread-safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream ss;
+  (ss << ... << args);
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(args...));
+}
+
+/// RAII guard that lowers/raises the log level for a scope (used in tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(log_level()) {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace pt::common

@@ -1,0 +1,73 @@
+#pragma once
+
+// Small statistics toolkit used by the ML metrics, the experiment harnesses
+// and the timing model's noise calibration.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pt::common {
+
+/// Welford online accumulator for mean/variance; numerically stable and
+/// mergeable (parallel reductions combine partial accumulators).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Geometric mean; all inputs must be positive.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Full summary of a sample (sorts a copy once).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Ranks with ties averaged, 1-based, as used by spearman().
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> xs);
+
+}  // namespace pt::common

@@ -1,0 +1,47 @@
+#pragma once
+
+// ASCII table and CSV emitters used by the bench harnesses to print the
+// rows/series of each paper table and figure.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pt::common {
+
+/// Column-aligned ASCII table. Collect rows, then print. Numeric formatting
+/// is the caller's job (pass pre-formatted strings or use the helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Render with box-drawing separators to the stream.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given number of decimals (fixed notation).
+[[nodiscard]] std::string fmt(double value, int decimals = 3);
+
+/// Format as a percentage, e.g. fmt_pct(0.061) == "6.1%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+/// Format a time in milliseconds with an adaptive unit (us/ms/s).
+[[nodiscard]] std::string fmt_time_ms(double ms);
+
+/// Escape a CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace pt::common

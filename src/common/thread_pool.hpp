@@ -1,0 +1,62 @@
+#pragma once
+
+// Fixed-size worker pool with a parallel_for helper. Used by the clsim
+// executor to spread work-groups across host cores and by the experiment
+// harness to run independent model trainings concurrently.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pt::common {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Indices are chunked contiguously; exceptions are rethrown (first one).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Shared process-wide pool (lazily constructed, sized to the machine).
+ThreadPool& global_pool();
+
+}  // namespace pt::common

@@ -1,0 +1,105 @@
+#include "experiments/error_curves.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "ml/metrics.hpp"
+
+namespace pt::exp {
+
+std::vector<tuner::TrainingSample> collect_valid_samples(
+    tuner::Evaluator& evaluator, std::size_t n, common::Rng& rng,
+    std::vector<std::uint64_t>& used) {
+  const tuner::ParamSpace& space = evaluator.space();
+  std::unordered_set<std::uint64_t> excluded(used.begin(), used.end());
+  std::vector<tuner::TrainingSample> samples;
+  samples.reserve(n);
+  // Guard against spaces with very few valid points.
+  const std::uint64_t max_attempts =
+      std::max<std::uint64_t>(n * 64, 4096);
+  std::uint64_t attempts = 0;
+  while (samples.size() < n && attempts < max_attempts) {
+    ++attempts;
+    const std::uint64_t index = rng.below(space.size());
+    if (!excluded.insert(index).second) continue;  // already used
+    used.push_back(index);
+    const tuner::Configuration config = space.decode(index);
+    const tuner::Measurement m = evaluator.measure(config);
+    if (m.valid) samples.push_back({config, m.time_ms});
+  }
+  return samples;
+}
+
+ErrorCurve compute_error_curve(tuner::Evaluator& evaluator,
+                               const ErrorCurveOptions& options) {
+  common::Rng rng(options.seed);
+  ErrorCurve curve;
+  curve.label = evaluator.name();
+
+  // Held-out test set, shared by every model (as in the paper: valid
+  // configurations not used during training).
+  std::vector<std::uint64_t> used;
+  const auto test_set =
+      collect_valid_samples(evaluator, options.test_samples, rng, used);
+  if (test_set.empty()) return curve;
+  std::vector<double> actual;
+  actual.reserve(test_set.size());
+  std::vector<tuner::Configuration> test_configs;
+  test_configs.reserve(test_set.size());
+  for (const auto& s : test_set) {
+    actual.push_back(s.time_ms);
+    test_configs.push_back(s.config);
+  }
+
+  for (const std::size_t size : options.training_sizes) {
+    common::RunningStats stats;
+    for (std::size_t r = 0; r < options.repeats; ++r) {
+      // Fresh training set per repeat (different configurations *and*
+      // different initial weights), excluded from the test set.
+      std::vector<std::uint64_t> train_used = used;
+      auto train =
+          collect_valid_samples(evaluator, size, rng, train_used);
+      if (train.size() < 8) continue;
+      tuner::AnnPerformanceModel model(options.model);
+      model.fit(evaluator.space(), train, rng);
+      const auto predicted = model.predict_many_ms(test_configs);
+      stats.add(ml::mean_relative_error(predicted, actual));
+    }
+    if (stats.count() == 0) continue;
+    curve.points.push_back(ErrorCurvePoint{size, stats.mean(), stats.stddev(),
+                                           stats.count()});
+    common::log_info("error-curve[", curve.label, "] n=", size,
+                     " mre=", stats.mean());
+  }
+  return curve;
+}
+
+std::vector<ScatterPoint> compute_scatter(
+    tuner::Evaluator& evaluator, std::size_t training_size,
+    std::size_t points, const tuner::AnnPerformanceModel::Options& model_opts,
+    std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::uint64_t> used;
+  const auto test_set = collect_valid_samples(evaluator, points, rng, used);
+  const auto train =
+      collect_valid_samples(evaluator, training_size, rng, used);
+  if (train.empty() || test_set.empty()) return {};
+
+  tuner::AnnPerformanceModel model(model_opts);
+  model.fit(evaluator.space(), train, rng);
+
+  std::vector<tuner::Configuration> configs;
+  configs.reserve(test_set.size());
+  for (const auto& s : test_set) configs.push_back(s.config);
+  const auto predicted = model.predict_many_ms(configs);
+
+  std::vector<ScatterPoint> out;
+  out.reserve(test_set.size());
+  for (std::size_t i = 0; i < test_set.size(); ++i)
+    out.push_back(ScatterPoint{test_set[i].time_ms, predicted[i]});
+  return out;
+}
+
+}  // namespace pt::exp

@@ -1,0 +1,64 @@
+#pragma once
+
+// Harness for Figs 4-7: mean relative prediction error as a function of the
+// number of training configurations, per benchmark and device. Mirrors the
+// paper's protocol (section 6): train on valid random configurations,
+// evaluate on valid configurations not used during training, repeat with
+// several independently trained models and report the mean.
+
+#include <cstdint>
+#include <vector>
+
+#include "tuner/evaluator.hpp"
+#include "tuner/model.hpp"
+
+namespace pt::exp {
+
+struct ErrorCurveOptions {
+  /// Paper's x-axis: 100..1000 step 100, then 1500..4000 step 500.
+  std::vector<std::size_t> training_sizes = {100,  200,  300,  400,  500,
+                                             600,  700,  800,  900,  1000,
+                                             1500, 2000, 2500, 3000, 3500,
+                                             4000};
+  std::size_t test_samples = 500;  // held-out valid configurations
+  std::size_t repeats = 3;         // independently trained models per size
+  tuner::AnnPerformanceModel::Options model{};
+  std::uint64_t seed = 1;
+};
+
+struct ErrorCurvePoint {
+  std::size_t training_size = 0;    // valid training configurations
+  double mean_relative_error = 0.0; // mean over repeats
+  double stddev = 0.0;              // across repeats
+  std::size_t repeats = 0;
+};
+
+struct ErrorCurve {
+  std::string label;
+  std::vector<ErrorCurvePoint> points;
+};
+
+/// Collect `n` *valid* training samples by drawing fresh random
+/// configurations (skipping invalid ones), excluding the given index set.
+/// Appends the indices it used to `used`.
+[[nodiscard]] std::vector<tuner::TrainingSample> collect_valid_samples(
+    tuner::Evaluator& evaluator, std::size_t n, common::Rng& rng,
+    std::vector<std::uint64_t>& used);
+
+/// Run the full error-curve protocol for one evaluator.
+[[nodiscard]] ErrorCurve compute_error_curve(tuner::Evaluator& evaluator,
+                                             const ErrorCurveOptions& options);
+
+/// One scatter pass (Figs 8-10): train a single (non-averaged) model with
+/// `training_size` valid samples, then return (actual, predicted) pairs for
+/// `points` held-out valid configurations.
+struct ScatterPoint {
+  double actual_ms = 0.0;
+  double predicted_ms = 0.0;
+};
+[[nodiscard]] std::vector<ScatterPoint> compute_scatter(
+    tuner::Evaluator& evaluator, std::size_t training_size,
+    std::size_t points, const tuner::AnnPerformanceModel::Options& model,
+    std::uint64_t seed);
+
+}  // namespace pt::exp

@@ -1,0 +1,47 @@
+#include "experiments/motivation.hpp"
+
+#include "common/log.hpp"
+#include "tuner/search.hpp"
+
+namespace pt::exp {
+
+MotivationResult cross_device_slowdowns(
+    const benchkit::TunableBenchmark& benchmark,
+    const std::vector<clsim::Device>& devices) {
+  MotivationResult result;
+
+  for (const auto& device : devices) {
+    benchkit::BenchmarkEvaluator evaluator(benchmark, device);
+    const tuner::SearchResult best = tuner::exhaustive_search(evaluator);
+    if (!best.success) {
+      common::log_warn("motivation: no valid configuration on ",
+                       device.name());
+      continue;
+    }
+    result.bests.push_back(
+        {device.name(), best.best_config, best.best_time_ms});
+    common::log_info("motivation: best on ", device.name(), " = ",
+                     best.best_time_ms, " ms ",
+                     benchmark.space().to_string(best.best_config));
+  }
+
+  for (const auto& from : result.bests) {
+    for (const auto& on : result.bests) {
+      CrossDeviceCell cell;
+      cell.config_from = from.device;
+      cell.run_on = on.device;
+      // Re-measure from.config on on.device.
+      for (const auto& device : devices) {
+        if (device.name() != on.device) continue;
+        benchkit::BenchmarkEvaluator evaluator(benchmark, device);
+        const tuner::Measurement m = evaluator.measure(from.config);
+        cell.valid = m.valid;
+        if (m.valid) cell.slowdown = m.time_ms / on.time_ms;
+      }
+      result.matrix.push_back(cell);
+    }
+  }
+  return result;
+}
+
+}  // namespace pt::exp

@@ -1,0 +1,40 @@
+#pragma once
+
+// Harness for the motivational experiment (Fig 1): find each device's best
+// configuration exhaustively, then measure every best configuration on every
+// device and report the slowdown relative to that device's own optimum.
+
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmark.hpp"
+#include "clsim/device.hpp"
+
+namespace pt::exp {
+
+struct CrossDeviceCell {
+  std::string config_from;  // device whose best configuration this is
+  std::string run_on;       // device it was executed on
+  double slowdown = 0.0;    // time / run_on's own optimum
+  bool valid = false;       // the configuration may be invalid on run_on
+};
+
+struct MotivationResult {
+  /// Per device: its best configuration (as a string) and optimal time.
+  struct DeviceBest {
+    std::string device;
+    tuner::Configuration config;
+    double time_ms = 0.0;
+  };
+  std::vector<DeviceBest> bests;
+  std::vector<CrossDeviceCell> matrix;
+};
+
+/// Run the full cross-device experiment for one benchmark over `devices`.
+/// Exhaustively searches each device (only feasible for convolution-sized
+/// spaces).
+[[nodiscard]] MotivationResult cross_device_slowdowns(
+    const benchkit::TunableBenchmark& benchmark,
+    const std::vector<clsim::Device>& devices);
+
+}  // namespace pt::exp

@@ -1,0 +1,60 @@
+#include "ml/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::ml {
+
+double activate(Activation act, double x) noexcept {
+  switch (act) {
+    case Activation::kLinear: return x;
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+  }
+  return x;
+}
+
+double activate_grad_from_output(Activation act, double y) noexcept {
+  switch (act) {
+    case Activation::kLinear: return 1.0;
+    case Activation::kSigmoid: return y * (1.0 - y);
+    case Activation::kTanh: return 1.0 - y * y;
+    case Activation::kRelu: return y > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+void activate_inplace(Activation act, Matrix& m) noexcept {
+  if (act == Activation::kLinear) return;
+  for (auto& x : m.flat()) x = activate(act, x);
+}
+
+void scale_by_activation_grad(Activation act, const Matrix& y,
+                              Matrix& delta) noexcept {
+  if (act == Activation::kLinear) return;
+  const auto fy = y.flat();
+  auto fd = delta.flat();
+  for (std::size_t i = 0; i < fd.size(); ++i)
+    fd[i] *= activate_grad_from_output(act, fy[i]);
+}
+
+std::string to_string(Activation act) {
+  switch (act) {
+    case Activation::kLinear: return "linear";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kRelu: return "relu";
+  }
+  return "unknown";
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "linear") return Activation::kLinear;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace pt::ml

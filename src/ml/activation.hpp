@@ -1,0 +1,34 @@
+#pragma once
+
+// Activation functions for the MLP. The paper's network uses sigmoid hidden
+// units and a linear output; the others are provided for the ablation study
+// and for general use of the library.
+
+#include <string>
+
+#include "ml/matrix.hpp"
+
+namespace pt::ml {
+
+enum class Activation { kLinear, kSigmoid, kTanh, kRelu };
+
+/// Value of the activation at x.
+[[nodiscard]] double activate(Activation act, double x) noexcept;
+
+/// Derivative expressed in terms of the *activated* value y = f(x). All four
+/// supported activations admit this form, which lets the backward pass reuse
+/// the forward buffers.
+[[nodiscard]] double activate_grad_from_output(Activation act,
+                                               double y) noexcept;
+
+/// Apply the activation elementwise in place.
+void activate_inplace(Activation act, Matrix& m) noexcept;
+
+/// delta *= f'(y) elementwise, with y the activated forward output.
+void scale_by_activation_grad(Activation act, const Matrix& y,
+                              Matrix& delta) noexcept;
+
+[[nodiscard]] std::string to_string(Activation act);
+[[nodiscard]] Activation activation_from_string(const std::string& name);
+
+}  // namespace pt::ml

@@ -1,0 +1,120 @@
+#include "ml/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::ml {
+
+BaggingEnsemble::BaggingEnsemble(Options options)
+    : options_(std::move(options)) {
+  if (options_.k == 0) throw std::invalid_argument("BaggingEnsemble: k == 0");
+  if (options_.hidden_layers.empty())
+    throw std::invalid_argument("BaggingEnsemble: no hidden layers");
+}
+
+void BaggingEnsemble::fit(const Dataset& data, common::Rng& rng) {
+  data.validate();
+  if (data.size() == 0)
+    throw std::invalid_argument("BaggingEnsemble::fit: empty dataset");
+  if (data.targets() != 1)
+    throw std::invalid_argument("BaggingEnsemble::fit: expected one target");
+
+  scaler_ = StandardScaler();
+  scaler_.fit(data.x);
+  Dataset scaled{scaler_.transform(data.x), data.y};
+
+  const std::size_t k = std::min(options_.k, data.size());
+  members_.clear();
+  members_.reserve(k);
+
+  std::vector<LayerSpec> layers = options_.hidden_layers;
+  layers.push_back(LayerSpec{1, Activation::kLinear});
+
+  if (k == 1) {
+    Mlp net(data.features(), layers);
+    net.init_weights(rng);
+    RpropTrainer(options_.trainer).train(net, scaled, rng);
+    members_.push_back(std::move(net));
+    return;
+  }
+
+  const auto folds = kfold_indices(data.size(), k, rng);
+  for (std::size_t f = 0; f < k; ++f) {
+    // Member f trains on every fold except f.
+    std::vector<std::size_t> idx;
+    idx.reserve(data.size() - folds[f].size());
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      idx.insert(idx.end(), folds[g].begin(), folds[g].end());
+    }
+    const Dataset member_data = scaled.subset(idx);
+    Mlp net(data.features(), layers);
+    net.init_weights(rng);
+    RpropTrainer(options_.trainer).train(net, member_data, rng);
+    members_.push_back(std::move(net));
+  }
+}
+
+double BaggingEnsemble::predict(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("BaggingEnsemble: not fitted");
+  std::vector<double> scaled(x.begin(), x.end());
+  scaler_.transform_row(scaled);
+  double acc = 0.0;
+  for (const auto& net : members_) acc += net.forward(scaled)[0];
+  return acc / static_cast<double>(members_.size());
+}
+
+std::vector<double> BaggingEnsemble::predict_batch(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("BaggingEnsemble: not fitted");
+  const Matrix scaled = scaler_.transform(x);
+  std::vector<double> out(x.rows(), 0.0);
+  for (const auto& net : members_) {
+    const Matrix y = net.forward_batch(scaled);
+    for (std::size_t r = 0; r < y.rows(); ++r) out[r] += y(r, 0);
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+std::vector<double> BaggingEnsemble::member_predictions(
+    std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("BaggingEnsemble: not fitted");
+  std::vector<double> scaled(x.begin(), x.end());
+  scaler_.transform_row(scaled);
+  std::vector<double> out;
+  out.reserve(members_.size());
+  for (const auto& net : members_) out.push_back(net.forward(scaled)[0]);
+  return out;
+}
+
+void BaggingEnsemble::restore(Options options, StandardScaler scaler,
+                              std::vector<Mlp> members) {
+  if (members.empty())
+    throw std::invalid_argument("BaggingEnsemble::restore: no members");
+  for (const auto& net : members) {
+    if (net.output_size() != 1)
+      throw std::invalid_argument(
+          "BaggingEnsemble::restore: member is not single-output");
+    if (net.input_size() != scaler.width())
+      throw std::invalid_argument(
+          "BaggingEnsemble::restore: scaler/member width mismatch");
+  }
+  options_ = std::move(options);
+  scaler_ = std::move(scaler);
+  members_ = std::move(members);
+}
+
+double BaggingEnsemble::predictive_spread(std::span<const double> x) const {
+  const auto preds = member_predictions(x);
+  if (preds.size() < 2) return 0.0;
+  double m = 0.0;
+  for (double p : preds) m += p;
+  m /= static_cast<double>(preds.size());
+  double acc = 0.0;
+  for (double p : preds) acc += (p - m) * (p - m);
+  return std::sqrt(acc / static_cast<double>(preds.size() - 1));
+}
+
+}  // namespace pt::ml

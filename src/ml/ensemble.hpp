@@ -1,0 +1,74 @@
+#pragma once
+
+// Bagging ensemble of MLPs — the paper's model-building step (section 5.2):
+// the training data is split into k parts and k networks are trained, each on
+// all the data except one part; the prediction is the mean of the k outputs.
+// The paper uses k = 11.
+//
+// Feature standardization is owned by the ensemble (fitted on the full
+// training set); target transforms (the paper's log trick) are applied by the
+// caller so they can be ablated independently.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+#include "ml/scaler.hpp"
+#include "ml/trainer.hpp"
+
+namespace pt::ml {
+
+class BaggingEnsemble {
+ public:
+  struct Options {
+    std::size_t k = 11;                      // paper's value
+    std::vector<LayerSpec> hidden_layers =  // paper: 1 x 30 sigmoid
+        {LayerSpec{30, Activation::kSigmoid}};
+    RpropTrainer::Options trainer{};
+  };
+
+  BaggingEnsemble() : BaggingEnsemble(Options()) {}
+  explicit BaggingEnsemble(Options options);
+
+  /// Train k networks with leave-one-fold-out bagging. Replaces any previous
+  /// state. If the dataset has fewer rows than k, k is clamped down.
+  void fit(const Dataset& data, common::Rng& rng);
+
+  [[nodiscard]] bool fitted() const noexcept { return !members_.empty(); }
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return members_.size();
+  }
+  [[nodiscard]] const Mlp& member(std::size_t i) const { return members_[i]; }
+  [[nodiscard]] const StandardScaler& scaler() const noexcept {
+    return scaler_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Mean prediction over the members for one sample.
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  /// Batch prediction; returns one value per row of x (single-output nets).
+  [[nodiscard]] std::vector<double> predict_batch(const Matrix& x) const;
+
+  /// Per-member predictions for one sample (exposed for uncertainty
+  /// estimation: the spread is a cheap confidence signal).
+  [[nodiscard]] std::vector<double> member_predictions(
+      std::span<const double> x) const;
+
+  /// Standard deviation of member predictions for one sample.
+  [[nodiscard]] double predictive_spread(std::span<const double> x) const;
+
+  /// Rebuild a fitted ensemble from persisted state (see ml/serialize.hpp).
+  void restore(Options options, StandardScaler scaler,
+               std::vector<Mlp> members);
+
+ private:
+  Options options_;
+  StandardScaler scaler_;
+  std::vector<Mlp> members_;
+};
+
+}  // namespace pt::ml

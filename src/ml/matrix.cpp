@@ -1,0 +1,128 @@
+#include "ml/matrix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pt::ml {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_)
+      throw std::out_of_range("Matrix::gather_rows: index out of range");
+    const auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Matrix::fill(double value) noexcept {
+  for (auto& x : data_) x = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  out = Matrix(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("matmul_bt: shape mismatch");
+  out = Matrix(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("matmul_at: shape mismatch");
+  out = Matrix(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      auto orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void add_row_vector(Matrix& out, std::span<const double> bias) {
+  if (bias.size() != out.cols())
+    throw std::invalid_argument("add_row_vector: width mismatch");
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void column_sums(const Matrix& a, std::span<double> out) {
+  if (out.size() != a.cols())
+    throw std::invalid_argument("column_sums: width mismatch");
+  for (auto& x : out) x = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) out[c] += row[c];
+  }
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("dot: shape mismatch");
+  double acc = 0.0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) acc += fa[i] * fb[i];
+  return acc;
+}
+
+}  // namespace pt::ml

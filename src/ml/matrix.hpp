@@ -1,0 +1,83 @@
+#pragma once
+
+// Dense row-major matrix of doubles with the handful of BLAS-like kernels the
+// neural network needs. Sized for this project's workloads: layers of tens of
+// units, batches of a few thousand rows, and bulk prediction over millions of
+// configurations (done in batches).
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace pt::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists (row major); rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// Copy a subset of rows (by index) into a new matrix.
+  [[nodiscard]] Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  void fill(double value) noexcept;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  [[nodiscard]] bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes must agree; out is resized.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T (avoids materializing the transpose; the backward pass hot path).
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b.
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out(r, :) += bias for every row r.
+void add_row_vector(Matrix& out, std::span<const double> bias);
+
+/// Column-wise sums of a (length a.cols()).
+void column_sums(const Matrix& a, std::span<double> out);
+
+/// Frobenius-style dot product of two same-shaped matrices.
+[[nodiscard]] double dot(const Matrix& a, const Matrix& b);
+
+}  // namespace pt::ml

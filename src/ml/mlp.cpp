@@ -1,0 +1,166 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::ml {
+
+void Gradients::scale(double factor) noexcept {
+  for (auto& w : weights) w *= factor;
+  for (auto& b : biases)
+    for (auto& x : b) x *= factor;
+}
+
+void Gradients::accumulate(const Gradients& other) {
+  if (weights.size() != other.weights.size())
+    throw std::invalid_argument("Gradients::accumulate: layer mismatch");
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    weights[l] += other.weights[l];
+    for (std::size_t i = 0; i < biases[l].size(); ++i)
+      biases[l][i] += other.biases[l][i];
+  }
+}
+
+Mlp::Mlp(std::size_t inputs, std::vector<LayerSpec> layers)
+    : inputs_(inputs), layers_(std::move(layers)) {
+  if (inputs_ == 0) throw std::invalid_argument("Mlp: zero inputs");
+  if (layers_.empty()) throw std::invalid_argument("Mlp: no layers");
+  std::size_t fan_in = inputs_;
+  for (const auto& spec : layers_) {
+    if (spec.units == 0) throw std::invalid_argument("Mlp: zero-unit layer");
+    weights_.emplace_back(fan_in, spec.units);
+    biases_.emplace_back(spec.units, 0.0);
+    fan_in = spec.units;
+  }
+}
+
+void Mlp::init_weights(common::Rng& rng) {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto& w = weights_[l];
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+    for (auto& x : w.flat()) x = rng.uniform(-limit, limit);
+    for (auto& b : biases_[l]) b = 0.0;
+  }
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l)
+    n += weights_[l].size() + biases_[l].size();
+  return n;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  if (x.size() != inputs_) throw std::invalid_argument("Mlp::forward: width");
+  std::vector<double> cur(x.begin(), x.end());
+  std::vector<double> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& w = weights_[l];
+    next.assign(w.cols(), 0.0);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      const double xi = cur[i];
+      if (xi == 0.0) continue;
+      const auto wrow = w.row(i);
+      for (std::size_t j = 0; j < w.cols(); ++j) next[j] += xi * wrow[j];
+    }
+    for (std::size_t j = 0; j < next.size(); ++j) {
+      next[j] = activate(layers_[l].activation, next[j] + biases_[l][j]);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+Matrix Mlp::forward_batch(const Matrix& x) const {
+  if (x.cols() != inputs_)
+    throw std::invalid_argument("Mlp::forward_batch: width mismatch");
+  Matrix cur = x;
+  Matrix next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    matmul(cur, weights_[l], next);
+    add_row_vector(next, biases_[l]);
+    activate_inplace(layers_[l].activation, next);
+    cur = std::move(next);
+    next = Matrix();
+  }
+  return cur;
+}
+
+double Mlp::backward_batch(const Matrix& x, const Matrix& target,
+                           Gradients& grads) const {
+  if (x.cols() != inputs_)
+    throw std::invalid_argument("Mlp::backward_batch: input width");
+  if (target.rows() != x.rows() || target.cols() != output_size())
+    throw std::invalid_argument("Mlp::backward_batch: target shape");
+  const std::size_t depth = layers_.size();
+  const double n = static_cast<double>(x.rows());
+
+  // Forward pass, caching every layer's activated output.
+  std::vector<Matrix> outputs(depth);
+  {
+    const Matrix* cur = &x;
+    for (std::size_t l = 0; l < depth; ++l) {
+      matmul(*cur, weights_[l], outputs[l]);
+      add_row_vector(outputs[l], biases_[l]);
+      activate_inplace(layers_[l].activation, outputs[l]);
+      cur = &outputs[l];
+    }
+  }
+
+  // Loss and output delta: dL/dy = 2 (y - t) / N.
+  double loss_acc = 0.0;
+  Matrix delta = outputs[depth - 1];
+  {
+    const auto ft = target.flat();
+    auto fd = delta.flat();
+    for (std::size_t i = 0; i < fd.size(); ++i) {
+      const double diff = fd[i] - ft[i];
+      loss_acc += diff * diff;
+      fd[i] = 2.0 * diff / n;
+    }
+    loss_acc /= n;
+  }
+
+  // Backward pass.
+  if (grads.weights.size() != depth) grads = make_gradients();
+  for (std::size_t li = depth; li-- > 0;) {
+    scale_by_activation_grad(layers_[li].activation, outputs[li], delta);
+    const Matrix& below = (li == 0) ? x : outputs[li - 1];
+    matmul_at(below, delta, grads.weights[li]);
+    column_sums(delta, grads.biases[li]);
+    if (li > 0) {
+      Matrix next_delta;
+      matmul_bt(delta, weights_[li], next_delta);
+      delta = std::move(next_delta);
+    }
+  }
+  return loss_acc;
+}
+
+double Mlp::loss(const Matrix& x, const Matrix& target) const {
+  const Matrix y = forward_batch(x);
+  if (!y.same_shape(target))
+    throw std::invalid_argument("Mlp::loss: target shape");
+  const auto fy = y.flat();
+  const auto ft = target.flat();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < fy.size(); ++i) {
+    const double d = fy[i] - ft[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.rows());
+}
+
+Gradients Mlp::make_gradients() const {
+  Gradients g;
+  g.weights.reserve(layers_.size());
+  g.biases.reserve(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    g.weights.emplace_back(weights_[l].rows(), weights_[l].cols());
+    g.biases.emplace_back(biases_[l].size(), 0.0);
+  }
+  return g;
+}
+
+}  // namespace pt::ml

@@ -1,0 +1,92 @@
+#pragma once
+
+// Feed-forward fully-connected network (multi-layer perceptron).
+//
+// The paper's performance model is an MLP with a single hidden layer of 30
+// sigmoid units and a linear output trained on log execution times; this
+// class supports arbitrary depth so the ablation benches can vary topology.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/activation.hpp"
+#include "ml/matrix.hpp"
+
+namespace pt::ml {
+
+/// One layer: `units` neurons with the given activation.
+struct LayerSpec {
+  std::size_t units;
+  Activation activation;
+};
+
+/// Per-layer gradient buffers matching an Mlp's parameters.
+struct Gradients {
+  std::vector<Matrix> weights;             // same shapes as Mlp weights
+  std::vector<std::vector<double>> biases; // same shapes as Mlp biases
+
+  void scale(double factor) noexcept;
+  void accumulate(const Gradients& other);
+};
+
+class Mlp {
+ public:
+  /// Construct with the given input width and layer stack (last layer is the
+  /// output). Weights start at zero; call init_weights() before use.
+  Mlp(std::size_t inputs, std::vector<LayerSpec> layers);
+
+  /// Xavier/Glorot uniform initialization.
+  void init_weights(common::Rng& rng);
+
+  [[nodiscard]] std::size_t input_size() const noexcept { return inputs_; }
+  [[nodiscard]] std::size_t output_size() const noexcept {
+    return layers_.back().units;
+  }
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+  /// Weight matrix of layer l, shape (fan_in, units).
+  [[nodiscard]] Matrix& weights(std::size_t l) noexcept { return weights_[l]; }
+  [[nodiscard]] const Matrix& weights(std::size_t l) const noexcept {
+    return weights_[l];
+  }
+  [[nodiscard]] std::vector<double>& biases(std::size_t l) noexcept {
+    return biases_[l];
+  }
+  [[nodiscard]] const std::vector<double>& biases(std::size_t l) const noexcept {
+    return biases_[l];
+  }
+
+  /// Predict a single sample.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+  /// Predict a batch; rows of X are samples. Returns (X.rows, output_size).
+  [[nodiscard]] Matrix forward_batch(const Matrix& x) const;
+
+  /// Forward + backward over a batch with squared-error loss
+  /// L = (1/N) * sum_i sum_k (y_ik - t_ik)^2.
+  /// Fills `grads` (resized as needed) and returns the loss.
+  double backward_batch(const Matrix& x, const Matrix& target,
+                        Gradients& grads) const;
+
+  /// Mean squared-error loss of the network on (x, target), no gradients.
+  [[nodiscard]] double loss(const Matrix& x, const Matrix& target) const;
+
+  /// Allocate a gradient structure with this network's shapes.
+  [[nodiscard]] Gradients make_gradients() const;
+
+ private:
+  std::size_t inputs_;
+  std::vector<LayerSpec> layers_;
+  std::vector<Matrix> weights_;              // (fan_in, units) per layer
+  std::vector<std::vector<double>> biases_;  // (units) per layer
+};
+
+}  // namespace pt::ml

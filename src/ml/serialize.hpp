@@ -1,0 +1,27 @@
+#pragma once
+
+// Plain-text (de)serialization of trained models, so examples can persist an
+// auto-tuner's performance model and reload it on a later run. The format is
+// line-oriented, versioned, and locale-independent (max-precision doubles).
+
+#include <iosfwd>
+
+#include "ml/ensemble.hpp"
+#include "ml/mlp.hpp"
+
+namespace pt::ml {
+
+/// Write a single network (topology + weights).
+void save_mlp(const Mlp& net, std::ostream& os);
+
+/// Read a network written by save_mlp. Throws std::runtime_error on a
+/// malformed stream.
+[[nodiscard]] Mlp load_mlp(std::istream& is);
+
+/// Write a fitted ensemble (options, scaler, members).
+void save_ensemble(const BaggingEnsemble& ensemble, std::ostream& os);
+
+/// Read an ensemble written by save_ensemble.
+[[nodiscard]] BaggingEnsemble load_ensemble(std::istream& is);
+
+}  // namespace pt::ml

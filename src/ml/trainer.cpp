@@ -1,0 +1,246 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pt::ml {
+
+namespace {
+
+/// Shared epoch-loop scaffolding: validation split, early stopping, best-
+/// weight snapshot/restore. `epoch_fn` performs one training epoch and
+/// returns the epoch's training loss.
+template <typename EpochFn>
+TrainResult run_epochs(Mlp& net, const Dataset& data,
+                       const TrainOptions& options, common::Rng& rng,
+                       EpochFn&& epoch_fn) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+
+  Dataset train_set;
+  Dataset val_set;
+  const bool use_validation =
+      options.validation_fraction > 0.0 &&
+      static_cast<std::size_t>(static_cast<double>(data.size()) *
+                               options.validation_fraction) >= 1;
+  if (use_validation) {
+    Split split =
+        train_validation_split(data, 1.0 - options.validation_fraction, rng);
+    train_set = std::move(split.train);
+    val_set = std::move(split.validation);
+    if (train_set.size() == 0) {
+      train_set = data;
+      val_set = Dataset{};
+    }
+  } else {
+    train_set = data;
+  }
+  const bool monitor_validation = val_set.size() > 0;
+
+  TrainResult result;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t since_best = 0;
+
+  // Snapshot of the best weights seen (restored before returning).
+  std::vector<Matrix> best_weights;
+  std::vector<std::vector<double>> best_biases;
+  auto snapshot = [&] {
+    best_weights.clear();
+    best_biases.clear();
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      best_weights.push_back(net.weights(l));
+      best_biases.push_back(net.biases(l));
+    }
+  };
+  auto restore = [&] {
+    if (best_weights.empty()) return;
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      net.weights(l) = best_weights[l];
+      net.biases(l) = best_biases[l];
+    }
+  };
+
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const double train_loss = epoch_fn(train_set);
+    const double monitored =
+        monitor_validation ? net.loss(val_set.x, val_set.y) : train_loss;
+    result.train_loss.push_back(train_loss);
+    result.monitored_loss.push_back(monitored);
+    ++result.epochs;
+
+    if (monitored < best - options.min_improvement) {
+      best = monitored;
+      since_best = 0;
+      snapshot();
+    } else {
+      ++since_best;
+      if (options.patience > 0 && since_best >= options.patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+  restore();
+  result.best_loss = best;
+  return result;
+}
+
+/// Iterate mini-batches of a shuffled permutation, calling step(x, y).
+template <typename StepFn>
+double minibatch_epoch(const Dataset& train_set, std::size_t batch_size,
+                       common::Rng& rng, StepFn&& step) {
+  std::vector<std::size_t> perm(train_set.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < perm.size(); start += batch_size) {
+    const std::size_t len = std::min(batch_size, perm.size() - start);
+    const std::span<const std::size_t> idx(perm.data() + start, len);
+    const Matrix bx = train_set.x.gather_rows(idx);
+    const Matrix by = train_set.y.gather_rows(idx);
+    loss_sum += step(bx, by);
+    ++batches;
+  }
+  return batches ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+}  // namespace
+
+TrainResult RpropTrainer::train(Mlp& net, const Dataset& data,
+                                common::Rng& rng) const {
+  // Per-parameter state: step size and previous gradient sign, stored in
+  // gradient-shaped structures.
+  Gradients steps = net.make_gradients();
+  Gradients prev_grad = net.make_gradients();
+  for (auto& w : steps.weights) w.fill(options_.initial_step);
+  for (auto& b : steps.biases)
+    for (auto& x : b) x = options_.initial_step;
+
+  Gradients grads = net.make_gradients();
+
+  auto update_param = [&](double& param, double grad, double& step,
+                          double& prev) {
+    const double sign_product = grad * prev;
+    if (sign_product > 0.0) {
+      step = std::min(step * options_.eta_plus, options_.step_max);
+    } else if (sign_product < 0.0) {
+      step = std::max(step * options_.eta_minus, options_.step_min);
+      grad = 0.0;  // iRprop-: suppress the update after a sign change
+    }
+    if (grad > 0.0) {
+      param -= step;
+    } else if (grad < 0.0) {
+      param += step;
+    }
+    prev = grad;
+  };
+
+  auto epoch_fn = [&](const Dataset& train_set) {
+    const double loss = net.backward_batch(train_set.x, train_set.y, grads);
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      auto wf = net.weights(l).flat();
+      auto gf = grads.weights[l].flat();
+      auto sf = steps.weights[l].flat();
+      auto pf = prev_grad.weights[l].flat();
+      for (std::size_t i = 0; i < wf.size(); ++i)
+        update_param(wf[i], gf[i], sf[i], pf[i]);
+      auto& bias = net.biases(l);
+      auto& gb = grads.biases[l];
+      auto& sb = steps.biases[l];
+      auto& pb = prev_grad.biases[l];
+      for (std::size_t i = 0; i < bias.size(); ++i)
+        update_param(bias[i], gb[i], sb[i], pb[i]);
+    }
+    return loss;
+  };
+  return run_epochs(net, data, options_.common, rng, epoch_fn);
+}
+
+TrainResult SgdTrainer::train(Mlp& net, const Dataset& data,
+                              common::Rng& rng) const {
+  if (options_.batch_size == 0)
+    throw std::invalid_argument("SgdTrainer: zero batch size");
+  Gradients grads = net.make_gradients();
+  Gradients velocity = net.make_gradients();
+
+  auto epoch_fn = [&](const Dataset& train_set) {
+    return minibatch_epoch(
+        train_set, options_.batch_size, rng,
+        [&](const Matrix& bx, const Matrix& by) {
+          const double loss = net.backward_batch(bx, by, grads);
+          for (std::size_t l = 0; l < net.layer_count(); ++l) {
+            auto wf = net.weights(l).flat();
+            auto gf = grads.weights[l].flat();
+            auto vf = velocity.weights[l].flat();
+            for (std::size_t i = 0; i < wf.size(); ++i) {
+              vf[i] = options_.momentum * vf[i] -
+                      options_.learning_rate * gf[i];
+              wf[i] += vf[i];
+            }
+            auto& bias = net.biases(l);
+            auto& gb = grads.biases[l];
+            auto& vb = velocity.biases[l];
+            for (std::size_t i = 0; i < bias.size(); ++i) {
+              vb[i] = options_.momentum * vb[i] -
+                      options_.learning_rate * gb[i];
+              bias[i] += vb[i];
+            }
+          }
+          return loss;
+        });
+  };
+  return run_epochs(net, data, options_.common, rng, epoch_fn);
+}
+
+TrainResult AdamTrainer::train(Mlp& net, const Dataset& data,
+                               common::Rng& rng) const {
+  if (options_.batch_size == 0)
+    throw std::invalid_argument("AdamTrainer: zero batch size");
+  Gradients grads = net.make_gradients();
+  Gradients m = net.make_gradients();
+  Gradients v = net.make_gradients();
+  std::size_t t = 0;
+
+  auto epoch_fn = [&](const Dataset& train_set) {
+    return minibatch_epoch(
+        train_set, options_.batch_size, rng,
+        [&](const Matrix& bx, const Matrix& by) {
+          const double loss = net.backward_batch(bx, by, grads);
+          ++t;
+          const double bc1 =
+              1.0 - std::pow(options_.beta1, static_cast<double>(t));
+          const double bc2 =
+              1.0 - std::pow(options_.beta2, static_cast<double>(t));
+          auto step = [&](double& param, double grad, double& mi, double& vi) {
+            mi = options_.beta1 * mi + (1.0 - options_.beta1) * grad;
+            vi = options_.beta2 * vi + (1.0 - options_.beta2) * grad * grad;
+            const double mhat = mi / bc1;
+            const double vhat = vi / bc2;
+            param -= options_.learning_rate * mhat /
+                     (std::sqrt(vhat) + options_.epsilon);
+          };
+          for (std::size_t l = 0; l < net.layer_count(); ++l) {
+            auto wf = net.weights(l).flat();
+            auto gf = grads.weights[l].flat();
+            auto mf = m.weights[l].flat();
+            auto vf = v.weights[l].flat();
+            for (std::size_t i = 0; i < wf.size(); ++i)
+              step(wf[i], gf[i], mf[i], vf[i]);
+            auto& bias = net.biases(l);
+            auto& gb = grads.biases[l];
+            auto& mb = m.biases[l];
+            auto& vb = v.biases[l];
+            for (std::size_t i = 0; i < bias.size(); ++i)
+              step(bias[i], gb[i], mb[i], vb[i]);
+          }
+          return loss;
+        });
+  };
+  return run_epochs(net, data, options_.common, rng, epoch_fn);
+}
+
+}  // namespace pt::ml

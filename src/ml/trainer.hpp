@@ -1,0 +1,115 @@
+#pragma once
+
+// Training algorithms for the MLP.
+//
+// The default for the auto-tuner is iRprop- (resilient backpropagation
+// without weight-backtracking): full-batch, step-size adaptive, and robust to
+// the wide dynamic range of log-time targets — well suited to the paper's
+// small networks (tens of hidden units, a few thousand samples). SGD with
+// momentum and Adam are provided for the ablation benches and general use.
+//
+// All trainers support early stopping on a held-out validation slice and
+// restore the best weights seen.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+
+namespace pt::ml {
+
+struct TrainOptions {
+  std::size_t max_epochs = 800;
+  /// Fraction of the data held out for early stopping; 0 disables the
+  /// validation split (training loss is monitored instead).
+  double validation_fraction = 0.15;
+  /// Early stop after this many epochs without (min_improvement) progress on
+  /// the monitored loss; 0 disables early stopping.
+  std::size_t patience = 100;
+  double min_improvement = 1e-5;
+};
+
+struct TrainResult {
+  std::vector<double> train_loss;       // per epoch
+  std::vector<double> monitored_loss;   // validation (or train) per epoch
+  std::size_t epochs = 0;
+  double best_loss = 0.0;               // best monitored loss
+  bool early_stopped = false;
+};
+
+/// Interface of all trainers: fit `net` on `data` in place.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+  virtual TrainResult train(Mlp& net, const Dataset& data,
+                            common::Rng& rng) const = 0;
+};
+
+/// iRprop- : per-parameter adaptive step sizes, full-batch gradients.
+class RpropTrainer final : public Trainer {
+ public:
+  struct Options {
+    TrainOptions common;
+    double initial_step = 0.05;
+    double eta_plus = 1.2;
+    double eta_minus = 0.5;
+    double step_min = 1e-8;
+    double step_max = 5.0;
+  };
+
+  RpropTrainer() = default;
+  explicit RpropTrainer(Options options) : options_(options) {}
+
+  TrainResult train(Mlp& net, const Dataset& data,
+                    common::Rng& rng) const override;
+
+ private:
+  Options options_{};
+};
+
+/// Mini-batch stochastic gradient descent with classical momentum.
+class SgdTrainer final : public Trainer {
+ public:
+  struct Options {
+    TrainOptions common;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    std::size_t batch_size = 32;
+  };
+
+  SgdTrainer() = default;
+  explicit SgdTrainer(Options options) : options_(options) {}
+
+  TrainResult train(Mlp& net, const Dataset& data,
+                    common::Rng& rng) const override;
+
+ private:
+  Options options_{};
+};
+
+/// Adam (Kingma & Ba) with mini-batches.
+class AdamTrainer final : public Trainer {
+ public:
+  struct Options {
+    TrainOptions common;
+    double learning_rate = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    std::size_t batch_size = 32;
+  };
+
+  AdamTrainer() = default;
+  explicit AdamTrainer(Options options) : options_(options) {}
+
+  TrainResult train(Mlp& net, const Dataset& data,
+                    common::Rng& rng) const override;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace pt::ml

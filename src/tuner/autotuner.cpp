@@ -1,0 +1,168 @@
+#include "tuner/autotuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace pt::tuner {
+
+namespace {
+
+double host_ms_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Indices of the m smallest predictions (partial selection).
+std::vector<std::uint64_t> lowest_m(const std::vector<double>& predictions,
+                                    std::uint64_t index_offset,
+                                    std::size_t m) {
+  std::vector<std::uint64_t> order(predictions.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = index_offset + i;
+  m = std::min(m, order.size());
+  std::partial_sort(
+      order.begin(), order.begin() + static_cast<std::ptrdiff_t>(m),
+      order.end(), [&](std::uint64_t a, std::uint64_t b) {
+        return predictions[a - index_offset] < predictions[b - index_offset];
+      });
+  order.resize(m);
+  return order;
+}
+
+}  // namespace
+
+AutoTuner::AutoTuner(AutoTunerOptions options) : options_(std::move(options)) {
+  if (options_.training_samples == 0)
+    throw std::invalid_argument("AutoTuner: zero training samples");
+  if (options_.second_stage_size == 0)
+    throw std::invalid_argument("AutoTuner: zero second-stage size");
+}
+
+AutoTuneResult AutoTuner::tune(Evaluator& evaluator, common::Rng& rng) const {
+  const RandomSampler sampler;
+  return tune(evaluator, sampler, rng);
+}
+
+AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
+                               common::Rng& rng) const {
+  AutoTuneResult result;
+  const ParamSpace& space = evaluator.space();
+
+  // --- Stage 1: sample, measure, train. ---
+  const auto samples =
+      sampler.sample(space, options_.training_samples, rng);
+  result.stage1_measured = samples.size();
+  for (const auto& config : samples) {
+    const Measurement m = evaluator.measure(config);
+    result.data_gathering_cost_ms += m.cost_ms;
+    if (m.valid) {
+      result.training_data.push_back({config, m.time_ms});
+    } else {
+      result.invalid_training_configs.push_back(config);
+    }
+  }
+  result.stage1_valid = result.training_data.size();
+  common::log_info("autotuner[", evaluator.name(), "]: stage 1 measured ",
+                   result.stage1_measured, " configs, ", result.stage1_valid,
+                   " valid");
+  if (result.training_data.empty()) {
+    common::log_warn("autotuner[", evaluator.name(),
+                     "]: no valid training data; giving no prediction");
+    return result;  // success == false
+  }
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    AnnPerformanceModel model(options_.model);
+    model.fit(space, result.training_data, rng);
+    result.model_training_host_ms = host_ms_since(start);
+    result.model = std::move(model);
+  }
+
+  // Optional validity classifier (future-work extension): learn from the
+  // free valid/invalid labels of stage 1.
+  if (options_.validity_filter) {
+    std::vector<Configuration> valid_configs;
+    valid_configs.reserve(result.training_data.size());
+    for (const auto& sample : result.training_data)
+      valid_configs.push_back(sample.config);
+    ValidityModel classifier(options_.validity);
+    classifier.fit(space, valid_configs, result.invalid_training_configs,
+                   rng);
+    if (classifier.fitted()) result.validity_model = std::move(classifier);
+  }
+
+  // --- Stage 2: scan predictions, measure the M most promising. ---
+  const auto scan_start = std::chrono::steady_clock::now();
+  std::uint64_t scan_end = space.size();
+  if (options_.prediction_scan_limit != 0)
+    scan_end = std::min<std::uint64_t>(scan_end,
+                                       options_.prediction_scan_limit);
+  const auto predictions = result.model->predict_range_ms(0, scan_end);
+  std::vector<std::uint64_t> candidates;
+  if (result.validity_model) {
+    // Walk the prediction ranking (over a generous pool) and keep the first
+    // M candidates the classifier accepts.
+    const std::size_t pool = std::min<std::size_t>(
+        predictions.size(), options_.second_stage_size * 64);
+    const auto ranked = lowest_m(predictions, 0, pool);
+    for (const std::uint64_t index : ranked) {
+      if (candidates.size() >= options_.second_stage_size) break;
+      if (result.validity_model->predict_valid(space.decode(index))) {
+        candidates.push_back(index);
+      } else {
+        ++result.stage2_filtered;
+      }
+    }
+    // If the filter was too aggressive, top up with the best remaining.
+    for (const std::uint64_t index : ranked) {
+      if (candidates.size() >= options_.second_stage_size) break;
+      if (std::find(candidates.begin(), candidates.end(), index) ==
+          candidates.end())
+        candidates.push_back(index);
+    }
+  } else {
+    candidates = lowest_m(predictions, 0, options_.second_stage_size);
+  }
+  result.prediction_scan_host_ms = host_ms_since(scan_start);
+
+  double best_time = 0.0;
+  bool found = false;
+  Configuration best_config;
+  for (const std::uint64_t index : candidates) {
+    const Configuration config = space.decode(index);
+    const Measurement m = evaluator.measure(config);
+    result.data_gathering_cost_ms += m.cost_ms;
+    ++result.stage2_measured;
+    if (!m.valid) {
+      ++result.stage2_invalid;
+      continue;
+    }
+    if (!found || m.time_ms < best_time) {
+      found = true;
+      best_time = m.time_ms;
+      best_config = config;
+    }
+  }
+
+  if (!found) {
+    common::log_warn("autotuner[", evaluator.name(),
+                     "]: all ", result.stage2_measured,
+                     " second-stage configurations invalid; no prediction");
+    return result;  // success == false, model retained for inspection
+  }
+  result.success = true;
+  result.best_config = std::move(best_config);
+  result.best_time_ms = best_time;
+  common::log_info("autotuner[", evaluator.name(), "]: best ",
+                   space.to_string(result.best_config), " = ",
+                   result.best_time_ms, " ms");
+  return result;
+}
+
+}  // namespace pt::tuner

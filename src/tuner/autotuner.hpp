@@ -1,0 +1,93 @@
+#pragma once
+
+// The paper's two-stage auto-tuner (section 5, Figure 3):
+//
+//   Stage 1: measure N randomly sampled configurations; train the ANN model
+//            on the valid ones (invalid configurations are ignored, but
+//            their cost is still charged — failed compiles/launches waste
+//            real time, section 6).
+//   Stage 2: predict the time of every configuration in the space, take the
+//            M with the lowest predictions, measure them, return the best.
+//
+// If every second-stage candidate is invalid, the tuner "gives no
+// prediction" — exactly the failure mode the paper reports for stereo on
+// the GPUs (section 6, Fig 14) — reported here as success == false.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/model.hpp"
+#include "tuner/sampler.hpp"
+#include "tuner/validity.hpp"
+
+namespace pt::tuner {
+
+struct AutoTunerOptions {
+  std::size_t training_samples = 2000;  // N, stage-1 sample count
+  std::size_t second_stage_size = 100;  // M, stage-2 candidate count
+  AnnPerformanceModel::Options model{};
+  /// Optional guard for enormous spaces: scan at most this many predictions
+  /// in stage 2 (0 = scan the whole space, the paper's behaviour).
+  std::uint64_t prediction_scan_limit = 0;
+  /// Extension (the paper's future work): train a validity classifier on
+  /// stage 1's valid/invalid labels and exclude predicted-invalid
+  /// configurations from the second stage.
+  bool validity_filter = false;
+  ValidityModel::Options validity{};
+};
+
+struct AutoTuneResult {
+  /// False when every stage-2 candidate was invalid (no prediction).
+  bool success = false;
+  Configuration best_config;
+  double best_time_ms = 0.0;
+
+  // Bookkeeping.
+  std::size_t stage1_measured = 0;
+  std::size_t stage1_valid = 0;
+  std::size_t stage2_measured = 0;
+  std::size_t stage2_invalid = 0;
+  /// Simulated wall cost of all measurements (compile + run + failures).
+  double data_gathering_cost_ms = 0.0;
+  /// Host wall time spent training the ensemble.
+  double model_training_host_ms = 0.0;
+  /// Host wall time spent scanning predictions.
+  double prediction_scan_host_ms = 0.0;
+
+  /// The fitted model (valid whenever stage 1 yielded any valid sample).
+  std::optional<AnnPerformanceModel> model;
+  /// Stage-1 valid training data (for inspection and reuse).
+  std::vector<TrainingSample> training_data;
+  /// Stage-1 configurations the device rejected (the validity labels).
+  std::vector<Configuration> invalid_training_configs;
+  /// Fitted validity classifier (only with options.validity_filter and
+  /// both classes observed in stage 1).
+  std::optional<ValidityModel> validity_model;
+  /// Stage-2 candidates dropped by the validity filter.
+  std::size_t stage2_filtered = 0;
+};
+
+class AutoTuner {
+ public:
+  AutoTuner() : AutoTuner(AutoTunerOptions{}) {}
+  explicit AutoTuner(AutoTunerOptions options);
+
+  [[nodiscard]] const AutoTunerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Run both stages against the evaluator. The sampler defaults to the
+  /// paper's uniform random sampling.
+  [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
+                                    common::Rng& rng) const;
+  [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator, const Sampler& sampler,
+                                    common::Rng& rng) const;
+
+ private:
+  AutoTunerOptions options_;
+};
+
+}  // namespace pt::tuner

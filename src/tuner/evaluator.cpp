@@ -1,0 +1,26 @@
+#include "tuner/evaluator.hpp"
+
+namespace pt::tuner {
+
+Measurement CachingEvaluator::measure(const Configuration& config) {
+  const std::uint64_t key = inner_.space().encode(config);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const Measurement m = inner_.measure(config);
+  cache_.emplace(key, m);
+  return m;
+}
+
+Measurement CountingEvaluator::measure(const Configuration& config) {
+  const Measurement m = inner_.measure(config);
+  ++total_;
+  if (!m.valid) ++invalid_;
+  cost_ms_ += m.cost_ms;
+  return m;
+}
+
+}  // namespace pt::tuner

@@ -1,0 +1,99 @@
+#pragma once
+
+// Evaluator: the auto-tuner's only window onto the world. It measures one
+// configuration and reports either a time or "invalid" (the simulated
+// driver rejected the configuration) — mirroring how the paper's tuner
+// interacts with OpenCL. Decorators add caching and cost accounting.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "clsim/error.hpp"
+#include "tuner/param.hpp"
+
+namespace pt::tuner {
+
+/// Outcome of measuring one configuration.
+struct Measurement {
+  bool valid = false;
+  double time_ms = 0.0;  // kernel execution time (only if valid)
+  /// Why the configuration was rejected (meaningful when !valid).
+  clsim::Status status = clsim::Status::kSuccess;
+  /// Total simulated wall cost of obtaining this measurement, including
+  /// compilation and failed launch attempts — what data gathering costs.
+  double cost_ms = 0.0;
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  [[nodiscard]] virtual const ParamSpace& space() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Measure one configuration (compile + launch in the simulated runtime).
+  [[nodiscard]] virtual Measurement measure(const Configuration& config) = 0;
+};
+
+/// Memoizes measurements by configuration index. Exhaustive ground-truth
+/// sweeps and repeated tuner runs share one cache.
+class CachingEvaluator final : public Evaluator {
+ public:
+  explicit CachingEvaluator(Evaluator& inner) : inner_(inner) {}
+
+  [[nodiscard]] const ParamSpace& space() const override {
+    return inner_.space();
+  }
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+  [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  Evaluator& inner_;
+  std::unordered_map<std::uint64_t, Measurement> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Counts measurements and accumulates simulated cost; wraps any evaluator.
+class CountingEvaluator final : public Evaluator {
+ public:
+  explicit CountingEvaluator(Evaluator& inner) : inner_(inner) {}
+
+  [[nodiscard]] const ParamSpace& space() const override {
+    return inner_.space();
+  }
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+  [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] std::size_t total_measurements() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::size_t invalid_measurements() const noexcept {
+    return invalid_;
+  }
+  [[nodiscard]] double total_cost_ms() const noexcept { return cost_ms_; }
+
+  void reset() noexcept {
+    total_ = 0;
+    invalid_ = 0;
+    cost_ms_ = 0.0;
+  }
+
+ private:
+  Evaluator& inner_;
+  std::size_t total_ = 0;
+  std::size_t invalid_ = 0;
+  double cost_ms_ = 0.0;
+};
+
+}  // namespace pt::tuner

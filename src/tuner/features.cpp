@@ -1,0 +1,39 @@
+#include "tuner/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::tuner {
+
+FeatureCodec FeatureCodec::build(const ParamSpace& space,
+                                 FeatureEncoding encoding) {
+  FeatureCodec codec;
+  codec.use_log2_.assign(space.dimension_count(), false);
+  if (encoding != FeatureEncoding::kLog2) return codec;
+  for (std::size_t d = 0; d < space.dimension_count(); ++d) {
+    const auto& values = space.parameter(d).values;
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    codec.use_log2_[d] = *lo > 0 && *hi >= 4 * *lo;
+  }
+  return codec;
+}
+
+std::vector<double> FeatureCodec::encode(const Configuration& config) const {
+  std::vector<double> features(config.values.size());
+  encode_into(config, features);
+  return features;
+}
+
+void FeatureCodec::encode_into(const Configuration& config,
+                               std::span<double> row) const {
+  if (config.values.size() != use_log2_.size() ||
+      row.size() != use_log2_.size())
+    throw std::invalid_argument("FeatureCodec: width mismatch");
+  for (std::size_t d = 0; d < use_log2_.size(); ++d) {
+    const double v = static_cast<double>(config.values[d]);
+    row[d] = use_log2_[d] ? std::log2(v) : v;
+  }
+}
+
+}  // namespace pt::tuner

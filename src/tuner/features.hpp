@@ -1,0 +1,41 @@
+#pragma once
+
+// Feature encoding shared by the performance model and the validity
+// classifier: each parameter becomes one feature, either its raw value or
+// log2(value) for dimensions that span a wide positive power-of-two-style
+// range (work-group sizes 1..128 are exponent-natured knobs).
+
+#include <span>
+#include <vector>
+
+#include "tuner/param.hpp"
+
+namespace pt::tuner {
+
+enum class FeatureEncoding { kRaw, kLog2 };
+
+class FeatureCodec {
+ public:
+  FeatureCodec() = default;
+
+  /// Decide per dimension whether log2 applies (kLog2 only, and only where
+  /// all values are positive and the range is wide enough to matter).
+  static FeatureCodec build(const ParamSpace& space, FeatureEncoding encoding);
+
+  [[nodiscard]] std::size_t width() const noexcept { return use_log2_.size(); }
+  [[nodiscard]] bool uses_log2(std::size_t dim) const {
+    return use_log2_.at(dim);
+  }
+
+  /// Feature vector for one configuration.
+  [[nodiscard]] std::vector<double> encode(const Configuration& config) const;
+
+  /// Write features for one configuration into a pre-sized row.
+  void encode_into(const Configuration& config,
+                   std::span<double> row) const;
+
+ private:
+  std::vector<bool> use_log2_;
+};
+
+}  // namespace pt::tuner

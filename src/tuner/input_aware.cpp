@@ -1,0 +1,108 @@
+#include "tuner/input_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ml/scaler.hpp"
+
+namespace pt::tuner {
+
+InputAwarePerformanceModel::InputAwarePerformanceModel(Options options)
+    : options_(std::move(options)), ensemble_(options_.ensemble) {}
+
+std::vector<double> InputAwarePerformanceModel::encode(
+    const Configuration& config, const ProblemInstance& instance) const {
+  if (instance.values.size() != problem_names_.size())
+    throw std::invalid_argument(
+        "InputAwarePerformanceModel: instance width mismatch");
+  std::vector<double> features = codec_.encode(config);
+  features.reserve(features.size() + instance.values.size());
+  for (const double v : instance.values) {
+    if (options_.log2_problem_parameters) {
+      if (v <= 0.0)
+        throw std::invalid_argument(
+            "InputAwarePerformanceModel: non-positive problem parameter "
+            "with log2 encoding");
+      features.push_back(std::log2(v));
+    } else {
+      features.push_back(v);
+    }
+  }
+  return features;
+}
+
+void InputAwarePerformanceModel::fit(
+    const ParamSpace& space, std::vector<std::string> problem_parameter_names,
+    const std::vector<InputAwareSample>& samples, common::Rng& rng) {
+  if (samples.empty())
+    throw std::invalid_argument("InputAwarePerformanceModel::fit: no samples");
+  space_ = space;
+  codec_ = FeatureCodec::build(space, options_.encoding);
+  problem_names_ = std::move(problem_parameter_names);
+
+  const std::size_t width =
+      space.dimension_count() + problem_names_.size();
+  ml::Dataset data;
+  data.x = ml::Matrix(samples.size(), width);
+  data.y = ml::Matrix(samples.size(), 1);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].time_ms <= 0.0)
+      throw std::invalid_argument(
+          "InputAwarePerformanceModel::fit: non-positive time");
+    const auto features = encode(samples[i].config, samples[i].instance);
+    auto row = data.x.row(i);
+    std::copy(features.begin(), features.end(), row.begin());
+    data.y(i, 0) = options_.log_targets
+                       ? ml::LogTargetTransform::forward(samples[i].time_ms)
+                       : samples[i].time_ms;
+  }
+
+  // Standardize the transformed targets (see AnnPerformanceModel).
+  {
+    common::RunningStats stats;
+    for (std::size_t i = 0; i < samples.size(); ++i) stats.add(data.y(i, 0));
+    target_mean_ = stats.mean();
+    target_scale_ = stats.stddev() > 1e-9 ? stats.stddev() : 1.0;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      data.y(i, 0) = (data.y(i, 0) - target_mean_) / target_scale_;
+  }
+
+  ensemble_ = ml::BaggingEnsemble(options_.ensemble);
+  ensemble_.fit(data, rng);
+}
+
+double InputAwarePerformanceModel::predict_ms(
+    const Configuration& config, const ProblemInstance& instance) const {
+  if (!fitted())
+    throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  const double raw =
+      ensemble_.predict(encode(config, instance)) * target_scale_ +
+      target_mean_;
+  return options_.log_targets ? ml::LogTargetTransform::inverse(raw) : raw;
+}
+
+std::vector<double> InputAwarePerformanceModel::predict_many_ms(
+    const std::vector<Configuration>& configs,
+    const ProblemInstance& instance) const {
+  if (!fitted())
+    throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  if (configs.empty()) return {};
+  const std::size_t width =
+      space_.dimension_count() + problem_names_.size();
+  ml::Matrix x(configs.size(), width);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto features = encode(configs[i], instance);
+    auto row = x.row(i);
+    std::copy(features.begin(), features.end(), row.begin());
+  }
+  auto preds = ensemble_.predict_batch(x);
+  for (auto& p : preds) {
+    p = p * target_scale_ + target_mean_;
+    if (options_.log_targets) p = ml::LogTargetTransform::inverse(p);
+  }
+  return preds;
+}
+
+}  // namespace pt::tuner

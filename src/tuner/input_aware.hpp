@@ -1,0 +1,83 @@
+#pragma once
+
+// Input-aware performance model — the paper's "integrating problem
+// parameters into the performance model" future work (section 8; cf. Liu et
+// al.'s cross-input framework in its related work).
+//
+// The plain AnnPerformanceModel answers "how fast is configuration c" for
+// one fixed problem instance. This model adds the problem parameters (e.g.
+// the image width/height of the convolution) as extra network inputs, so
+// one model serves a family of instances and can extrapolate to problem
+// sizes never measured.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/ensemble.hpp"
+#include "tuner/features.hpp"
+#include "tuner/param.hpp"
+
+namespace pt::tuner {
+
+/// A problem instance: named numeric parameters (sizes, depths, ...).
+struct ProblemInstance {
+  std::vector<double> values;  // aligned with the model's parameter names
+};
+
+/// One labelled observation: configuration + instance -> time.
+struct InputAwareSample {
+  Configuration config;
+  ProblemInstance instance;
+  double time_ms = 0.0;
+};
+
+class InputAwarePerformanceModel {
+ public:
+  struct Options {
+    ml::BaggingEnsemble::Options ensemble{};
+    bool log_targets = true;
+    FeatureEncoding encoding = FeatureEncoding::kLog2;
+    /// Apply log2 to problem parameters as well (sizes are scale-natured).
+    bool log2_problem_parameters = true;
+  };
+
+  InputAwarePerformanceModel() : InputAwarePerformanceModel(Options{}) {}
+  explicit InputAwarePerformanceModel(Options options);
+
+  /// `problem_parameter_names` fixes the instance layout (and the feature
+  /// order); every sample's instance must have that many values.
+  void fit(const ParamSpace& space,
+           std::vector<std::string> problem_parameter_names,
+           const std::vector<InputAwareSample>& samples, common::Rng& rng);
+
+  [[nodiscard]] bool fitted() const noexcept { return ensemble_.fitted(); }
+  [[nodiscard]] const std::vector<std::string>& problem_parameter_names()
+      const noexcept {
+    return problem_names_;
+  }
+
+  [[nodiscard]] double predict_ms(const Configuration& config,
+                                  const ProblemInstance& instance) const;
+
+  /// Predictions for many configurations at one instance (bulk scan).
+  [[nodiscard]] std::vector<double> predict_many_ms(
+      const std::vector<Configuration>& configs,
+      const ProblemInstance& instance) const;
+
+  /// Feature vector (configuration features then instance features).
+  [[nodiscard]] std::vector<double> encode(
+      const Configuration& config, const ProblemInstance& instance) const;
+
+ private:
+  Options options_;
+  ParamSpace space_;
+  FeatureCodec codec_;
+  std::vector<std::string> problem_names_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+  ml::BaggingEnsemble ensemble_;
+};
+
+}  // namespace pt::tuner

@@ -1,0 +1,135 @@
+#include "tuner/iterative.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace pt::tuner {
+
+IterativeTuner::IterativeTuner(IterativeTunerOptions options)
+    : options_(std::move(options)) {
+  if (options_.measurement_budget == 0)
+    throw std::invalid_argument("IterativeTuner: zero budget");
+  if (options_.initial_samples == 0)
+    throw std::invalid_argument("IterativeTuner: zero initial sample");
+  if (options_.batch_size == 0)
+    throw std::invalid_argument("IterativeTuner: zero batch size");
+  if (options_.exploration_fraction < 0.0 ||
+      options_.exploration_fraction > 1.0)
+    throw std::invalid_argument("IterativeTuner: bad exploration fraction");
+}
+
+IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
+                                         common::Rng& rng) const {
+  const ParamSpace& space = evaluator.space();
+  IterativeTuneResult result;
+
+  std::vector<TrainingSample> data;
+  std::unordered_set<std::uint64_t> measured;
+  bool have_best = false;
+  Configuration best_config;
+  double best_time = 0.0;
+
+  auto measure_index = [&](std::uint64_t index) {
+    if (!measured.insert(index).second) return;
+    if (result.measurements >= options_.measurement_budget) return;
+    const Configuration config = space.decode(index);
+    const Measurement m = evaluator.measure(config);
+    ++result.measurements;
+    result.data_gathering_cost_ms += m.cost_ms;
+    if (!m.valid) {
+      ++result.invalid_measurements;
+      return;
+    }
+    data.push_back({config, m.time_ms});
+    if (!have_best || m.time_ms < best_time) {
+      have_best = true;
+      best_time = m.time_ms;
+      best_config = config;
+    }
+  };
+
+  // Round 0: random seed sample.
+  {
+    const std::size_t n = std::min(options_.initial_samples,
+                                   options_.measurement_budget);
+    for (const std::size_t index : rng.sample_without_replacement(
+             static_cast<std::size_t>(space.size()),
+             static_cast<std::size_t>(
+                 std::min<std::uint64_t>(n, space.size())))) {
+      measure_index(index);
+    }
+    ++result.rounds;
+    result.incumbent_trace.push_back(have_best ? best_time : 0.0);
+  }
+
+  std::size_t rounds_without_improvement = 0;
+  while (result.measurements < options_.measurement_budget && !data.empty()) {
+    const double before = have_best ? best_time : 0.0;
+
+    // Train on everything measured so far.
+    AnnPerformanceModel model(options_.model);
+    model.fit(space, data, rng);
+
+    // Exploitation: best predictions not yet measured.
+    const std::size_t batch =
+        std::min(options_.batch_size,
+                 options_.measurement_budget - result.measurements);
+    const auto explore = static_cast<std::size_t>(
+        static_cast<double>(batch) * options_.exploration_fraction + 0.5);
+    const std::size_t exploit = batch - explore;
+
+    const auto predictions = model.predict_range_ms(0, space.size());
+    std::vector<std::uint64_t> order(predictions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const std::size_t pool =
+        std::min(order.size(), exploit + measured.size() + batch);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(pool),
+                      order.end(), [&](std::uint64_t a, std::uint64_t b) {
+                        return predictions[a] < predictions[b];
+                      });
+    std::size_t taken = 0;
+    for (const std::uint64_t index : order) {
+      if (taken >= exploit) break;
+      if (measured.count(index)) continue;
+      measure_index(index);
+      ++taken;
+    }
+    // Exploration: fresh random configurations.
+    for (std::size_t e = 0; e < explore; ++e) {
+      measure_index(rng.below(space.size()));
+    }
+
+    ++result.rounds;
+    result.incumbent_trace.push_back(have_best ? best_time : 0.0);
+    common::log_info("iterative[", evaluator.name(), "]: round ",
+                     result.rounds, " best=", have_best ? best_time : -1.0,
+                     " measured=", result.measurements);
+
+    if (have_best && before > 0.0 && best_time >= before) {
+      ++rounds_without_improvement;
+      if (options_.patience_rounds > 0 &&
+          rounds_without_improvement >= options_.patience_rounds)
+        break;
+    } else {
+      rounds_without_improvement = 0;
+    }
+  }
+
+  if (!data.empty()) {
+    AnnPerformanceModel model(options_.model);
+    model.fit(space, data, rng);
+    result.model = std::move(model);
+  }
+  result.success = have_best;
+  if (have_best) {
+    result.best_config = std::move(best_config);
+    result.best_time_ms = best_time;
+  }
+  return result;
+}
+
+}  // namespace pt::tuner

@@ -1,0 +1,74 @@
+#pragma once
+
+// Iterative (active-learning) auto-tuner — an extension beyond the paper's
+// one-shot two-stage design, in the spirit of the active-learning work its
+// related-work section cites (Ogilvie et al.).
+//
+// Instead of spending the whole measurement budget on one random sample,
+// the iterative tuner alternates:
+//
+//   round:  train the model on everything measured so far
+//           -> scan predictions
+//           -> measure a mixed batch: the most promising configurations
+//              (exploitation) plus fresh random ones (exploration)
+//
+// until the measurement budget is exhausted or the incumbent stops
+// improving. All measurements (including earlier rounds' winners) feed the
+// next round's model, so the model sharpens exactly where the tuner is
+// searching. The exploration share guards against the invalid-region trap
+// that breaks the one-shot tuner on stereo/GPU.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/model.hpp"
+
+namespace pt::tuner {
+
+struct IterativeTunerOptions {
+  std::size_t measurement_budget = 2000;  // total configurations measured
+  std::size_t initial_samples = 400;      // round-0 random sample
+  std::size_t batch_size = 200;           // measurements per later round
+  /// Fraction of each later batch drawn at random (exploration).
+  double exploration_fraction = 0.25;
+  /// Stop early after this many rounds without improving the incumbent
+  /// (0 = never stop early).
+  std::size_t patience_rounds = 0;
+  AnnPerformanceModel::Options model{};
+};
+
+struct IterativeTuneResult {
+  bool success = false;
+  Configuration best_config;
+  double best_time_ms = 0.0;
+
+  std::size_t rounds = 0;
+  std::size_t measurements = 0;
+  std::size_t invalid_measurements = 0;
+  double data_gathering_cost_ms = 0.0;
+  /// Incumbent best time at the end of each round (convergence trace).
+  std::vector<double> incumbent_trace;
+  /// Final model, trained on every valid measurement.
+  std::optional<AnnPerformanceModel> model;
+};
+
+class IterativeTuner {
+ public:
+  IterativeTuner() : IterativeTuner(IterativeTunerOptions{}) {}
+  explicit IterativeTuner(IterativeTunerOptions options);
+
+  [[nodiscard]] const IterativeTunerOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator,
+                                         common::Rng& rng) const;
+
+ private:
+  IterativeTunerOptions options_;
+};
+
+}  // namespace pt::tuner

@@ -1,0 +1,97 @@
+#pragma once
+
+// ANN-based performance model (paper section 5.2): maps a tuning
+// configuration to a predicted execution time via a bagging ensemble of
+// sigmoid MLPs trained on the logarithm of measured times.
+//
+// Feature encoding: the paper feeds parameter values directly. Power-of-two
+// parameters (work-group sizes 1..128) are extremely skewed on a linear
+// scale, so by default such dimensions are fed as log2(value) — an
+// information-preserving reparameterization (the exponent *is* the natural
+// coordinate of those knobs). kRaw reproduces the paper's literal encoding;
+// the ablation bench compares both.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/ensemble.hpp"
+#include "tuner/features.hpp"
+#include "tuner/param.hpp"
+
+namespace pt::tuner {
+
+/// One labelled observation for model fitting.
+struct TrainingSample {
+  Configuration config;
+  double time_ms = 0.0;
+};
+
+class AnnPerformanceModel {
+ public:
+  struct Options {
+    ml::BaggingEnsemble::Options ensemble{};
+    /// Train on log(time) so squared error means relative error (paper 5.2).
+    bool log_targets = true;
+    FeatureEncoding encoding = FeatureEncoding::kLog2;
+  };
+
+  AnnPerformanceModel() : AnnPerformanceModel(Options{}) {}
+  explicit AnnPerformanceModel(Options options);
+
+  /// Fit on (configuration, time) pairs from the given space. All samples
+  /// must be valid (invalid configurations are ignored upstream, as in the
+  /// paper). Throws std::invalid_argument on an empty sample set.
+  void fit(const ParamSpace& space, const std::vector<TrainingSample>& samples,
+           common::Rng& rng);
+
+  [[nodiscard]] bool fitted() const noexcept { return ensemble_.fitted(); }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] const ml::BaggingEnsemble& ensemble() const noexcept {
+    return ensemble_;
+  }
+
+  /// Predicted execution time (ms) for one configuration.
+  [[nodiscard]] double predict_ms(const Configuration& config) const;
+
+  /// Predicted times for a contiguous flat-index range [begin, end) of the
+  /// space — the bulk path used to scan entire configuration spaces.
+  [[nodiscard]] std::vector<double> predict_range_ms(std::uint64_t begin,
+                                                     std::uint64_t end) const;
+
+  /// Predicted times for an explicit list of configurations.
+  [[nodiscard]] std::vector<double> predict_many_ms(
+      const std::vector<Configuration>& configs) const;
+
+  /// The feature vector used for a configuration (exposed for tests).
+  [[nodiscard]] std::vector<double> encode_features(
+      const Configuration& config) const;
+
+  /// The space the model was fitted on (empty before fit).
+  [[nodiscard]] const ParamSpace& space() const noexcept { return space_; }
+  /// Target standardization parameters (see persist.hpp).
+  [[nodiscard]] double target_mean() const noexcept { return target_mean_; }
+  [[nodiscard]] double target_scale() const noexcept { return target_scale_; }
+
+  /// Rebuild a fitted model from persisted state (see tuner/persist.hpp).
+  [[nodiscard]] static AnnPerformanceModel restore(Options options,
+                                                   ParamSpace space,
+                                                   double target_mean,
+                                                   double target_scale,
+                                                   ml::BaggingEnsemble ensemble);
+
+ private:
+  [[nodiscard]] double to_time_ms(double network_output) const noexcept;
+
+  Options options_;
+  ParamSpace space_;
+  FeatureCodec codec_;
+  // Targets are standardized (zero mean, unit variance, after the optional
+  // log transform) before training: the network then starts near the right
+  // output scale and Rprop converges in far fewer epochs.
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+  ml::BaggingEnsemble ensemble_;
+};
+
+}  // namespace pt::tuner

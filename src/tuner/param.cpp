@@ -1,0 +1,131 @@
+#include "tuner/param.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pt::tuner {
+
+void ParamSpace::add(const std::string& name, std::vector<int> values) {
+  if (values.empty())
+    throw std::invalid_argument("ParamSpace::add: empty value list for " +
+                                name);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    throw std::invalid_argument("ParamSpace::add: duplicate values for " +
+                                name);
+  for (const auto& p : params_)
+    if (p.name == name)
+      throw std::invalid_argument("ParamSpace::add: duplicate parameter " +
+                                  name);
+  params_.push_back(TuningParameter{name, std::move(values)});
+}
+
+std::size_t ParamSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i].name == name) return i;
+  throw std::out_of_range("ParamSpace: no parameter named " + name);
+}
+
+std::uint64_t ParamSpace::size() const noexcept {
+  if (params_.empty()) return 0;
+  std::uint64_t n = 1;
+  for (const auto& p : params_) n *= p.values.size();
+  return n;
+}
+
+Configuration ParamSpace::decode(std::uint64_t index) const {
+  if (index >= size()) throw std::out_of_range("ParamSpace::decode");
+  Configuration config;
+  config.values.reserve(params_.size());
+  for (const auto& p : params_) {
+    const std::uint64_t radix = p.values.size();
+    config.values.push_back(p.values[static_cast<std::size_t>(index % radix)]);
+    index /= radix;
+  }
+  return config;
+}
+
+std::uint64_t ParamSpace::encode(const Configuration& config) const {
+  if (config.values.size() != params_.size())
+    throw std::invalid_argument("ParamSpace::encode: dimension mismatch");
+  std::uint64_t index = 0;
+  std::uint64_t stride = 1;
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    const auto& values = params_[d].values;
+    const auto it =
+        std::find(values.begin(), values.end(), config.values[d]);
+    if (it == values.end())
+      throw std::invalid_argument("ParamSpace::encode: value " +
+                                  std::to_string(config.values[d]) +
+                                  " not allowed for " + params_[d].name);
+    index += stride *
+             static_cast<std::uint64_t>(std::distance(values.begin(), it));
+    stride *= values.size();
+  }
+  return index;
+}
+
+bool ParamSpace::contains(const Configuration& config) const noexcept {
+  if (config.values.size() != params_.size()) return false;
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    const auto& values = params_[d].values;
+    if (std::find(values.begin(), values.end(), config.values[d]) ==
+        values.end())
+      return false;
+  }
+  return true;
+}
+
+int ParamSpace::value_of(const Configuration& config,
+                         const std::string& name) const {
+  return config.values.at(index_of(name));
+}
+
+Configuration ParamSpace::random(common::Rng& rng) const {
+  Configuration config;
+  config.values.reserve(params_.size());
+  for (const auto& p : params_) {
+    config.values.push_back(
+        p.values[static_cast<std::size_t>(rng.below(p.values.size()))]);
+  }
+  return config;
+}
+
+std::vector<Configuration> ParamSpace::neighbours(
+    const Configuration& config) const {
+  std::vector<Configuration> out;
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    const auto& values = params_[d].values;
+    const auto it =
+        std::find(values.begin(), values.end(), config.values[d]);
+    if (it == values.end())
+      throw std::invalid_argument("ParamSpace::neighbours: foreign config");
+    const auto pos = static_cast<std::size_t>(std::distance(values.begin(), it));
+    if (pos > 0) {
+      Configuration n = config;
+      n.values[d] = values[pos - 1];
+      out.push_back(std::move(n));
+    }
+    if (pos + 1 < values.size()) {
+      Configuration n = config;
+      n.values[d] = values[pos + 1];
+      out.push_back(std::move(n));
+    }
+  }
+  return out;
+}
+
+std::string ParamSpace::to_string(const Configuration& config) const {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t d = 0; d < config.values.size(); ++d) {
+    if (d) ss << ", ";
+    ss << config.values[d];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+}  // namespace pt::tuner

@@ -1,0 +1,84 @@
+#pragma once
+
+// Tuning-parameter spaces (paper Table 2). A ParamSpace is an ordered list
+// of named discrete parameters; a Configuration assigns one value to each.
+// Configurations are indexable: the space is a mixed-radix number system
+// over the parameter value lists, which gives O(1) encode/decode and makes
+// sampling-without-replacement over multi-million-point spaces trivial.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pt::tuner {
+
+/// One discrete tuning parameter: a name and its possible values, in order.
+struct TuningParameter {
+  std::string name;
+  std::vector<int> values;
+};
+
+/// An assignment of a value to every parameter of a space, stored as the
+/// actual values (aligned with the space's parameter order).
+struct Configuration {
+  std::vector<int> values;
+
+  [[nodiscard]] bool operator==(const Configuration&) const = default;
+};
+
+class ParamSpace {
+ public:
+  /// Add a parameter; values must be non-empty and unique.
+  void add(const std::string& name, std::vector<int> values);
+
+  [[nodiscard]] std::size_t dimension_count() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] const TuningParameter& parameter(std::size_t i) const {
+    return params_.at(i);
+  }
+  [[nodiscard]] const std::vector<TuningParameter>& parameters()
+      const noexcept {
+    return params_;
+  }
+
+  /// Index of a parameter by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Total number of configurations (product of value-list sizes).
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// Configuration at a flat index (mixed-radix decode; the first parameter
+  /// is the fastest-varying digit).
+  [[nodiscard]] Configuration decode(std::uint64_t index) const;
+
+  /// Flat index of a configuration (inverse of decode). Throws
+  /// std::invalid_argument if any value is not in the parameter's list.
+  [[nodiscard]] std::uint64_t encode(const Configuration& config) const;
+
+  /// True if every value of the configuration appears in its value list.
+  [[nodiscard]] bool contains(const Configuration& config) const noexcept;
+
+  /// Value of the named parameter within a configuration.
+  [[nodiscard]] int value_of(const Configuration& config,
+                             const std::string& name) const;
+
+  /// Uniformly random configuration.
+  [[nodiscard]] Configuration random(common::Rng& rng) const;
+
+  /// All single-parameter neighbours of a configuration (each parameter
+  /// stepped one position up/down its value list) — used by local search.
+  [[nodiscard]] std::vector<Configuration> neighbours(
+      const Configuration& config) const;
+
+  /// Human-readable "(v0, v1, ...)" rendering.
+  [[nodiscard]] std::string to_string(const Configuration& config) const;
+
+ private:
+  std::vector<TuningParameter> params_;
+};
+
+}  // namespace pt::tuner

@@ -1,0 +1,22 @@
+#pragma once
+
+// Persistence for trained performance models: save a fitted
+// AnnPerformanceModel (options, parameter space, feature codec, target
+// scaling and the ensemble weights) to a text stream and restore it later —
+// so the expensive data-gathering phase can be paid once per device and the
+// model reused across runs.
+
+#include <iosfwd>
+
+#include "tuner/model.hpp"
+
+namespace pt::tuner {
+
+/// Write a fitted model. Throws std::logic_error if the model is unfitted.
+void save_model(const AnnPerformanceModel& model, std::ostream& os);
+
+/// Read a model written by save_model. Throws std::runtime_error on a
+/// malformed stream.
+[[nodiscard]] AnnPerformanceModel load_model(std::istream& is);
+
+}  // namespace pt::tuner

@@ -1,0 +1,62 @@
+#include "tuner/sampler.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pt::tuner {
+
+std::vector<Configuration> RandomSampler::sample(const ParamSpace& space,
+                                                 std::size_t n,
+                                                 common::Rng& rng) const {
+  const std::uint64_t total = space.size();
+  n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, total));
+  const auto indices = rng.sample_without_replacement(
+      static_cast<std::size_t>(total), n);
+  std::vector<Configuration> out;
+  out.reserve(n);
+  for (const std::size_t idx : indices) out.push_back(space.decode(idx));
+  return out;
+}
+
+std::vector<Configuration> LatinHypercubeSampler::sample(
+    const ParamSpace& space, std::size_t n, common::Rng& rng) const {
+  const std::uint64_t total = space.size();
+  n = static_cast<std::size_t>(std::min<std::uint64_t>(n, total));
+
+  const std::size_t dims = space.dimension_count();
+  // Per dimension: a stream of value indices where each value appears
+  // floor/ceil(n / k) times, shuffled (the classic LHS stratification
+  // adapted to discrete levels).
+  std::vector<std::vector<std::size_t>> streams(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::size_t k = space.parameter(d).values.size();
+    auto& stream = streams[d];
+    stream.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) stream.push_back(i % k);
+    rng.shuffle(stream);
+  }
+
+  std::vector<Configuration> out;
+  out.reserve(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    Configuration config;
+    config.values.reserve(dims);
+    for (std::size_t d = 0; d < dims; ++d)
+      config.values.push_back(space.parameter(d).values[streams[d][i]]);
+    if (seen.insert(space.encode(config)).second) {
+      out.push_back(std::move(config));
+    }
+  }
+  // Top up collisions with fresh uniform draws.
+  while (out.size() < n) {
+    Configuration config = space.random(rng);
+    if (seen.insert(space.encode(config)).second)
+      out.push_back(std::move(config));
+  }
+  return out;
+}
+
+}  // namespace pt::tuner

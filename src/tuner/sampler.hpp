@@ -1,0 +1,44 @@
+#pragma once
+
+// Configuration samplers for the tuner's first stage. The paper draws the
+// training set uniformly at random; Latin hypercube sampling is provided as
+// the sampler ablation (DESIGN.md section 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/param.hpp"
+
+namespace pt::tuner {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draw `n` distinct configurations from the space (n is clamped to the
+  /// space size).
+  [[nodiscard]] virtual std::vector<Configuration> sample(
+      const ParamSpace& space, std::size_t n, common::Rng& rng) const = 0;
+};
+
+/// Uniform sampling without replacement over the flat index range.
+class RandomSampler final : public Sampler {
+ public:
+  [[nodiscard]] std::vector<Configuration> sample(
+      const ParamSpace& space, std::size_t n,
+      common::Rng& rng) const override;
+};
+
+/// Latin-hypercube-style stratified sampling: each parameter's value list is
+/// cycled through a stratified permutation so every value appears nearly
+/// equally often across the sample. Duplicate configurations are rejected
+/// and redrawn (the spaces are vastly larger than the sample sizes).
+class LatinHypercubeSampler final : public Sampler {
+ public:
+  [[nodiscard]] std::vector<Configuration> sample(
+      const ParamSpace& space, std::size_t n,
+      common::Rng& rng) const override;
+};
+
+}  // namespace pt::tuner

@@ -1,0 +1,197 @@
+#include "tuner/search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::tuner {
+
+namespace {
+
+/// Track the running best across measurements.
+struct Best {
+  bool found = false;
+  Configuration config;
+  double time_ms = 0.0;
+
+  void offer(const Configuration& candidate, const Measurement& m) {
+    if (!m.valid) return;
+    if (!found || m.time_ms < time_ms) {
+      found = true;
+      config = candidate;
+      time_ms = m.time_ms;
+    }
+  }
+};
+
+void finalize(SearchResult& result, const Best& best) {
+  result.success = best.found;
+  if (best.found) {
+    result.best_config = best.config;
+    result.best_time_ms = best.time_ms;
+  }
+}
+
+}  // namespace
+
+SearchResult exhaustive_search(Evaluator& evaluator,
+                               std::uint64_t hard_limit) {
+  return exhaustive_table(evaluator, hard_limit).result;
+}
+
+ExhaustiveTable exhaustive_table(Evaluator& evaluator,
+                                 std::uint64_t hard_limit) {
+  const ParamSpace& space = evaluator.space();
+  if (space.size() > hard_limit)
+    throw std::invalid_argument(
+        "exhaustive search: space exceeds the hard limit");
+  ExhaustiveTable table;
+  table.times.reserve(static_cast<std::size_t>(space.size()));
+  Best best;
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const Configuration config = space.decode(i);
+    const Measurement m = evaluator.measure(config);
+    ++table.result.evaluations;
+    table.result.total_cost_ms += m.cost_ms;
+    if (!m.valid) {
+      ++table.result.invalid;
+      continue;
+    }
+    table.times.emplace_back(i, m.time_ms);
+    best.offer(config, m);
+  }
+  finalize(table.result, best);
+  return table;
+}
+
+SearchResult random_search(Evaluator& evaluator, std::size_t n,
+                           common::Rng& rng) {
+  const ParamSpace& space = evaluator.space();
+  n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, space.size()));
+  const auto indices = rng.sample_without_replacement(
+      static_cast<std::size_t>(space.size()), n);
+  SearchResult result;
+  Best best;
+  for (const std::size_t index : indices) {
+    const Configuration config = space.decode(index);
+    const Measurement m = evaluator.measure(config);
+    ++result.evaluations;
+    result.total_cost_ms += m.cost_ms;
+    if (!m.valid) {
+      ++result.invalid;
+      continue;
+    }
+    best.offer(config, m);
+  }
+  finalize(result, best);
+  return result;
+}
+
+SearchResult hill_climb(Evaluator& evaluator, std::size_t restarts,
+                        common::Rng& rng, std::size_t max_steps_per_climb) {
+  const ParamSpace& space = evaluator.space();
+  SearchResult result;
+  Best global_best;
+
+  for (std::size_t r = 0; r < restarts; ++r) {
+    // Find a valid random starting point (bounded retries).
+    Configuration current;
+    Measurement current_m;
+    bool started = false;
+    for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+      current = space.random(rng);
+      current_m = evaluator.measure(current);
+      ++result.evaluations;
+      result.total_cost_ms += current_m.cost_ms;
+      if (current_m.valid) {
+        started = true;
+        break;
+      }
+      ++result.invalid;
+    }
+    if (!started) continue;
+    global_best.offer(current, current_m);
+
+    for (std::size_t step = 0; step < max_steps_per_climb; ++step) {
+      bool improved = false;
+      Configuration best_neighbour;
+      Measurement best_neighbour_m;
+      for (const auto& n : space.neighbours(current)) {
+        const Measurement m = evaluator.measure(n);
+        ++result.evaluations;
+        result.total_cost_ms += m.cost_ms;
+        if (!m.valid) {
+          ++result.invalid;
+          continue;
+        }
+        if (m.time_ms < current_m.time_ms &&
+            (!improved || m.time_ms < best_neighbour_m.time_ms)) {
+          improved = true;
+          best_neighbour = n;
+          best_neighbour_m = m;
+        }
+      }
+      if (!improved) break;
+      current = best_neighbour;
+      current_m = best_neighbour_m;
+      global_best.offer(current, current_m);
+    }
+  }
+  finalize(result, global_best);
+  return result;
+}
+
+SearchResult simulated_annealing(Evaluator& evaluator,
+                                 const AnnealingOptions& options,
+                                 common::Rng& rng) {
+  const ParamSpace& space = evaluator.space();
+  SearchResult result;
+  Best best;
+
+  Configuration current;
+  Measurement current_m;
+  bool have_current = false;
+  double temperature = options.initial_temperature;
+
+  for (std::size_t e = 0; e < options.evaluations; ++e) {
+    if (!have_current) {
+      current = space.random(rng);
+      current_m = evaluator.measure(current);
+      ++result.evaluations;
+      result.total_cost_ms += current_m.cost_ms;
+      if (!current_m.valid) {
+        ++result.invalid;
+        continue;
+      }
+      have_current = true;
+      best.offer(current, current_m);
+      continue;
+    }
+
+    const auto neighbours = space.neighbours(current);
+    if (neighbours.empty()) break;
+    const Configuration candidate =
+        neighbours[static_cast<std::size_t>(rng.below(neighbours.size()))];
+    const Measurement m = evaluator.measure(candidate);
+    ++result.evaluations;
+    result.total_cost_ms += m.cost_ms;
+    temperature *= options.cooling;
+    if (!m.valid) {
+      ++result.invalid;
+      continue;
+    }
+    best.offer(candidate, m);
+    // Metropolis on the log-time scale (temperature is scale-free).
+    const double delta =
+        std::log(m.time_ms) - std::log(current_m.time_ms);
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(1e-6, temperature))) {
+      current = candidate;
+      current_m = m;
+    }
+  }
+  finalize(result, best);
+  return result;
+}
+
+}  // namespace pt::tuner

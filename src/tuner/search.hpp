@@ -1,0 +1,65 @@
+#pragma once
+
+// Reference search strategies. Exhaustive search provides the ground truth
+// for the convolution experiments (Figs 1, 11-13); random search is the
+// paper's 50K-sample baseline for the large spaces (Fig 14); hill climbing
+// and simulated annealing are classic auto-tuning baselines included for
+// comparison benches.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace pt::tuner {
+
+/// Outcome of a search: best valid configuration, if any was found.
+struct SearchResult {
+  bool success = false;
+  Configuration best_config;
+  double best_time_ms = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t invalid = 0;
+  double total_cost_ms = 0.0;
+};
+
+/// Measure every configuration in the space. Only feasible for spaces like
+/// convolution's 131K points; throws std::invalid_argument if the space
+/// exceeds `hard_limit` (safety rail, default 16M).
+[[nodiscard]] SearchResult exhaustive_search(
+    Evaluator& evaluator, std::uint64_t hard_limit = 16ull << 20);
+
+/// Exhaustive search that also returns every valid (index, time) pair —
+/// the ground-truth table behind the slowdown figures.
+struct ExhaustiveTable {
+  SearchResult result;
+  /// Valid measurements: configuration flat index -> time.
+  std::vector<std::pair<std::uint64_t, double>> times;
+};
+[[nodiscard]] ExhaustiveTable exhaustive_table(
+    Evaluator& evaluator, std::uint64_t hard_limit = 16ull << 20);
+
+/// Measure `n` distinct random configurations.
+[[nodiscard]] SearchResult random_search(Evaluator& evaluator, std::size_t n,
+                                         common::Rng& rng);
+
+/// Steepest-descent hill climbing with random restarts. Each climb starts
+/// from a random valid configuration and moves to the best valid neighbour
+/// until no neighbour improves.
+[[nodiscard]] SearchResult hill_climb(Evaluator& evaluator,
+                                      std::size_t restarts, common::Rng& rng,
+                                      std::size_t max_steps_per_climb = 256);
+
+/// Simulated annealing over the neighbour graph with geometric cooling.
+struct AnnealingOptions {
+  std::size_t evaluations = 2000;
+  double initial_temperature = 1.0;  // relative to log-time scale
+  double cooling = 0.995;
+};
+[[nodiscard]] SearchResult simulated_annealing(Evaluator& evaluator,
+                                               const AnnealingOptions& options,
+                                               common::Rng& rng);
+
+}  // namespace pt::tuner

@@ -1,0 +1,74 @@
+#include "tuner/validity.hpp"
+
+#include <algorithm>
+
+#include "ml/dataset.hpp"
+#include "ml/scaler.hpp"
+#include "ml/trainer.hpp"
+
+namespace pt::tuner {
+
+void ValidityModel::fit(const ParamSpace& space,
+                        const std::vector<Configuration>& valid,
+                        const std::vector<Configuration>& invalid,
+                        common::Rng& rng) {
+  net_.reset();
+  if (valid.empty() || invalid.empty()) return;  // single class: no filter
+  space_ = space;
+  codec_ = FeatureCodec::build(space, options_.encoding);
+
+  ml::Dataset data;
+  const std::size_t n = valid.size() + invalid.size();
+  data.x = ml::Matrix(n, space.dimension_count());
+  data.y = ml::Matrix(n, 1);
+  std::size_t row = 0;
+  for (const auto& config : valid) {
+    codec_.encode_into(config, data.x.row(row));
+    data.y(row, 0) = 1.0;
+    ++row;
+  }
+  for (const auto& config : invalid) {
+    codec_.encode_into(config, data.x.row(row));
+    data.y(row, 0) = 0.0;
+    ++row;
+  }
+
+  scaler_ = ml::StandardScaler();
+  scaler_.fit(data.x);
+  scaler_.transform_inplace(data.x);
+
+  auto net = std::make_unique<ml::Mlp>(
+      space.dimension_count(),
+      std::vector<ml::LayerSpec>{
+          {options_.hidden_units, ml::Activation::kSigmoid},
+          {1, ml::Activation::kSigmoid}});  // sigmoid output: a score in [0,1]
+  net->init_weights(rng);
+  ml::RpropTrainer::Options topt;
+  topt.common.max_epochs = options_.max_epochs;
+  topt.common.patience = options_.max_epochs / 8;
+  ml::RpropTrainer(topt).train(*net, data, rng);
+  net_ = std::move(net);
+}
+
+double ValidityModel::score(const Configuration& config) const {
+  if (!fitted()) return 1.0;
+  auto features = codec_.encode(config);
+  scaler_.transform_row(features);
+  return net_->forward(features)[0];
+}
+
+double ValidityModel::accuracy(
+    const ParamSpace& space, const std::vector<Configuration>& valid,
+    const std::vector<Configuration>& invalid) const {
+  (void)space;
+  if (valid.empty() && invalid.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& config : valid)
+    if (predict_valid(config)) ++correct;
+  for (const auto& config : invalid)
+    if (!predict_valid(config)) ++correct;
+  return static_cast<double>(correct) /
+         static_cast<double>(valid.size() + invalid.size());
+}
+
+}  // namespace pt::tuner

@@ -1,0 +1,146 @@
+// Cross-cutting properties of (benchmark x device): profiles are device
+// independent (the *driver effects* live in the timing model), times are
+// device dependent, and the invalidity structure matches the architecture
+// differences the paper leans on.
+
+#include <gtest/gtest.h>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/registry.hpp"
+
+namespace pt::benchkit {
+namespace {
+
+class BenchmarkDeviceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, const char*>> {
+ protected:
+  static const clsim::Platform& platform() {
+    static clsim::Platform p = archsim::default_platform();
+    return p;
+  }
+};
+
+TEST_P(BenchmarkDeviceTest, SomeConfigurationRunsEverywhere) {
+  const auto& [bench_name, device_name] = GetParam();
+  const auto bench = make_benchmark(bench_name);
+  BenchmarkEvaluator eval(*bench,
+                          platform().device_by_name(device_name));
+  common::Rng rng(11);
+  bool found_valid = false;
+  for (int i = 0; i < 200 && !found_valid; ++i) {
+    found_valid = eval.measure(eval.space().random(rng)).valid;
+  }
+  EXPECT_TRUE(found_valid) << bench_name << " @ " << device_name;
+}
+
+TEST_P(BenchmarkDeviceTest, ValidTimesArePositiveAndFinite) {
+  const auto& [bench_name, device_name] = GetParam();
+  const auto bench = make_benchmark(bench_name);
+  BenchmarkEvaluator eval(*bench,
+                          platform().device_by_name(device_name));
+  common::Rng rng(13);
+  int checked = 0;
+  for (int i = 0; i < 300 && checked < 30; ++i) {
+    const auto m = eval.measure(eval.space().random(rng));
+    if (!m.valid) continue;
+    ++checked;
+    EXPECT_GT(m.time_ms, 0.0);
+    EXPECT_TRUE(std::isfinite(m.time_ms));
+    EXPECT_GE(m.cost_ms, m.time_ms);
+  }
+  EXPECT_GE(checked, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BenchmarkDeviceTest,
+    ::testing::Combine(::testing::Values("convolution", "raycasting",
+                                         "stereo"),
+                       ::testing::Values(archsim::kIntelI7,
+                                         archsim::kNvidiaK40,
+                                         archsim::kAmdHd7970)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param) + std::string("_") +
+                         std::get<1>(param_info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(CrossDevice, ProfilesAreDeviceIndependent) {
+  // The compiled profile describes the *kernel*, not the device; driver
+  // quirks are applied inside the timing model. Same config -> same profile
+  // on every device.
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench = make_benchmark("raycasting");
+  common::Rng rng(17);
+  const auto config = bench->space().random(rng);
+  const auto a =
+      bench->prepare(platform.device_by_name(archsim::kIntelI7), config);
+  const auto b =
+      bench->prepare(platform.device_by_name(archsim::kAmdHd7970), config);
+  EXPECT_EQ(a.kernel.profile().config_fingerprint,
+            b.kernel.profile().config_fingerprint);
+  EXPECT_EQ(a.kernel.profile().flops_per_item,
+            b.kernel.profile().flops_per_item);
+  EXPECT_EQ(a.kernel.profile().local_mem_bytes_per_group,
+            b.kernel.profile().local_mem_bytes_per_group);
+  EXPECT_EQ(a.global, b.global);
+}
+
+TEST(CrossDevice, SameConfigTimesDifferAcrossDevices) {
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench = make_benchmark("convolution");
+  const tuner::Configuration config{{16, 8, 2, 2, 0, 0, 0, 1, 0}};
+  std::vector<double> times;
+  for (const char* name :
+       {archsim::kIntelI7, archsim::kNvidiaK40, archsim::kAmdHd7970}) {
+    BenchmarkEvaluator eval(*bench, platform.device_by_name(name));
+    const auto m = eval.measure(config);
+    ASSERT_TRUE(m.valid) << name;
+    times.push_back(m.time_ms);
+  }
+  EXPECT_NE(times[0], times[1]);
+  EXPECT_NE(times[1], times[2]);
+  // The CPU is the slowest device on this bandwidth-bound kernel.
+  EXPECT_GT(times[0], times[1]);
+  EXPECT_GT(times[0], times[2]);
+}
+
+TEST(CrossDevice, LocalMemoryFlagsRaiseGpuInvalidRates) {
+  // Forcing both stereo tiles into local memory should push many more
+  // configurations over the GPU local-memory limit than leaving them off.
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench = make_benchmark("stereo");
+  BenchmarkEvaluator eval(
+      *bench, platform.device_by_name(archsim::kAmdHd7970));
+  const auto& space = bench->space();
+  common::Rng rng(19);
+  int invalid_with_local = 0;
+  int invalid_without = 0;
+  const int n = 250;
+  for (int i = 0; i < n; ++i) {
+    tuner::Configuration config = space.random(rng);
+    config.values[space.index_of("LOCAL_LEFT")] = 1;
+    config.values[space.index_of("LOCAL_RIGHT")] = 1;
+    if (!eval.measure(config).valid) ++invalid_with_local;
+    config.values[space.index_of("LOCAL_LEFT")] = 0;
+    config.values[space.index_of("LOCAL_RIGHT")] = 0;
+    if (!eval.measure(config).valid) ++invalid_without;
+  }
+  EXPECT_GT(invalid_with_local, invalid_without);
+}
+
+TEST(CrossDevice, CompileCostVariesByDriver) {
+  // AMD's compiler is the slowest in the catalog (base + per-statement).
+  const clsim::Platform platform = archsim::default_platform();
+  const auto bench = make_benchmark("convolution");
+  const tuner::Configuration config{{16, 8, 2, 2, 0, 0, 0, 1, 1}};
+  const auto amd =
+      bench->prepare(platform.device_by_name(archsim::kAmdHd7970), config);
+  const auto k40 =
+      bench->prepare(platform.device_by_name(archsim::kNvidiaK40), config);
+  EXPECT_GT(amd.build_time_ms, k40.build_time_ms);
+}
+
+}  // namespace
+}  // namespace pt::benchkit

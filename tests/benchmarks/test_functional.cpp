@@ -1,0 +1,243 @@
+// Functional equivalence tests (the paper's core premise, section 5.1):
+// every tuning configuration must compute the same result. We run small
+// geometry instances through the coroutine executor and compare against the
+// scalar references, across targeted configurations that exercise every
+// memory path, plus randomized sweeps.
+
+#include <gtest/gtest.h>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/convolution.hpp"
+#include "benchmarks/raycasting.hpp"
+#include "benchmarks/registry.hpp"
+#include "benchmarks/stereo.hpp"
+
+namespace pt::benchkit {
+namespace {
+
+clsim::Device cpu_device() {
+  static clsim::Platform platform = archsim::default_platform();
+  return platform.device_by_name(archsim::kIntelI7);
+}
+clsim::Device gpu_device() {
+  static clsim::Platform platform = archsim::default_platform();
+  return platform.device_by_name(archsim::kNvidiaK40);
+}
+
+tuner::Configuration conv_config(int wgx, int wgy, int pptx, int ppty,
+                                 int img, int loc, int pad, int il, int ur) {
+  return tuner::Configuration{{wgx, wgy, pptx, ppty, img, loc, pad, il, ur}};
+}
+
+constexpr double kTol = 1e-5;
+
+struct ConvCase {
+  const char* label;
+  tuner::Configuration config;
+};
+
+class ConvolutionFunctionalTest : public ::testing::TestWithParam<ConvCase> {
+ protected:
+  static const ConvolutionBenchmark& bench() {
+    static ConvolutionBenchmark instance(
+        ConvolutionBenchmark::Geometry{48, 32, 2});
+    return instance;
+  }
+};
+
+TEST_P(ConvolutionFunctionalTest, MatchesReferenceOnCpu) {
+  EXPECT_LT(bench().verify(cpu_device(), GetParam().config), kTol);
+}
+
+TEST_P(ConvolutionFunctionalTest, MatchesReferenceOnGpu) {
+  EXPECT_LT(bench().verify(gpu_device(), GetParam().config), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryPaths, ConvolutionFunctionalTest,
+    ::testing::Values(
+        ConvCase{"plain_global", conv_config(8, 4, 1, 1, 0, 0, 0, 0, 0)},
+        ConvCase{"image", conv_config(8, 4, 1, 1, 1, 0, 0, 0, 0)},
+        ConvCase{"local", conv_config(8, 4, 1, 1, 0, 1, 0, 0, 0)},
+        ConvCase{"image_plus_local", conv_config(8, 4, 1, 1, 1, 1, 0, 0, 0)},
+        ConvCase{"padded", conv_config(8, 4, 1, 1, 0, 0, 1, 0, 0)},
+        ConvCase{"interleaved", conv_config(8, 4, 2, 2, 0, 0, 0, 1, 0)},
+        ConvCase{"blocked_ppt", conv_config(4, 4, 2, 2, 0, 0, 0, 0, 0)},
+        ConvCase{"unrolled", conv_config(8, 4, 1, 1, 0, 0, 0, 0, 1)},
+        ConvCase{"everything_on", conv_config(4, 2, 2, 2, 1, 1, 1, 1, 1)},
+        ConvCase{"wide_group", conv_config(16, 1, 1, 2, 0, 1, 0, 1, 0)},
+        ConvCase{"tall_group", conv_config(1, 8, 4, 1, 0, 0, 1, 0, 1)},
+        ConvCase{"single_thread_groups", conv_config(1, 1, 4, 4, 0, 0, 0, 0, 0)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(ConvolutionFunctional, RandomConfigSweep) {
+  const ConvolutionBenchmark bench(ConvolutionBenchmark::Geometry{40, 24, 2});
+  common::Rng rng(11);
+  int verified = 0;
+  int attempts = 0;
+  while (verified < 12 && attempts < 200) {
+    ++attempts;
+    const auto config = bench.space().random(rng);
+    try {
+      EXPECT_LT(bench.verify(cpu_device(), config), kTol)
+          << bench.space().to_string(config);
+      ++verified;
+    } catch (const clsim::ClException& e) {
+      ASSERT_TRUE(e.is_invalid_configuration()) << e.what();
+    }
+  }
+  EXPECT_GE(verified, 12);
+}
+
+TEST(ConvolutionFunctional, ReferenceIsBoxFilter) {
+  const ConvolutionBenchmark bench(ConvolutionBenchmark::Geometry{8, 8, 1});
+  const auto ref = bench.reference();
+  // Interior pixel: mean of the 3x3 neighbourhood.
+  float expected = 0.0f;
+  for (int dy = -1; dy <= 1; ++dy)
+    for (int dx = -1; dx <= 1; ++dx)
+      expected += ConvolutionBenchmark::input_value(4 + dx, 4 + dy) / 9.0f;
+  EXPECT_NEAR(ref[4 * 8 + 4], expected, 1e-5);
+}
+
+struct RayCase {
+  const char* label;
+  tuner::Configuration config;
+};
+
+tuner::Configuration ray_config(int wgx, int wgy, int pptx, int ppty,
+                                int img_data, int img_tf, int local_tf,
+                                int const_tf, int il, int unroll) {
+  return tuner::Configuration{
+      {wgx, wgy, pptx, ppty, img_data, img_tf, local_tf, const_tf, il,
+       unroll}};
+}
+
+class RaycastingFunctionalTest : public ::testing::TestWithParam<RayCase> {
+ protected:
+  static const RaycastingBenchmark& bench() {
+    static RaycastingBenchmark instance(
+        RaycastingBenchmark::Geometry{16, 24, 16, 0.98f});
+    return instance;
+  }
+};
+
+TEST_P(RaycastingFunctionalTest, MatchesReferenceOnCpu) {
+  EXPECT_LT(bench().verify(cpu_device(), GetParam().config), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TfPlacements, RaycastingFunctionalTest,
+    ::testing::Values(
+        RayCase{"buffer_everything", ray_config(4, 4, 1, 1, 0, 0, 0, 0, 0, 1)},
+        RayCase{"volume_image", ray_config(4, 4, 1, 1, 1, 0, 0, 0, 0, 1)},
+        RayCase{"tf_image", ray_config(4, 4, 1, 1, 0, 1, 0, 0, 0, 1)},
+        RayCase{"tf_local", ray_config(4, 4, 1, 1, 0, 0, 1, 0, 0, 1)},
+        RayCase{"tf_local_from_image", ray_config(4, 4, 1, 1, 0, 1, 1, 0, 0, 1)},
+        RayCase{"tf_constant", ray_config(4, 4, 1, 1, 0, 0, 0, 1, 0, 1)},
+        RayCase{"all_spaces", ray_config(4, 2, 1, 1, 1, 1, 1, 1, 0, 2)},
+        RayCase{"interleaved_rays", ray_config(4, 4, 2, 2, 0, 0, 0, 0, 1, 4)},
+        RayCase{"deep_unroll", ray_config(2, 2, 2, 2, 1, 0, 0, 0, 0, 16)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(RaycastingFunctional, TimingOnlyInstanceRefusesVerify) {
+  RaycastingBenchmark::Geometry g;
+  g.volume = 256;  // above kMaxFunctionalVolume
+  g.width = 8;
+  g.height = 8;
+  const RaycastingBenchmark bench(g);
+  EXPECT_FALSE(bench.materialized());
+  EXPECT_THROW((void)bench.verify(cpu_device(),
+                                  ray_config(4, 4, 1, 1, 0, 0, 0, 0, 0, 1)),
+               std::logic_error);
+}
+
+TEST(RaycastingFunctional, TimingOnlyInstanceStillPrepares) {
+  RaycastingBenchmark::Geometry g;
+  g.volume = 256;
+  g.width = 64;
+  g.height = 64;
+  const RaycastingBenchmark bench(g);
+  const auto plan = bench.prepare(gpu_device(),
+                                  ray_config(8, 8, 1, 1, 1, 0, 0, 0, 0, 4));
+  EXPECT_EQ(plan.global, clsim::NDRange(64, 64));
+  EXPECT_GT(plan.build_time_ms, 0.0);
+}
+
+struct StereoCase {
+  const char* label;
+  tuner::Configuration config;
+};
+
+tuner::Configuration stereo_config(int wgx, int wgy, int pptx, int ppty,
+                                   int img_l, int img_r, int loc_l, int loc_r,
+                                   int ud, int ux, int uy) {
+  return tuner::Configuration{
+      {wgx, wgy, pptx, ppty, img_l, img_r, loc_l, loc_r, ud, ux, uy}};
+}
+
+class StereoFunctionalTest : public ::testing::TestWithParam<StereoCase> {
+ protected:
+  static const StereoBenchmark& bench() {
+    static StereoBenchmark instance(StereoBenchmark::Geometry{32, 24, 8, 2});
+    return instance;
+  }
+};
+
+TEST_P(StereoFunctionalTest, MatchesReferenceOnCpu) {
+  EXPECT_LT(bench().verify(cpu_device(), GetParam().config), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TilePlacements, StereoFunctionalTest,
+    ::testing::Values(
+        StereoCase{"plain", stereo_config(4, 4, 1, 1, 0, 0, 0, 0, 1, 1, 1)},
+        StereoCase{"images", stereo_config(4, 4, 1, 1, 1, 1, 0, 0, 1, 1, 1)},
+        StereoCase{"local_left", stereo_config(4, 4, 1, 1, 0, 0, 1, 0, 1, 1, 1)},
+        StereoCase{"local_right", stereo_config(4, 4, 1, 1, 0, 0, 0, 1, 1, 1, 1)},
+        StereoCase{"local_both", stereo_config(4, 4, 1, 1, 0, 0, 1, 1, 1, 1, 1)},
+        StereoCase{"local_from_images",
+                   stereo_config(4, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1)},
+        StereoCase{"unrolled", stereo_config(4, 4, 1, 1, 0, 0, 0, 0, 8, 4, 4)},
+        StereoCase{"ppt_blocks", stereo_config(2, 2, 2, 2, 0, 0, 1, 1, 2, 2, 2)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(StereoFunctional, RecoversPlantedDisparityInInterior) {
+  const StereoBenchmark bench(StereoBenchmark::Geometry{48, 16, 8, 2});
+  const auto ref = bench.reference();
+  // In the interior (away from borders and disparity clamping), block
+  // matching should recover the planted disparity field most of the time.
+  int correct = 0;
+  int total = 0;
+  for (std::size_t y = 4; y < 12; ++y) {
+    for (std::size_t x = 12; x < 36; ++x) {
+      ++total;
+      const int truth = StereoBenchmark::true_disparity(x, y, 8);
+      if (static_cast<int>(ref[y * 48 + x]) == truth) ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(Registry, SmallInstancesVerifyOutOfTheBox) {
+  common::Rng rng(3);
+  for (const auto& name : benchmark_names()) {
+    const auto bench = make_benchmark_small(name);
+    int verified = 0;
+    int attempts = 0;
+    while (verified < 3 && attempts < 100) {
+      ++attempts;
+      const auto config = bench->space().random(rng);
+      try {
+        EXPECT_LT(bench->verify(cpu_device(), config), kTol) << name;
+        ++verified;
+      } catch (const clsim::ClException& e) {
+        ASSERT_TRUE(e.is_invalid_configuration());
+      }
+    }
+    EXPECT_GE(verified, 3) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pt::benchkit

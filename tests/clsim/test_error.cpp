@@ -1,0 +1,42 @@
+#include "clsim/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::clsim {
+namespace {
+
+TEST(Error, MessageIncludesStatusAndDetail) {
+  const ClException e(Status::kInvalidWorkGroupSize, "group too large");
+  EXPECT_EQ(e.status(), Status::kInvalidWorkGroupSize);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("CL_INVALID_WORK_GROUP_SIZE"), std::string::npos);
+  EXPECT_NE(what.find("group too large"), std::string::npos);
+}
+
+TEST(Error, InvalidConfigurationClassification) {
+  // These statuses mean "this tuning configuration cannot run here" — the
+  // auto-tuner must skip them.
+  for (Status s : {Status::kInvalidWorkGroupSize, Status::kInvalidWorkItemSize,
+                   Status::kOutOfResources, Status::kOutOfLocalMemory,
+                   Status::kBuildProgramFailure}) {
+    EXPECT_TRUE(ClException(s, "x").is_invalid_configuration())
+        << to_string(s);
+  }
+  // These mean the host program is wrong — they must propagate.
+  for (Status s : {Status::kInvalidValue, Status::kInvalidKernelArgs,
+                   Status::kInvalidOperation, Status::kDeviceNotFound}) {
+    EXPECT_FALSE(ClException(s, "x").is_invalid_configuration())
+        << to_string(s);
+  }
+}
+
+TEST(Error, AllStatusesHaveNames) {
+  for (int s = 0; s <= static_cast<int>(Status::kProfilingInfoNotAvailable);
+       ++s) {
+    const char* name = to_string(static_cast<Status>(s));
+    EXPECT_NE(std::string(name), "CL_UNKNOWN");
+  }
+}
+
+}  // namespace
+}  // namespace pt::clsim

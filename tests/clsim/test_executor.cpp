@@ -1,0 +1,198 @@
+#include "clsim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "clsim/memory.hpp"
+
+namespace pt::clsim {
+namespace {
+
+TEST(Executor, RunsEveryWorkItemExactlyOnce) {
+  Buffer out(64 * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    out.as<int>()[ctx.global_id(0)] += 1;
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(64), NDRange(8), 0, body);
+  for (int v : out.as<const int>()) EXPECT_EQ(v, 1);
+}
+
+TEST(Executor, GlobalIdsCoverFullRange2D) {
+  Buffer out(6 * 4 * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    const std::size_t x = ctx.global_id(0);
+    const std::size_t y = ctx.global_id(1);
+    out.as<int>()[y * 6 + x] =
+        static_cast<int>(y * 6 + x);
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(6, 4), NDRange(3, 2), 0, body);
+  const auto view = out.as<const int>();
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(view[i], i);
+}
+
+TEST(Executor, IdRelationsHold) {
+  // global_id == group_id * local_size + local_id in every dimension.
+  std::atomic<int> violations{0};
+  auto body = [&violations](WorkItemCtx& ctx) -> WorkItemTask {
+    for (std::size_t d = 0; d < ctx.work_dim(); ++d) {
+      if (ctx.global_id(d) !=
+          ctx.group_id(d) * ctx.local_size(d) + ctx.local_id(d))
+        violations.fetch_add(1);
+      if (ctx.local_id(d) >= ctx.local_size(d)) violations.fetch_add(1);
+      if (ctx.num_groups(d) != ctx.global_size(d) / ctx.local_size(d))
+        violations.fetch_add(1);
+    }
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(8, 6, 4), NDRange(2, 3, 2), 0, body);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Executor, BarrierSynchronizesGroup) {
+  // Classic two-phase pattern: all items write local, barrier, all read a
+  // neighbour's slot. Without a real barrier the read would see garbage.
+  constexpr std::size_t kGroup = 16;
+  Buffer out(kGroup * 4 * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto scratch = ctx.local_alloc<int>(kGroup);
+    const std::size_t lid = ctx.local_id(0);
+    scratch[lid] = static_cast<int>(ctx.global_id(0));
+    co_await ctx.barrier();
+    // Read the *opposite* slot; correct only if everyone wrote first.
+    out.as<int>()[ctx.global_id(0)] = scratch[kGroup - 1 - lid];
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(kGroup * 4), NDRange(kGroup), kGroup * sizeof(int), body);
+  const auto view = out.as<const int>();
+  for (std::size_t g = 0; g < 4; ++g) {
+    for (std::size_t i = 0; i < kGroup; ++i) {
+      EXPECT_EQ(view[g * kGroup + i],
+                static_cast<int>(g * kGroup + (kGroup - 1 - i)));
+    }
+  }
+}
+
+TEST(Executor, MultipleBarriersKeepLockstep) {
+  constexpr std::size_t kGroup = 8;
+  Buffer out(kGroup * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto scratch = ctx.local_alloc<int>(kGroup);
+    const std::size_t lid = ctx.local_id(0);
+    scratch[lid] = 1;
+    co_await ctx.barrier();
+    // Tree reduction with a barrier per level.
+    for (std::size_t stride = kGroup / 2; stride > 0; stride /= 2) {
+      if (lid < stride) scratch[lid] += scratch[lid + stride];
+      co_await ctx.barrier();
+    }
+    if (lid == 0) out.as<int>()[0] = scratch[0];
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(kGroup), NDRange(kGroup), kGroup * sizeof(int), body);
+  EXPECT_EQ(out.as<const int>()[0], static_cast<int>(kGroup));
+}
+
+TEST(Executor, LocalAllocSharedWithinGroup) {
+  // Every work-item's local_alloc must return the same storage.
+  Buffer out(4 * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto a = ctx.local_alloc<int>(4);
+    if (ctx.local_id(0) == 0) a[2] = 77;
+    co_await ctx.barrier();
+    if (ctx.local_id(0) == 3) out.as<int>()[0] = a[2];
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(4), NDRange(4), 4 * sizeof(int), body);
+  EXPECT_EQ(out.as<const int>()[0], 77);
+}
+
+TEST(Executor, LocalAllocOverflowThrows) {
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    (void)ctx.local_alloc<double>(100);  // 800 bytes > arena
+    co_return;
+  };
+  NDRangeExecutor exec;
+  EXPECT_THROW(exec.run(NDRange(2), NDRange(2), 64, body), ClException);
+}
+
+TEST(Executor, BarrierDivergenceDetected) {
+  // Half the group hits a barrier, the other half returns: UB in OpenCL,
+  // detected as an error here.
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    if (ctx.local_id(0) < 2) co_await ctx.barrier();
+    co_return;
+  };
+  NDRangeExecutor exec;
+  try {
+    exec.run(NDRange(4), NDRange(4), 0, body);
+    FAIL() << "expected barrier divergence";
+  } catch (const ClException& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidOperation);
+  }
+}
+
+TEST(Executor, GeometryValidation) {
+  auto body = [](WorkItemCtx&) -> WorkItemTask { co_return; };
+  NDRangeExecutor exec;
+  // Local does not divide global.
+  EXPECT_THROW(exec.run(NDRange(10), NDRange(3), 0, body), ClException);
+  // Dimensionality mismatch.
+  EXPECT_THROW(exec.run(NDRange(8, 8), NDRange(4), 0, body), ClException);
+  // Empty global.
+  EXPECT_THROW(exec.run(NDRange(), NDRange(), 0, body), ClException);
+  // Null body.
+  EXPECT_THROW(exec.run(NDRange(4), NDRange(2), 0, KernelBody{}), ClException);
+}
+
+TEST(Executor, KernelExceptionPropagates) {
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    if (ctx.global_id(0) == 3) throw std::runtime_error("kernel bug");
+    co_return;
+  };
+  NDRangeExecutor exec;
+  EXPECT_THROW(exec.run(NDRange(8), NDRange(4), 0, body), std::runtime_error);
+}
+
+TEST(Executor, ThreadPoolGivesSameResult) {
+  common::ThreadPool pool(3);
+  Buffer seq(256 * sizeof(int));
+  Buffer par(256 * sizeof(int));
+  auto make_body = [](Buffer buf) {
+    return [buf](WorkItemCtx& ctx) -> WorkItemTask {
+      const std::size_t gid = ctx.global_id(0) + ctx.global_id(1) * 16;
+      buf.as<int>()[gid] = static_cast<int>(gid * 3 + 1);
+      co_return;
+    };
+  };
+  NDRangeExecutor(nullptr).run(NDRange(16, 16), NDRange(4, 4), 0,
+                               make_body(seq));
+  NDRangeExecutor(&pool).run(NDRange(16, 16), NDRange(4, 4), 0,
+                             make_body(par));
+  const auto a = seq.as<const int>();
+  const auto b = par.as<const int>();
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Executor, SingleItemGroups) {
+  Buffer out(4 * sizeof(int));
+  auto body = [&out](WorkItemCtx& ctx) -> WorkItemTask {
+    out.as<int>()[ctx.global_id(0)] = static_cast<int>(ctx.group_id(0));
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(4), NDRange(1), 0, body);
+  const auto view = out.as<const int>();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(view[i], i);
+}
+
+}  // namespace
+}  // namespace pt::clsim

@@ -1,0 +1,138 @@
+// Heavier executor scenarios: 3D ranges with barriers, group-local prefix
+// sums, many small groups, and mixed local allocations — the patterns real
+// OpenCL kernels use beyond the benchmark suite.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "clsim/executor.hpp"
+#include "clsim/memory.hpp"
+
+namespace pt::clsim {
+namespace {
+
+TEST(ExecutorStress, ThreeDimensionalBarrierReduction) {
+  // 4x4x2 groups over a 8x8x4 range; per-group sum via local memory.
+  constexpr std::size_t kGroupItems = 2 * 2 * 2;
+  Buffer out(2 * 2 * 4 * sizeof(int));  // wait: groups = (8/2)*(8/2)*(4/2)=32
+  Buffer group_sums(32 * sizeof(int));
+  auto body = [group_sums](WorkItemCtx& ctx) -> WorkItemTask {
+    auto scratch = ctx.local_alloc<int>(kGroupItems);
+    const std::size_t lid =
+        (ctx.local_id(2) * ctx.local_size(1) + ctx.local_id(1)) *
+            ctx.local_size(0) +
+        ctx.local_id(0);
+    const std::size_t gid =
+        (ctx.global_id(2) * ctx.global_size(1) + ctx.global_id(1)) *
+            ctx.global_size(0) +
+        ctx.global_id(0);
+    scratch[lid] = static_cast<int>(gid);
+    co_await ctx.barrier();
+    if (lid == 0) {
+      int sum = 0;
+      for (std::size_t i = 0; i < kGroupItems; ++i) sum += scratch[i];
+      const std::size_t group_flat =
+          (ctx.group_id(2) * ctx.num_groups(1) + ctx.group_id(1)) *
+              ctx.num_groups(0) +
+          ctx.group_id(0);
+      group_sums.as<int>()[group_flat] = sum;
+    }
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(8, 8, 4), NDRange(2, 2, 2), kGroupItems * sizeof(int),
+           body);
+  // Total of group sums equals the sum of all global flat ids.
+  const auto sums = group_sums.as<const int>();
+  const long total = std::accumulate(sums.begin(), sums.end(), 0L);
+  const long n = 8 * 8 * 4;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+  (void)out;
+}
+
+TEST(ExecutorStress, GroupPrefixSumWithManyBarriers) {
+  constexpr std::size_t kGroup = 32;
+  Buffer out(kGroup * sizeof(int));
+  auto body = [out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto a = ctx.local_alloc<int>(kGroup);
+    auto b = ctx.local_alloc<int>(kGroup);
+    const std::size_t lid = ctx.local_id(0);
+    a[lid] = 1;
+    co_await ctx.barrier();
+    // Hillis-Steele inclusive scan: log2(32) = 5 barrier rounds (x2).
+    bool src_is_a = true;
+    for (std::size_t stride = 1; stride < kGroup; stride *= 2) {
+      auto& src = src_is_a ? a : b;
+      auto& dst = src_is_a ? b : a;
+      dst[lid] = lid >= stride ? src[lid] + src[lid - stride] : src[lid];
+      co_await ctx.barrier();
+      src_is_a = !src_is_a;
+    }
+    out.as<int>()[lid] = (src_is_a ? a : b)[lid];
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(kGroup), NDRange(kGroup), 2 * kGroup * sizeof(int), body);
+  const auto view = out.as<const int>();
+  for (std::size_t i = 0; i < kGroup; ++i)
+    EXPECT_EQ(view[i], static_cast<int>(i + 1));  // inclusive scan of ones
+}
+
+TEST(ExecutorStress, ManyTinyGroups) {
+  constexpr std::size_t kN = 4096;
+  Buffer out(kN * sizeof(int));
+  auto body = [out](WorkItemCtx& ctx) -> WorkItemTask {
+    out.as<int>()[ctx.global_id(0)] = 1;
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(kN), NDRange(1), 0, body);
+  const auto view = out.as<const int>();
+  EXPECT_EQ(std::accumulate(view.begin(), view.end(), 0),
+            static_cast<int>(kN));
+}
+
+TEST(ExecutorStress, SequentialAllocationsDoNotOverlap) {
+  Buffer out(2 * sizeof(int));
+  auto body = [out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto first = ctx.local_alloc<int>(4);
+    auto second = ctx.local_alloc<double>(2);  // alignment bump
+    if (ctx.local_id(0) == 0) {
+      first[3] = 42;
+      second[0] = 1.5;
+    }
+    co_await ctx.barrier();
+    if (ctx.local_id(0) == 1) {
+      out.as<int>()[0] = first[3];
+      out.as<int>()[1] = second[0] == 1.5 ? 1 : 0;
+    }
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(2), NDRange(2), 64, body);
+  EXPECT_EQ(out.as<const int>()[0], 42);
+  EXPECT_EQ(out.as<const int>()[1], 1);
+}
+
+TEST(ExecutorStress, UnevenBarrierCountsAcrossGroupsAreFine) {
+  // Different *groups* may hit different numbers of barriers; only items
+  // within one group must agree. Group 0 barriers twice, group 1 once.
+  Buffer out(8 * sizeof(int));
+  auto body = [out](WorkItemCtx& ctx) -> WorkItemTask {
+    auto scratch = ctx.local_alloc<int>(4);
+    scratch[ctx.local_id(0)] = 1;
+    co_await ctx.barrier();
+    if (ctx.group_id(0) == 0) {
+      scratch[ctx.local_id(0)] += 1;
+      co_await ctx.barrier();
+    }
+    out.as<int>()[ctx.global_id(0)] = scratch[ctx.local_id(0)];
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(8), NDRange(4), 4 * sizeof(int), body);
+  const auto view = out.as<const int>();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(view[i], 2);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(view[i], 1);
+}
+
+}  // namespace
+}  // namespace pt::clsim

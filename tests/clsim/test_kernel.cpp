@@ -1,0 +1,212 @@
+#include "clsim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pt::clsim {
+namespace {
+
+using testing::make_test_device;
+
+CompiledKernel trivial_kernel(const std::string& name = "k",
+                              KernelProfile profile = KernelProfile{}) {
+  CompiledKernel ck;
+  ck.name = name;
+  ck.profile = std::move(profile);
+  ck.body = [](WorkItemCtx&) -> WorkItemTask { co_return; };
+  return ck;
+}
+
+TEST(BuildOptions, DefineAndQuery) {
+  BuildOptions o;
+  o.define("WG_X", 16);
+  EXPECT_TRUE(o.has("WG_X"));
+  EXPECT_EQ(o.require("WG_X"), 16);
+  EXPECT_EQ(o.get("WG_X", 0), 16);
+  EXPECT_EQ(o.get("MISSING", 7), 7);
+}
+
+TEST(BuildOptions, RequireMissingThrowsBuildFailure) {
+  const BuildOptions o;
+  try {
+    (void)o.require("NOPE");
+    FAIL();
+  } catch (const ClException& e) {
+    EXPECT_EQ(e.status(), Status::kBuildProgramFailure);
+  }
+}
+
+TEST(BuildOptions, ToStringDriverStyle) {
+  BuildOptions o;
+  o.define("A", 1);
+  o.define("B", 2);
+  EXPECT_EQ(o.to_string(), "-D A=1 -D B=2");
+}
+
+TEST(KernelArgs, SetAndTypedGet) {
+  KernelArgs args;
+  args.set(0, Buffer(16));
+  args.set(1, 42);
+  args.set(2, 1.5f);
+  args.set(3, Image2D(2, 2));
+  args.set(4, Image3D(2, 2, 2));
+  EXPECT_EQ(args.buffer(0).size_bytes(), 16u);
+  EXPECT_EQ(args.scalar_int(1), 42);
+  EXPECT_FLOAT_EQ(args.scalar_float(2), 1.5f);
+  EXPECT_EQ(args.image2d(3).width(), 2u);
+  EXPECT_EQ(args.image3d(4).depth(), 2u);
+}
+
+TEST(KernelArgs, WrongTypeThrows) {
+  KernelArgs args;
+  args.set(0, 42);
+  EXPECT_THROW((void)args.buffer(0), ClException);
+  EXPECT_THROW((void)args.image2d(0), ClException);
+}
+
+TEST(KernelArgs, UnsetThrows) {
+  KernelArgs args;
+  args.set(1, 1);
+  EXPECT_THROW((void)args.scalar_int(0), ClException);  // hole at index 0
+  EXPECT_THROW((void)args.scalar_int(5), ClException);  // beyond end
+}
+
+TEST(Kernel, ValidateLaunchAcceptsLegalGeometry) {
+  const Device dev = make_test_device();
+  const Kernel k(dev, trivial_kernel());
+  EXPECT_EQ(k.validate_launch(NDRange(64, 64), NDRange(8, 8)),
+            Status::kSuccess);
+}
+
+TEST(Kernel, ValidateLaunchRejectsOversizedGroup) {
+  DeviceInfo info;
+  info.max_work_group_size = 64;
+  const Device dev = make_test_device(info);
+  const Kernel k(dev, trivial_kernel());
+  EXPECT_EQ(k.validate_launch(NDRange(128, 128), NDRange(16, 16)),
+            Status::kInvalidWorkGroupSize);
+}
+
+TEST(Kernel, ValidateLaunchRejectsPerDimensionLimit) {
+  DeviceInfo info;
+  info.max_work_item_sizes[1] = 4;
+  const Device dev = make_test_device(info);
+  const Kernel k(dev, trivial_kernel());
+  EXPECT_EQ(k.validate_launch(NDRange(8, 8), NDRange(1, 8)),
+            Status::kInvalidWorkItemSize);
+}
+
+TEST(Kernel, ValidateLaunchRejectsIndivisibleGlobal) {
+  const Device dev = make_test_device();
+  const Kernel k(dev, trivial_kernel());
+  EXPECT_EQ(k.validate_launch(NDRange(10), NDRange(4)),
+            Status::kInvalidWorkGroupSize);
+}
+
+TEST(Kernel, ValidateLaunchRejectsLocalMemoryOverflow) {
+  DeviceInfo info;
+  info.local_mem_bytes = 1024;
+  const Device dev = make_test_device(info);
+  KernelProfile p;
+  p.local_mem_bytes_per_group = 2048;
+  const Kernel k(dev, trivial_kernel("k", p));
+  EXPECT_EQ(k.validate_launch(NDRange(8), NDRange(8)),
+            Status::kOutOfLocalMemory);
+}
+
+TEST(Kernel, ValidateLaunchRejectsRegisterPressure) {
+  DeviceInfo info;
+  info.registers_per_cu = 1024;
+  const Device dev = make_test_device(info);
+  KernelProfile p;
+  p.registers_per_item = 64;
+  const Kernel k(dev, trivial_kernel("k", p));
+  // 64 regs * 32 items = 2048 > 1024.
+  EXPECT_EQ(k.validate_launch(NDRange(32), NDRange(32)),
+            Status::kOutOfResources);
+}
+
+TEST(Kernel, ValidateLaunchRejectsImagesWhenUnsupported) {
+  DeviceInfo info;
+  info.images_supported = false;
+  const Device dev = make_test_device(info);
+  KernelProfile p;
+  MemoryStream s;
+  s.space = MemorySpace::kImage;
+  s.accesses_per_item = 1;
+  p.streams.push_back(s);
+  const Kernel k(dev, trivial_kernel("k", p));
+  EXPECT_EQ(k.validate_launch(NDRange(8), NDRange(4)),
+            Status::kInvalidOperation);
+}
+
+TEST(Kernel, ValidateLaunchRejectsConstantOverflow) {
+  DeviceInfo info;
+  info.constant_mem_bytes = 128;
+  const Device dev = make_test_device(info);
+  KernelProfile p;
+  p.constant_mem_bytes = 256;
+  const Kernel k(dev, trivial_kernel("k", p));
+  EXPECT_EQ(k.validate_launch(NDRange(8), NDRange(4)),
+            Status::kOutOfResources);
+}
+
+TEST(Program, BuildProducesKernelsAndChargesTime) {
+  const Device dev = make_test_device();
+  Program prog("p");
+  prog.add_kernel("a", [](const DeviceInfo&, const BuildOptions&) {
+    return CompiledKernel{"a", KernelProfile{}, nullptr};
+  });
+  prog.add_kernel("b", [](const DeviceInfo&, const BuildOptions&) {
+    return CompiledKernel{"b", KernelProfile{}, nullptr};
+  });
+  const auto result = prog.build(dev, BuildOptions{});
+  EXPECT_EQ(result.kernels.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.build_time_ms, 20.0);  // stub: 10 ms per kernel
+  EXPECT_EQ(prog.kernel_names().size(), 2u);
+}
+
+TEST(Program, BuildKernelByName) {
+  const Device dev = make_test_device();
+  Program prog("p");
+  prog.add_kernel("only", [](const DeviceInfo&, const BuildOptions& o) {
+    CompiledKernel ck{"only", KernelProfile{}, nullptr};
+    ck.profile.flops_per_item = o.get("F", 0);
+    return ck;
+  });
+  BuildOptions opts;
+  opts.define("F", 99);
+  const auto [kernel, ms] = prog.build_kernel(dev, "only", opts);
+  EXPECT_DOUBLE_EQ(kernel.profile().flops_per_item, 99.0);
+  EXPECT_DOUBLE_EQ(ms, 10.0);
+}
+
+TEST(Program, UnknownKernelNameThrows) {
+  const Device dev = make_test_device();
+  const Program prog("p");
+  try {
+    (void)prog.build_kernel(dev, "ghost", BuildOptions{});
+    FAIL();
+  } catch (const ClException& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidKernelName);
+  }
+}
+
+TEST(Program, FactoryBuildFailurePropagates) {
+  const Device dev = make_test_device();
+  Program prog("p");
+  prog.add_kernel("bad", [](const DeviceInfo&, const BuildOptions&)
+                      -> CompiledKernel {
+    throw ClException(Status::kBuildProgramFailure, "static invalid");
+  });
+  EXPECT_THROW((void)prog.build(dev, BuildOptions{}), ClException);
+}
+
+TEST(Program, NullFactoryRejected) {
+  Program prog("p");
+  EXPECT_THROW(prog.add_kernel("x", nullptr), ClException);
+}
+
+}  // namespace
+}  // namespace pt::clsim

@@ -1,0 +1,174 @@
+#include "clsim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pt::clsim {
+namespace {
+
+TEST(Buffer, SizeAndTypedView) {
+  Buffer b(16);
+  EXPECT_EQ(b.size_bytes(), 16u);
+  EXPECT_EQ(b.as<float>().size(), 4u);
+  EXPECT_EQ(b.as<double>().size(), 2u);
+}
+
+TEST(Buffer, TypedViewRejectsMisalignedSize) {
+  Buffer b(10);
+  EXPECT_THROW((void)b.as<double>(), std::invalid_argument);
+}
+
+TEST(Buffer, WriteReadRoundTrip) {
+  Buffer b(4 * sizeof(float));
+  const std::vector<float> src = {1.0f, 2.0f, 3.0f, 4.0f};
+  b.write(src.data(), src.size() * sizeof(float));
+  std::vector<float> dst(4);
+  b.read(dst.data(), dst.size() * sizeof(float));
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Buffer, OffsetAccess) {
+  Buffer b(8);
+  const unsigned char byte = 0xAB;
+  b.write(&byte, 1, 5);
+  unsigned char out = 0;
+  b.read(&out, 1, 5);
+  EXPECT_EQ(out, 0xAB);
+}
+
+TEST(Buffer, OutOfRangeThrows) {
+  Buffer b(4);
+  char data[8] = {};
+  EXPECT_THROW(b.write(data, 8), std::out_of_range);
+  EXPECT_THROW(b.read(data, 2, 3), std::out_of_range);
+}
+
+TEST(Buffer, HandleSemanticsShareStorage) {
+  Buffer a(4 * sizeof(float));
+  Buffer b = a;  // copy of the handle, same storage
+  EXPECT_TRUE(a.shares_storage_with(b));
+  a.as<float>()[0] = 42.0f;
+  EXPECT_EQ(b.as<float>()[0], 42.0f);
+  Buffer c(4 * sizeof(float));
+  EXPECT_FALSE(a.shares_storage_with(c));
+}
+
+TEST(Buffer, ZeroInitialized) {
+  Buffer b(8 * sizeof(float));
+  for (float v : b.as<const float>()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Image2D, DimensionsAndChannels) {
+  Image2D img(4, 3, 2);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.channels(), 2u);
+  EXPECT_EQ(img.size_bytes(), 4u * 3u * 2u * sizeof(float));
+  EXPECT_THROW(Image2D(0, 3), std::invalid_argument);
+}
+
+TEST(Image2D, AtReadsAndWrites) {
+  Image2D img(3, 2);
+  img.at(2, 1) = 7.0f;
+  EXPECT_EQ(img.at(2, 1), 7.0f);
+  EXPECT_THROW((void)img.at(3, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 2), std::out_of_range);
+}
+
+TEST(Image2D, SampleClampsToEdge) {
+  Image2D img(2, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 0) = 2.0f;
+  img.at(0, 1) = 3.0f;
+  img.at(1, 1) = 4.0f;
+  EXPECT_EQ(img.sample(-5, -5), 1.0f);
+  EXPECT_EQ(img.sample(10, 0), 2.0f);
+  EXPECT_EQ(img.sample(-1, 10), 3.0f);
+  EXPECT_EQ(img.sample(10, 10), 4.0f);
+  EXPECT_EQ(img.sample(0, 0), 1.0f);
+}
+
+TEST(Image2D, MultiChannelSample) {
+  Image2D img(2, 1, 2);
+  img.at(1, 0, 0) = 5.0f;
+  img.at(1, 0, 1) = 6.0f;
+  EXPECT_EQ(img.sample(1, 0, 0), 5.0f);
+  EXPECT_EQ(img.sample(1, 0, 1), 6.0f);
+}
+
+TEST(Image3D, DimensionsAndAt) {
+  Image3D vol(2, 3, 4);
+  EXPECT_EQ(vol.width(), 2u);
+  EXPECT_EQ(vol.height(), 3u);
+  EXPECT_EQ(vol.depth(), 4u);
+  vol.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(vol.at(1, 2, 3), 9.0f);
+  EXPECT_THROW((void)vol.at(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(Image3D(1, 0, 1), std::invalid_argument);
+}
+
+TEST(Image3D, SampleClampsAllAxes) {
+  Image3D vol(2, 2, 2);
+  vol.at(0, 0, 0) = 1.0f;
+  vol.at(1, 1, 1) = 8.0f;
+  EXPECT_EQ(vol.sample(-3, -3, -3), 1.0f);
+  EXPECT_EQ(vol.sample(9, 9, 9), 8.0f);
+}
+
+TEST(Image2D, RepeatAddressingWraps) {
+  Image2D img(3, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(2, 1) = 6.0f;
+  EXPECT_EQ(img.sample(3, 2, 0, AddressMode::kRepeat), 1.0f);   // wraps to 0,0
+  EXPECT_EQ(img.sample(-1, -1, 0, AddressMode::kRepeat), 6.0f); // wraps to 2,1
+  EXPECT_EQ(img.sample(6, 4, 0, AddressMode::kRepeat), 1.0f);
+}
+
+TEST(Image2D, LinearSamplingAtTexelCentreIsExact) {
+  Image2D img(4, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      img.at(x, y) = static_cast<float>(y * 4 + x);
+  // Texel centres are at integer + 0.5 (OpenCL convention).
+  EXPECT_FLOAT_EQ(img.sample_linear(1.5f, 2.5f), 9.0f);
+  EXPECT_FLOAT_EQ(img.sample_linear(0.5f, 0.5f), 0.0f);
+}
+
+TEST(Image2D, LinearSamplingInterpolatesHalfway) {
+  Image2D img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 10.0f;
+  // Halfway between the two texel centres.
+  EXPECT_FLOAT_EQ(img.sample_linear(1.0f, 0.5f), 5.0f);
+  // Quarter of the way.
+  EXPECT_NEAR(img.sample_linear(0.75f, 0.5f), 2.5f, 1e-5f);
+}
+
+TEST(Image2D, LinearSamplingClampsOutside) {
+  Image2D img(2, 2);
+  img.at(0, 0) = 3.0f;
+  EXPECT_FLOAT_EQ(img.sample_linear(-5.0f, -5.0f), 3.0f);
+}
+
+TEST(Image3D, TrilinearInterpolation) {
+  Image3D vol(2, 2, 2);
+  // Corner values 0..7; the centre of the cube averages them.
+  for (std::size_t z = 0; z < 2; ++z)
+    for (std::size_t y = 0; y < 2; ++y)
+      for (std::size_t x = 0; x < 2; ++x)
+        vol.at(x, y, z) = static_cast<float>((z << 2) | (y << 1) | x);
+  EXPECT_FLOAT_EQ(vol.sample_linear(1.0f, 1.0f, 1.0f), 3.5f);
+  // At a voxel centre, exact.
+  EXPECT_FLOAT_EQ(vol.sample_linear(0.5f, 0.5f, 1.5f), 4.0f);
+}
+
+TEST(Image2D, DataSpanSharedByHandleCopies) {
+  Image2D img(2, 2);
+  Image2D copy = img;
+  copy.data()[0] = 11.0f;
+  EXPECT_EQ(img.at(0, 0), 11.0f);
+}
+
+}  // namespace
+}  // namespace pt::clsim

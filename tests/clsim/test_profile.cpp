@@ -1,0 +1,86 @@
+#include "clsim/kernel_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::clsim {
+namespace {
+
+TEST(Profile, GlobalTrafficSumsGlobalAndImage) {
+  KernelProfile p;
+  MemoryStream g;
+  g.space = MemorySpace::kGlobal;
+  g.accesses_per_item = 10.0;
+  g.bytes_per_access = 4;
+  MemoryStream img;
+  img.space = MemorySpace::kImage;
+  img.accesses_per_item = 5.0;
+  img.bytes_per_access = 8;
+  MemoryStream loc;
+  loc.space = MemorySpace::kLocal;
+  loc.accesses_per_item = 100.0;
+  loc.bytes_per_access = 4;
+  p.streams = {g, img, loc};
+  EXPECT_DOUBLE_EQ(p.total_global_traffic_bytes_per_item(), 40.0 + 40.0);
+}
+
+TEST(Profile, UsesSpace) {
+  KernelProfile p;
+  MemoryStream s;
+  s.space = MemorySpace::kConstant;
+  p.streams.push_back(s);
+  EXPECT_TRUE(p.uses_space(MemorySpace::kConstant));
+  EXPECT_FALSE(p.uses_space(MemorySpace::kLocal));
+}
+
+TEST(Profile, AnyPragmaUnrollRequiresFactorAbove1) {
+  KernelProfile p;
+  LoopInfo manual;
+  manual.unroll_factor = 8;
+  manual.via_driver_pragma = false;
+  p.loops.push_back(manual);
+  EXPECT_FALSE(p.any_pragma_unroll());
+  LoopInfo pragma_noop;
+  pragma_noop.unroll_factor = 1;
+  pragma_noop.via_driver_pragma = true;
+  p.loops.push_back(pragma_noop);
+  EXPECT_FALSE(p.any_pragma_unroll());
+  LoopInfo pragma_active;
+  pragma_active.unroll_factor = 4;
+  pragma_active.via_driver_pragma = true;
+  p.loops.push_back(pragma_active);
+  EXPECT_TRUE(p.any_pragma_unroll());
+}
+
+TEST(Fnv1a, KnownVectorAndSensitivity) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a", 1), fnv1a("b", 1));
+  const char data[] = "hello";
+  EXPECT_EQ(fnv1a(data, 5), fnv1a("hello", 5));
+}
+
+TEST(Fingerprint, DistinguishesConfigurations) {
+  const auto a = fingerprint_values({1, 2, 3});
+  const auto b = fingerprint_values({1, 2, 4});
+  const auto c = fingerprint_values({3, 2, 1});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, fingerprint_values({1, 2, 3}));  // deterministic
+}
+
+TEST(Fingerprint, SeedSeparatesKernels) {
+  const auto conv = fingerprint_values({1, 2}, fnv1a("convolution", 11));
+  const auto stereo = fingerprint_values({1, 2}, fnv1a("stereo", 6));
+  EXPECT_NE(conv, stereo);
+}
+
+TEST(AccessPattern, Names) {
+  EXPECT_STREQ(to_string(AccessPattern::kCoalesced), "coalesced");
+  EXPECT_STREQ(to_string(AccessPattern::kStrided), "strided");
+  EXPECT_STREQ(to_string(AccessPattern::kBroadcast), "broadcast");
+  EXPECT_STREQ(to_string(AccessPattern::kTiled2D), "tiled2d");
+  EXPECT_STREQ(to_string(AccessPattern::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace pt::clsim

@@ -1,0 +1,47 @@
+#include "clsim/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::clsim {
+namespace {
+
+TEST(NDRange, Dimensions) {
+  EXPECT_EQ(NDRange().dimensions(), 0u);
+  EXPECT_EQ(NDRange(4).dimensions(), 1u);
+  EXPECT_EQ(NDRange(4, 2).dimensions(), 2u);
+  EXPECT_EQ(NDRange(4, 2, 3).dimensions(), 3u);
+}
+
+TEST(NDRange, TotalTreatsUnusedAsOne) {
+  EXPECT_EQ(NDRange(4).total(), 4u);
+  EXPECT_EQ(NDRange(4, 2).total(), 8u);
+  EXPECT_EQ(NDRange(4, 2, 3).total(), 24u);
+}
+
+TEST(NDRange, ExtentVsOperator) {
+  const NDRange r(5);
+  EXPECT_EQ(r[1], 0u);
+  EXPECT_EQ(r.extent(1), 1u);
+}
+
+TEST(NDRange, Equality) {
+  EXPECT_EQ(NDRange(2, 3), NDRange(2, 3));
+  EXPECT_NE(NDRange(2, 3), NDRange(3, 2));
+}
+
+TEST(NDRange, ToString) {
+  EXPECT_EQ(to_string(NDRange(8, 4)), "(8, 4)");
+  EXPECT_EQ(to_string(NDRange(1)), "(1)");
+}
+
+TEST(Enums, ToStringValues) {
+  EXPECT_STREQ(to_string(DeviceType::kCpu), "CPU");
+  EXPECT_STREQ(to_string(DeviceType::kGpu), "GPU");
+  EXPECT_STREQ(to_string(MemorySpace::kLocal), "local");
+  EXPECT_STREQ(to_string(MemorySpace::kImage), "image");
+  EXPECT_STREQ(to_string(MemorySpace::kConstant), "constant");
+  EXPECT_STREQ(to_string(MemorySpace::kGlobal), "global");
+}
+
+}  // namespace
+}  // namespace pt::clsim

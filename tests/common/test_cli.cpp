@@ -1,0 +1,71 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::common {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = parse({"prog", "--count=5", "--name=foo"});
+  EXPECT_EQ(args.get("count", 0L), 5);
+  EXPECT_EQ(args.get("name", std::string("x")), "foo");
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  const auto args = parse({"prog", "--count", "7"});
+  EXPECT_EQ(args.get("count", 0L), 7);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto args = parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get("verbose", false));
+}
+
+TEST(Cli, BoolValues) {
+  EXPECT_TRUE(parse({"p", "--x=true"}).get("x", false));
+  EXPECT_TRUE(parse({"p", "--x=1"}).get("x", false));
+  EXPECT_TRUE(parse({"p", "--x=on"}).get("x", false));
+  EXPECT_FALSE(parse({"p", "--x=0"}).get("x", true));
+  EXPECT_FALSE(parse({"p", "--x=no"}).get("x", true));
+}
+
+TEST(Cli, MissingUsesFallback) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get("missing", 42L), 42);
+  EXPECT_EQ(args.get("missing", std::string("d")), "d");
+  EXPECT_DOUBLE_EQ(args.get("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get("missing", false));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"prog", "--rate=0.25"});
+  EXPECT_DOUBLE_EQ(args.get("rate", 0.0), 0.25);
+}
+
+TEST(Cli, PositionalCollected) {
+  const auto args = parse({"prog", "one", "--flag", "two"});
+  // "two" follows a bare flag, so it becomes the flag's value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.get("flag", std::string()), "two");
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = parse({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+TEST(Cli, ValueOfMissingIsNullopt) {
+  const auto args = parse({"prog", "--empty"});
+  EXPECT_FALSE(args.value("empty").has_value());
+  EXPECT_TRUE(args.has("empty"));
+}
+
+}  // namespace
+}  // namespace pt::common

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::common {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const ScopedLogLevel guard(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, ScopedLevelRestores) {
+  const LogLevel before = log_level();
+  {
+    const ScopedLogLevel guard(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+  }
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(Log, ScopedLevelsNest) {
+  const LogLevel before = log_level();
+  {
+    const ScopedLogLevel outer(LogLevel::kInfo);
+    {
+      const ScopedLogLevel inner(LogLevel::kOff);
+      EXPECT_EQ(log_level(), LogLevel::kOff);
+    }
+    EXPECT_EQ(log_level(), LogLevel::kInfo);
+  }
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(Log, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("x=", 3, ", y=", 1.5), "x=3, y=1.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Log, EmittingBelowThresholdIsSafe) {
+  const ScopedLogLevel guard(LogLevel::kOff);
+  // Must not crash or emit; nothing observable to assert beyond no-throw.
+  EXPECT_NO_THROW(log_debug("hidden ", 1));
+  EXPECT_NO_THROW(log_info("hidden"));
+  EXPECT_NO_THROW(log_warn("hidden"));
+  EXPECT_NO_THROW(log_error("hidden"));
+}
+
+}  // namespace
+}  // namespace pt::common

@@ -1,0 +1,151 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pt::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevBasic) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+  EXPECT_THROW((void)geometric_mean(std::vector<double>{1.0, -1.0}),
+               std::domain_error);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeConsistent) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys = {1.0, 8.0, 27.0, 64.0, 125.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, AverageRanksHandleTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const auto ranks = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)pearson(a, b), std::invalid_argument);
+  EXPECT_THROW((void)spearman(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::common

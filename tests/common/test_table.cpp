@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace pt::common {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, PrintContainsAllCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  for (const char* needle : {"name", "value", "alpha", "beta", "22"})
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x"});
+  t.add_row({"longvalue"});
+  std::ostringstream ss;
+  t.print(ss);
+  std::istringstream lines(ss.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvRoundTripBasics) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.061), "6.1%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Fmt, TimeAdaptiveUnits) {
+  EXPECT_EQ(fmt_time_ms(0.0005), "0.5 us");
+  EXPECT_EQ(fmt_time_ms(12.345), "12.35 ms");
+  EXPECT_EQ(fmt_time_ms(2500.0), "2.50 s");
+  EXPECT_EQ(fmt_time_ms(std::nan("")), "n/a");
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace pt::common

@@ -1,0 +1,94 @@
+#include "ml/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pt::ml {
+namespace {
+
+TEST(Activation, LinearIsIdentity) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kLinear, 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(activate_grad_from_output(Activation::kLinear, 7.0), 1.0);
+}
+
+TEST(Activation, SigmoidValues) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kSigmoid, 0.0), 0.5);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 10.0), 1.0, 1e-4);
+  EXPECT_NEAR(activate(Activation::kSigmoid, -10.0), 0.0, 1e-4);
+}
+
+TEST(Activation, SigmoidGradFromOutput) {
+  const double y = activate(Activation::kSigmoid, 0.7);
+  EXPECT_NEAR(activate_grad_from_output(Activation::kSigmoid, y),
+              y * (1.0 - y), 1e-12);
+}
+
+TEST(Activation, TanhMatchesStd) {
+  for (double x : {-2.0, -0.5, 0.0, 1.3}) {
+    EXPECT_DOUBLE_EQ(activate(Activation::kTanh, x), std::tanh(x));
+  }
+}
+
+TEST(Activation, ReluClampsNegative) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(activate_grad_from_output(Activation::kRelu, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate_grad_from_output(Activation::kRelu, 1.0), 1.0);
+}
+
+// Property check: the grad-from-output identity holds for all activations:
+// f'(x) == activate_grad_from_output(f(x)) by finite differences.
+class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradTest, FiniteDifferenceMatches) {
+  const Activation act = GetParam();
+  const double eps = 1e-6;
+  for (double x : {-1.7, -0.3, 0.4, 1.9}) {
+    if (act == Activation::kRelu && std::abs(x) < eps) continue;
+    const double fd =
+        (activate(act, x + eps) - activate(act, x - eps)) / (2.0 * eps);
+    const double grad = activate_grad_from_output(act, activate(act, x));
+    EXPECT_NEAR(grad, fd, 1e-5) << to_string(act) << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradTest,
+                         ::testing::Values(Activation::kLinear,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh,
+                                           Activation::kRelu),
+                         [](const auto& param_info) { return to_string(param_info.param); });
+
+TEST(Activation, InplaceAppliesElementwise) {
+  Matrix m = {{-1.0, 0.0, 2.0}};
+  activate_inplace(Activation::kRelu, m);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 2.0);
+}
+
+TEST(Activation, ScaleByGradLinearIsNoop) {
+  const Matrix y = {{0.3, 0.8}};
+  Matrix delta = {{1.0, 1.0}};
+  scale_by_activation_grad(Activation::kLinear, y, delta);
+  EXPECT_DOUBLE_EQ(delta(0, 0), 1.0);
+}
+
+TEST(Activation, ScaleByGradSigmoid) {
+  const Matrix y = {{0.5}};
+  Matrix delta = {{2.0}};
+  scale_by_activation_grad(Activation::kSigmoid, y, delta);
+  EXPECT_DOUBLE_EQ(delta(0, 0), 2.0 * 0.25);
+}
+
+TEST(Activation, StringRoundTrip) {
+  for (Activation act : {Activation::kLinear, Activation::kSigmoid,
+                         Activation::kTanh, Activation::kRelu}) {
+    EXPECT_EQ(activation_from_string(to_string(act)), act);
+  }
+  EXPECT_THROW((void)activation_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::ml

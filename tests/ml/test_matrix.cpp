@@ -1,0 +1,150 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pt::ml {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsMutableView) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, GatherRows) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<std::size_t> idx = {2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+}
+
+TEST(Matrix, GatherRowsOutOfRangeThrows) {
+  const Matrix m(2, 2);
+  const std::vector<std::size_t> idx = {5};
+  EXPECT_THROW(m.gather_rows(idx), std::out_of_range);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{1.0, 1.0}, {1.0, 1.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, Fill) {
+  Matrix m(2, 2, 5.0);
+  m.fill(0.0);
+  for (double x : m.flat()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Matmul, KnownProduct) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c;
+  matmul(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, NonSquare) {
+  const Matrix a = {{1.0, 2.0, 3.0}};        // 1x3
+  const Matrix b = {{1.0}, {2.0}, {3.0}};    // 3x1
+  Matrix c;
+  matmul(a, b, c);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  Matrix c;
+  EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};  // 3x2
+  const Matrix b = {{1.0, -1.0}, {2.0, 0.5}, {0.0, 3.0}}; // 3x2
+
+  // a^T * b via matmul_at equals explicit transpose multiply.
+  Matrix at_b;
+  matmul_at(a, b, at_b);
+  EXPECT_EQ(at_b.rows(), 2u);
+  EXPECT_EQ(at_b.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at_b(0, 0), 1.0 * 1.0 + 3.0 * 2.0 + 5.0 * 0.0);
+  EXPECT_DOUBLE_EQ(at_b(1, 1), 2.0 * -1.0 + 4.0 * 0.5 + 6.0 * 3.0);
+
+  // a * b^T via matmul_bt.
+  Matrix a_bt;
+  matmul_bt(a, b, a_bt);
+  EXPECT_EQ(a_bt.rows(), 3u);
+  EXPECT_EQ(a_bt.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a_bt(0, 0), 1.0 * 1.0 + 2.0 * -1.0);
+  EXPECT_DOUBLE_EQ(a_bt(2, 1), 5.0 * 2.0 + 6.0 * 0.5);
+}
+
+TEST(Matrix, AddRowVector) {
+  Matrix m(2, 3, 1.0);
+  const std::vector<double> bias = {1.0, 2.0, 3.0};
+  add_row_vector(m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+}
+
+TEST(Matrix, ColumnSums) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  std::vector<double> sums(2);
+  column_sums(m, sums);
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[1], 6.0);
+}
+
+TEST(Matrix, DotProduct) {
+  const Matrix a = {{1.0, 2.0}};
+  const Matrix b = {{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  const Matrix c(2, 2);
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::ml

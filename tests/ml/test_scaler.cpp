@@ -1,0 +1,115 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pt::ml {
+namespace {
+
+TEST(StandardScaler, TransformsToZeroMeanUnitVar) {
+  Matrix x = {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  StandardScaler s;
+  s.fit(x);
+  const Matrix t = s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      sum += t(r, c);
+      sq += t(r, c) * t(r, c);
+    }
+    EXPECT_NEAR(sum / t.rows(), 0.0, 1e-12);
+    EXPECT_NEAR(sq / t.rows(), 1.0, 1e-12);  // population variance
+  }
+}
+
+TEST(StandardScaler, InverseRecovers) {
+  Matrix x = {{1.0, -5.0}, {4.0, 3.0}, {-2.0, 8.0}};
+  StandardScaler s;
+  s.fit(x);
+  Matrix t = s.transform(x);
+  s.inverse_inplace(t);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(t.flat()[i], x.flat()[i], 1e-12);
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZero) {
+  Matrix x = {{5.0}, {5.0}, {5.0}};
+  StandardScaler s;
+  s.fit(x);
+  const Matrix t = s.transform(x);
+  for (double v : t.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StandardScaler, TransformRowMatchesMatrix) {
+  Matrix x = {{1.0, 2.0}, {3.0, 6.0}};
+  StandardScaler s;
+  s.fit(x);
+  std::vector<double> row = {3.0, 6.0};
+  s.transform_row(row);
+  const Matrix t = s.transform(x);
+  EXPECT_NEAR(row[0], t(1, 0), 1e-12);
+  EXPECT_NEAR(row[1], t(1, 1), 1e-12);
+}
+
+TEST(StandardScaler, WidthMismatchThrows) {
+  Matrix x = {{1.0, 2.0}};
+  StandardScaler s;
+  s.fit(x);
+  Matrix bad(1, 3);
+  EXPECT_THROW(s.transform_inplace(bad), std::invalid_argument);
+  std::vector<double> bad_row = {1.0};
+  EXPECT_THROW(s.transform_row(bad_row), std::invalid_argument);
+}
+
+TEST(StandardScaler, EmptyFitThrows) {
+  StandardScaler s;
+  EXPECT_THROW(s.fit(Matrix(0, 2)), std::invalid_argument);
+}
+
+TEST(StandardScaler, RestoreRoundTrip) {
+  Matrix x = {{1.0, 2.0}, {3.0, 4.0}};
+  StandardScaler s;
+  s.fit(x);
+  StandardScaler restored;
+  restored.restore(s.means(), s.stddevs());
+  const Matrix a = s.transform(x);
+  const Matrix b = restored.transform(x);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(LogTransform, ForwardInverseRoundTrip) {
+  const Matrix y = {{0.5}, {3.0}, {100.0}};
+  const Matrix log_y = LogTargetTransform::forward(y);
+  const Matrix back = LogTargetTransform::inverse(log_y);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(back.flat()[i], y.flat()[i], 1e-12);
+}
+
+TEST(LogTransform, ScalarMatchesStd) {
+  EXPECT_DOUBLE_EQ(LogTargetTransform::forward(std::exp(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(LogTargetTransform::inverse(0.0), 1.0);
+}
+
+TEST(LogTransform, NonPositiveThrows) {
+  EXPECT_THROW((void)LogTargetTransform::forward(0.0), std::domain_error);
+  EXPECT_THROW((void)LogTargetTransform::forward(-1.0), std::domain_error);
+  const Matrix y = {{1.0}, {0.0}};
+  EXPECT_THROW((void)LogTargetTransform::forward(y), std::domain_error);
+}
+
+// The paper's rationale (section 5.2): equal absolute error in log space is
+// equal *relative* error in linear space.
+TEST(LogTransform, LogErrorIsRelativeError) {
+  const double t1 = 10.0;
+  const double t2 = 1000.0;
+  const double log_err = 0.1;
+  const double p1 = std::exp(std::log(t1) + log_err);
+  const double p2 = std::exp(std::log(t2) + log_err);
+  EXPECT_NEAR(p1 / t1, p2 / t2, 1e-12);
+}
+
+}  // namespace
+}  // namespace pt::ml

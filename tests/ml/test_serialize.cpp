@@ -1,0 +1,96 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pt::ml {
+namespace {
+
+Mlp random_net(common::Rng& rng) {
+  Mlp net(3, {LayerSpec{5, Activation::kSigmoid},
+              LayerSpec{4, Activation::kTanh},
+              LayerSpec{1, Activation::kLinear}});
+  net.init_weights(rng);
+  return net;
+}
+
+TEST(Serialize, MlpRoundTripPreservesPredictions) {
+  common::Rng rng(1);
+  const Mlp net = random_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  const Mlp loaded = load_mlp(ss);
+
+  EXPECT_EQ(loaded.input_size(), net.input_size());
+  EXPECT_EQ(loaded.layer_count(), net.layer_count());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.uniform(-2.0, 2.0),
+                                   rng.uniform(-2.0, 2.0),
+                                   rng.uniform(-2.0, 2.0)};
+    EXPECT_DOUBLE_EQ(loaded.forward(x)[0], net.forward(x)[0]);
+  }
+}
+
+TEST(Serialize, MlpPreservesTopologyMetadata) {
+  common::Rng rng(2);
+  const Mlp net = random_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  const Mlp loaded = load_mlp(ss);
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    EXPECT_EQ(loaded.layers()[l].units, net.layers()[l].units);
+    EXPECT_EQ(loaded.layers()[l].activation, net.layers()[l].activation);
+  }
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss("not-a-model 3");
+  EXPECT_THROW(load_mlp(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  common::Rng rng(3);
+  const Mlp net = random_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_mlp(truncated), std::runtime_error);
+}
+
+TEST(Serialize, EnsembleRoundTripPreservesPredictions) {
+  common::Rng rng(4);
+  Dataset d;
+  d.x = Matrix(60, 2);
+  d.y = Matrix(60, 1);
+  for (std::size_t i = 0; i < 60; ++i) {
+    d.x(i, 0) = rng.uniform(-1.0, 1.0);
+    d.x(i, 1) = rng.uniform(-1.0, 1.0);
+    d.y(i, 0) = d.x(i, 0) - d.x(i, 1);
+  }
+  BaggingEnsemble::Options opts;
+  opts.k = 3;
+  opts.hidden_layers = {LayerSpec{6, Activation::kSigmoid}};
+  opts.trainer.common.max_epochs = 100;
+  BaggingEnsemble e(opts);
+  e.fit(d, rng);
+
+  std::stringstream ss;
+  save_ensemble(e, ss);
+  const BaggingEnsemble loaded = load_ensemble(ss);
+  EXPECT_EQ(loaded.member_count(), e.member_count());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.predict(d.x.row(i)), e.predict(d.x.row(i)));
+  }
+}
+
+TEST(Serialize, UnfittedEnsembleRefusesToSave) {
+  const BaggingEnsemble e;
+  std::stringstream ss;
+  EXPECT_THROW(save_ensemble(e, ss), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pt::ml

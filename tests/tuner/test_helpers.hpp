@@ -1,0 +1,64 @@
+#pragma once
+
+// Synthetic evaluators with analytically known optima, for tuner unit tests
+// that should not depend on the benchmark suite or the timing model.
+
+#include <cmath>
+
+#include "tuner/evaluator.hpp"
+
+namespace pt::tuner::testing {
+
+/// Small space: 3 parameters, 8*8*4 = 256 configurations.
+inline ParamSpace small_space() {
+  ParamSpace space;
+  space.add("A", {1, 2, 4, 8, 16, 32, 64, 128});
+  space.add("B", {1, 2, 4, 8, 16, 32, 64, 128});
+  space.add("C", {0, 1, 2, 3});
+  return space;
+}
+
+/// Smooth bowl with the optimum at A=8, B=16, C=2; optionally an invalid
+/// region (A=128 rejected, like a too-large work-group).
+class BowlEvaluator final : public Evaluator {
+ public:
+  explicit BowlEvaluator(bool with_invalid = false)
+      : space_(small_space()), with_invalid_(with_invalid) {}
+
+  [[nodiscard]] const ParamSpace& space() const override { return space_; }
+  [[nodiscard]] std::string name() const override { return "bowl"; }
+
+  [[nodiscard]] Measurement measure(const Configuration& config) override {
+    ++calls_;
+    const double a = std::log2(static_cast<double>(config.values[0]));
+    const double b = std::log2(static_cast<double>(config.values[1]));
+    const double c = static_cast<double>(config.values[2]);
+    Measurement m;
+    if (with_invalid_ && config.values[0] == 128) {
+      m.valid = false;
+      m.status = clsim::Status::kInvalidWorkGroupSize;
+      m.cost_ms = 0.5;
+      return m;
+    }
+    m.valid = true;
+    m.time_ms = 1.0 + (a - 3.0) * (a - 3.0) + (b - 4.0) * (b - 4.0) +
+                0.5 * (c - 2.0) * (c - 2.0);
+    m.cost_ms = m.time_ms + 1.0;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+
+  /// The known global optimum.
+  [[nodiscard]] static Configuration optimum() {
+    return Configuration{{8, 16, 2}};
+  }
+  [[nodiscard]] static double optimum_time() { return 1.0; }
+
+ private:
+  ParamSpace space_;
+  bool with_invalid_;
+  std::size_t calls_ = 0;
+};
+
+}  // namespace pt::tuner::testing

@@ -1,0 +1,153 @@
+#include "tuner/input_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::small_space;
+
+/// Synthetic family: time scales linearly with problem "size" and has the
+/// bowl structure in the configuration — separable and learnable.
+double family_time(const Configuration& c, double size) {
+  const double a = std::log2(static_cast<double>(c.values[0]));
+  const double b = std::log2(static_cast<double>(c.values[1]));
+  const double shape =
+      1.0 + (a - 3.0) * (a - 3.0) + 0.5 * (b - 4.0) * (b - 4.0);
+  return shape * size / 256.0;
+}
+
+InputAwarePerformanceModel::Options fast_options() {
+  InputAwarePerformanceModel::Options o;
+  o.ensemble.k = 3;
+  o.ensemble.hidden_layers = {ml::LayerSpec{16, ml::Activation::kSigmoid}};
+  o.ensemble.trainer.common.max_epochs = 400;
+  return o;
+}
+
+std::vector<InputAwareSample> family_samples(
+    const ParamSpace& space, const std::vector<double>& sizes, std::size_t n,
+    common::Rng& rng) {
+  std::vector<InputAwareSample> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Configuration c = space.random(rng);
+    const double size =
+        sizes[static_cast<std::size_t>(rng.below(sizes.size()))];
+    samples.push_back({c, ProblemInstance{{size}}, family_time(c, size)});
+  }
+  return samples;
+}
+
+TEST(InputAwareModel, FitRejectsBadInput) {
+  InputAwarePerformanceModel model(fast_options());
+  common::Rng rng(1);
+  EXPECT_THROW(model.fit(small_space(), {"size"}, {}, rng),
+               std::invalid_argument);
+  std::vector<InputAwareSample> bad = {
+      {Configuration{{1, 1, 0}}, ProblemInstance{{256.0}}, -2.0}};
+  EXPECT_THROW(model.fit(small_space(), {"size"}, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(InputAwareModel, PredictBeforeFitThrows) {
+  const InputAwarePerformanceModel model(fast_options());
+  EXPECT_THROW(
+      (void)model.predict_ms(Configuration{{1, 1, 0}}, ProblemInstance{{1.0}}),
+      std::logic_error);
+}
+
+TEST(InputAwareModel, InstanceWidthChecked) {
+  InputAwarePerformanceModel model(fast_options());
+  common::Rng rng(2);
+  const ParamSpace space = small_space();
+  model.fit(space, {"size"},
+            family_samples(space, {128.0, 256.0}, 150, rng), rng);
+  EXPECT_THROW((void)model.predict_ms(space.decode(0),
+                                      ProblemInstance{{1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(InputAwareModel, LearnsTheSeenSizes) {
+  common::Rng rng(3);
+  const ParamSpace space = small_space();
+  const std::vector<double> sizes = {128.0, 256.0, 512.0, 1024.0};
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"}, family_samples(space, sizes, 600, rng), rng);
+
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (int i = 0; i < 80; ++i) {
+    const Configuration c = space.random(rng);
+    const double size =
+        sizes[static_cast<std::size_t>(rng.below(sizes.size()))];
+    actual.push_back(family_time(c, size));
+    predicted.push_back(model.predict_ms(c, ProblemInstance{{size}}));
+  }
+  EXPECT_LT(ml::mean_relative_error(predicted, actual), 0.25);
+}
+
+TEST(InputAwareModel, InterpolatesToUnseenSize) {
+  // Train at 128/256/1024, test at the held-out 512.
+  common::Rng rng(4);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"},
+            family_samples(space, {128.0, 256.0, 1024.0}, 900, rng), rng);
+
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (int i = 0; i < 80; ++i) {
+    const Configuration c = space.random(rng);
+    actual.push_back(family_time(c, 512.0));
+    predicted.push_back(model.predict_ms(c, ProblemInstance{{512.0}}));
+  }
+  EXPECT_LT(ml::mean_relative_error(predicted, actual), 0.40);
+}
+
+TEST(InputAwareModel, PredictManyMatchesSingle) {
+  common::Rng rng(5);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"},
+            family_samples(space, {128.0, 256.0}, 200, rng), rng);
+  const std::vector<Configuration> configs = {space.decode(3),
+                                              space.decode(77)};
+  const ProblemInstance inst{{256.0}};
+  const auto many = model.predict_many_ms(configs, inst);
+  ASSERT_EQ(many.size(), 2u);
+  EXPECT_NEAR(many[0], model.predict_ms(configs[0], inst), 1e-9);
+  EXPECT_NEAR(many[1], model.predict_ms(configs[1], inst), 1e-9);
+}
+
+TEST(InputAwareModel, EncodingLayout) {
+  common::Rng rng(6);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"},
+            family_samples(space, {128.0}, 60, rng), rng);
+  const auto features =
+      model.encode(Configuration{{8, 128, 3}}, ProblemInstance{{1024.0}});
+  ASSERT_EQ(features.size(), 4u);  // 3 config dims + 1 problem param
+  EXPECT_DOUBLE_EQ(features[0], 3.0);   // log2(8)
+  EXPECT_DOUBLE_EQ(features[1], 7.0);   // log2(128)
+  EXPECT_DOUBLE_EQ(features[2], 3.0);   // raw (0..3 range)
+  EXPECT_DOUBLE_EQ(features[3], 10.0);  // log2(1024)
+}
+
+TEST(InputAwareModel, NonPositiveProblemParamRejectedWithLog2) {
+  common::Rng rng(7);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  std::vector<InputAwareSample> samples = {
+      {space.decode(0), ProblemInstance{{0.0}}, 1.0}};
+  EXPECT_THROW(model.fit(space, {"size"}, samples, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::tuner

@@ -1,0 +1,182 @@
+#include "tuner/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::BowlEvaluator;
+using testing::small_space;
+
+AnnPerformanceModel::Options fast_options() {
+  AnnPerformanceModel::Options o;
+  o.ensemble.k = 3;
+  o.ensemble.hidden_layers = {ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  o.ensemble.trainer.common.max_epochs = 300;
+  o.ensemble.trainer.common.patience = 50;
+  return o;
+}
+
+std::vector<TrainingSample> bowl_samples(std::size_t n, common::Rng& rng) {
+  BowlEvaluator eval;
+  std::vector<TrainingSample> samples;
+  const ParamSpace& space = eval.space();
+  const auto indices = rng.sample_without_replacement(
+      static_cast<std::size_t>(space.size()), n);
+  for (const auto idx : indices) {
+    const Configuration c = space.decode(idx);
+    samples.push_back({c, eval.measure(c).time_ms});
+  }
+  return samples;
+}
+
+TEST(Model, FitAndPredictLearnsBowl) {
+  common::Rng rng(1);
+  const auto samples = bowl_samples(180, rng);
+  AnnPerformanceModel model(fast_options());
+  model.fit(small_space(), samples, rng);
+  ASSERT_TRUE(model.fitted());
+
+  BowlEvaluator eval;
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  common::Rng test_rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Configuration c = eval.space().random(test_rng);
+    actual.push_back(eval.measure(c).time_ms);
+    predicted.push_back(model.predict_ms(c));
+  }
+  EXPECT_LT(ml::mean_relative_error(predicted, actual), 0.15);
+}
+
+TEST(Model, PredictBeforeFitThrows) {
+  AnnPerformanceModel model(fast_options());
+  EXPECT_THROW((void)model.predict_ms(Configuration{{1, 1, 0}}),
+               std::logic_error);
+  EXPECT_THROW((void)model.predict_range_ms(0, 10), std::logic_error);
+}
+
+TEST(Model, FitRejectsBadInput) {
+  common::Rng rng(3);
+  AnnPerformanceModel model(fast_options());
+  EXPECT_THROW(model.fit(small_space(), {}, rng), std::invalid_argument);
+  std::vector<TrainingSample> bad = {{Configuration{{1, 1, 0}}, -1.0}};
+  EXPECT_THROW(model.fit(small_space(), bad, rng), std::invalid_argument);
+}
+
+TEST(Model, PredictionsArePositiveWithLogTargets) {
+  common::Rng rng(4);
+  const auto samples = bowl_samples(120, rng);
+  AnnPerformanceModel model(fast_options());
+  model.fit(small_space(), samples, rng);
+  const auto preds = model.predict_range_ms(0, small_space().size());
+  for (double p : preds) EXPECT_GT(p, 0.0);
+}
+
+TEST(Model, PredictRangeMatchesSinglePredictions) {
+  common::Rng rng(5);
+  const auto samples = bowl_samples(100, rng);
+  AnnPerformanceModel model(fast_options());
+  const ParamSpace space = small_space();
+  model.fit(space, samples, rng);
+  const auto range = model.predict_range_ms(10, 30);
+  for (std::uint64_t i = 10; i < 30; ++i) {
+    EXPECT_NEAR(range[i - 10], model.predict_ms(space.decode(i)), 1e-9);
+  }
+}
+
+TEST(Model, PredictManyMatchesSingle) {
+  common::Rng rng(6);
+  const auto samples = bowl_samples(100, rng);
+  AnnPerformanceModel model(fast_options());
+  const ParamSpace space = small_space();
+  model.fit(space, samples, rng);
+  std::vector<Configuration> configs = {space.decode(0), space.decode(99),
+                                        space.decode(255)};
+  const auto many = model.predict_many_ms(configs);
+  ASSERT_EQ(many.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(many[i], model.predict_ms(configs[i]), 1e-9);
+  EXPECT_TRUE(model.predict_many_ms({}).empty());
+}
+
+TEST(Model, Log2EncodingAppliedToWideDimensions) {
+  AnnPerformanceModel::Options opts = fast_options();
+  opts.encoding = FeatureEncoding::kLog2;
+  AnnPerformanceModel model(opts);
+  common::Rng rng(7);
+  model.fit(small_space(), bowl_samples(64, rng), rng);
+  // A and B span 1..128 (log2 applies); C is 0..3 (raw: contains 0).
+  const auto f = model.encode_features(Configuration{{8, 128, 3}});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 3.0);
+  EXPECT_DOUBLE_EQ(f[1], 7.0);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST(Model, RawEncodingKeepsValues) {
+  AnnPerformanceModel::Options opts = fast_options();
+  opts.encoding = FeatureEncoding::kRaw;
+  AnnPerformanceModel model(opts);
+  common::Rng rng(8);
+  model.fit(small_space(), bowl_samples(64, rng), rng);
+  const auto f = model.encode_features(Configuration{{8, 128, 3}});
+  EXPECT_DOUBLE_EQ(f[0], 8.0);
+  EXPECT_DOUBLE_EQ(f[1], 128.0);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST(Model, PredictRangeValidation) {
+  common::Rng rng(9);
+  AnnPerformanceModel model(fast_options());
+  model.fit(small_space(), bowl_samples(64, rng), rng);
+  EXPECT_THROW((void)model.predict_range_ms(20, 10), std::invalid_argument);
+  EXPECT_TRUE(model.predict_range_ms(5, 5).empty());
+}
+
+// The paper's log trick: with multiplicative noise, log targets give much
+// better *relative* accuracy on small values than raw targets.
+TEST(Model, LogTargetsBeatRawOnWideDynamicRange) {
+  // Synthetic task with times spanning 4 orders of magnitude.
+  ParamSpace space;
+  space.add("X", {1, 2, 4, 8, 16, 32, 64, 128});
+  space.add("Y", {1, 2, 4, 8, 16, 32, 64, 128});
+  auto time_of = [](const Configuration& c) {
+    const double x = std::log2(static_cast<double>(c.values[0]));
+    const double y = std::log2(static_cast<double>(c.values[1]));
+    return std::pow(10.0, (x + y) / 3.5 - 2.0);  // 0.01 .. ~100
+  };
+  common::Rng rng(10);
+  std::vector<TrainingSample> samples;
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const Configuration c = space.decode(i);
+    samples.push_back({c, time_of(c)});
+  }
+
+  auto fit_and_score = [&](bool log_targets) {
+    AnnPerformanceModel::Options opts = fast_options();
+    opts.log_targets = log_targets;
+    AnnPerformanceModel model(opts);
+    common::Rng fit_rng(11);
+    model.fit(space, samples, fit_rng);
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (const auto& s : samples) {
+      actual.push_back(s.time_ms);
+      predicted.push_back(model.predict_ms(s.config));
+    }
+    return ml::mean_relative_error(predicted, actual);
+  };
+
+  const double mre_log = fit_and_score(true);
+  const double mre_raw = fit_and_score(false);
+  EXPECT_LT(mre_log, mre_raw);
+}
+
+}  // namespace
+}  // namespace pt::tuner

@@ -1,0 +1,159 @@
+#include "tuner/param.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::small_space;
+
+TEST(ParamSpace, SizeIsProductOfValueCounts) {
+  const ParamSpace s = small_space();
+  EXPECT_EQ(s.size(), 8u * 8u * 4u);
+  EXPECT_EQ(s.dimension_count(), 3u);
+  EXPECT_EQ(ParamSpace{}.size(), 0u);
+}
+
+TEST(ParamSpace, AddValidation) {
+  ParamSpace s;
+  EXPECT_THROW(s.add("empty", {}), std::invalid_argument);
+  EXPECT_THROW(s.add("dup-values", {1, 2, 1}), std::invalid_argument);
+  s.add("x", {1, 2});
+  EXPECT_THROW(s.add("x", {3, 4}), std::invalid_argument);
+}
+
+TEST(ParamSpace, IndexOfByName) {
+  const ParamSpace s = small_space();
+  EXPECT_EQ(s.index_of("A"), 0u);
+  EXPECT_EQ(s.index_of("C"), 2u);
+  EXPECT_THROW((void)s.index_of("Z"), std::out_of_range);
+}
+
+TEST(ParamSpace, DecodeFirstAndLast) {
+  const ParamSpace s = small_space();
+  const Configuration first = s.decode(0);
+  EXPECT_EQ(first.values, (std::vector<int>{1, 1, 0}));
+  const Configuration last = s.decode(s.size() - 1);
+  EXPECT_EQ(last.values, (std::vector<int>{128, 128, 3}));
+  EXPECT_THROW((void)s.decode(s.size()), std::out_of_range);
+}
+
+TEST(ParamSpace, EncodeDecodeRoundTripExhaustive) {
+  const ParamSpace s = small_space();
+  for (std::uint64_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.encode(s.decode(i)), i);
+  }
+}
+
+TEST(ParamSpace, DecodeIsBijective) {
+  const ParamSpace s = small_space();
+  std::set<std::vector<int>> seen;
+  for (std::uint64_t i = 0; i < s.size(); ++i)
+    seen.insert(s.decode(i).values);
+  EXPECT_EQ(seen.size(), s.size());
+}
+
+TEST(ParamSpace, EncodeRejectsForeignValues) {
+  const ParamSpace s = small_space();
+  EXPECT_THROW((void)s.encode(Configuration{{3, 1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.encode(Configuration{{1, 1}}), std::invalid_argument);
+}
+
+TEST(ParamSpace, Contains) {
+  const ParamSpace s = small_space();
+  EXPECT_TRUE(s.contains(Configuration{{8, 16, 2}}));
+  EXPECT_FALSE(s.contains(Configuration{{5, 16, 2}}));
+  EXPECT_FALSE(s.contains(Configuration{{8, 16}}));
+}
+
+TEST(ParamSpace, ValueOfByName) {
+  const ParamSpace s = small_space();
+  const Configuration c{{4, 32, 1}};
+  EXPECT_EQ(s.value_of(c, "A"), 4);
+  EXPECT_EQ(s.value_of(c, "B"), 32);
+  EXPECT_EQ(s.value_of(c, "C"), 1);
+}
+
+TEST(ParamSpace, RandomIsAlwaysContained) {
+  const ParamSpace s = small_space();
+  common::Rng rng(5);
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(s.contains(s.random(rng)));
+}
+
+TEST(ParamSpace, RandomCoversSpace) {
+  const ParamSpace s = small_space();
+  common::Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4000; ++i) seen.insert(s.encode(s.random(rng)));
+  EXPECT_GT(seen.size(), s.size() * 9 / 10);
+}
+
+TEST(ParamSpace, NeighboursStepOnePosition) {
+  const ParamSpace s = small_space();
+  const Configuration c{{8, 1, 3}};
+  const auto ns = s.neighbours(c);
+  // A: 4 and 16; B: only 2 (at the low end); C: only 2 (at the high end).
+  EXPECT_EQ(ns.size(), 4u);
+  for (const auto& n : ns) {
+    EXPECT_TRUE(s.contains(n));
+    int diffs = 0;
+    for (std::size_t d = 0; d < 3; ++d)
+      if (n.values[d] != c.values[d]) ++diffs;
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(ParamSpace, NeighboursOfForeignConfigThrows) {
+  const ParamSpace s = small_space();
+  EXPECT_THROW((void)s.neighbours(Configuration{{5, 1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(ParamSpace, ToStringFormat) {
+  const ParamSpace s = small_space();
+  EXPECT_EQ(s.to_string(Configuration{{1, 2, 3}}), "(1, 2, 3)");
+}
+
+// Mixed-radix property: the first dimension is the fastest-varying digit.
+TEST(ParamSpace, FirstDimensionVariesFastest) {
+  const ParamSpace s = small_space();
+  const Configuration c0 = s.decode(0);
+  const Configuration c1 = s.decode(1);
+  EXPECT_NE(c0.values[0], c1.values[0]);
+  EXPECT_EQ(c0.values[1], c1.values[1]);
+  EXPECT_EQ(c0.values[2], c1.values[2]);
+}
+
+// Property sweep across several space shapes.
+class ParamSpaceShapeTest
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(ParamSpaceShapeTest, RoundTripOnSampledIndices) {
+  ParamSpace s;
+  const auto& sizes = GetParam();
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    std::vector<int> values;
+    for (int v = 0; v < sizes[d]; ++v) values.push_back(v * 3 + 1);
+    s.add("p" + std::to_string(d), values);
+  }
+  common::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t idx = rng.below(s.size());
+    EXPECT_EQ(s.encode(s.decode(idx)), idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParamSpaceShapeTest,
+                         ::testing::Values(std::vector<int>{2},
+                                           std::vector<int>{2, 3},
+                                           std::vector<int>{8, 8, 8, 8, 2},
+                                           std::vector<int>{5, 4, 3, 2, 2, 3},
+                                           std::vector<int>{17, 13}));
+
+}  // namespace
+}  // namespace pt::tuner

@@ -1,0 +1,108 @@
+#include "tuner/persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::BowlEvaluator;
+using testing::small_space;
+
+AnnPerformanceModel trained_model(std::uint64_t seed,
+                                  bool log_targets = true,
+                                  FeatureEncoding encoding =
+                                      FeatureEncoding::kLog2) {
+  AnnPerformanceModel::Options opts;
+  opts.ensemble.k = 3;
+  opts.ensemble.hidden_layers = {ml::LayerSpec{10, ml::Activation::kSigmoid}};
+  opts.ensemble.trainer.common.max_epochs = 200;
+  opts.log_targets = log_targets;
+  opts.encoding = encoding;
+
+  BowlEvaluator eval;
+  common::Rng rng(seed);
+  std::vector<TrainingSample> samples;
+  for (int i = 0; i < 140; ++i) {
+    const Configuration c = eval.space().random(rng);
+    samples.push_back({c, eval.measure(c).time_ms});
+  }
+  AnnPerformanceModel model(opts);
+  model.fit(eval.space(), samples, rng);
+  return model;
+}
+
+TEST(Persist, RoundTripPreservesPredictionsExactly) {
+  const AnnPerformanceModel model = trained_model(1);
+  std::stringstream ss;
+  save_model(model, ss);
+  const AnnPerformanceModel loaded = load_model(ss);
+
+  const ParamSpace space = small_space();
+  for (std::uint64_t i = 0; i < space.size(); i += 5) {
+    const Configuration c = space.decode(i);
+    EXPECT_DOUBLE_EQ(loaded.predict_ms(c), model.predict_ms(c));
+  }
+}
+
+TEST(Persist, RoundTripPreservesSpaceAndOptions) {
+  const AnnPerformanceModel model = trained_model(2, false,
+                                                  FeatureEncoding::kRaw);
+  std::stringstream ss;
+  save_model(model, ss);
+  const AnnPerformanceModel loaded = load_model(ss);
+  EXPECT_EQ(loaded.space().size(), model.space().size());
+  EXPECT_EQ(loaded.space().parameter(0).name, "A");
+  EXPECT_FALSE(loaded.options().log_targets);
+  EXPECT_EQ(loaded.options().encoding, FeatureEncoding::kRaw);
+  EXPECT_DOUBLE_EQ(loaded.target_mean(), model.target_mean());
+  EXPECT_DOUBLE_EQ(loaded.target_scale(), model.target_scale());
+}
+
+TEST(Persist, RangePredictionWorksAfterLoad) {
+  const AnnPerformanceModel model = trained_model(3);
+  std::stringstream ss;
+  save_model(model, ss);
+  const AnnPerformanceModel loaded = load_model(ss);
+  const auto a = model.predict_range_ms(0, 64);
+  const auto b = loaded.predict_range_ms(0, 64);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Persist, UnfittedModelRefusesToSave) {
+  const AnnPerformanceModel model;
+  std::stringstream ss;
+  EXPECT_THROW(save_model(model, ss), std::logic_error);
+}
+
+TEST(Persist, RejectsBadMagic) {
+  std::stringstream ss("wrong-header 1 2 3");
+  EXPECT_THROW((void)load_model(ss), std::runtime_error);
+}
+
+TEST(Persist, RejectsTruncatedStream) {
+  const AnnPerformanceModel model = trained_model(4);
+  std::stringstream ss;
+  save_model(model, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 3);
+  std::stringstream truncated(text);
+  EXPECT_THROW((void)load_model(truncated), std::runtime_error);
+}
+
+TEST(Persist, RestoreValidatesWidths) {
+  const AnnPerformanceModel model = trained_model(5);
+  // A space whose dimensionality does not match the ensemble.
+  ParamSpace wrong;
+  wrong.add("X", {1, 2});
+  EXPECT_THROW((void)AnnPerformanceModel::restore(
+                   model.options(), wrong, 0.0, 1.0,
+                   ml::BaggingEnsemble(model.options().ensemble)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::tuner

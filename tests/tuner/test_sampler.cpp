@@ -1,0 +1,101 @@
+#include "tuner/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::small_space;
+
+class SamplerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::unique_ptr<Sampler> make(const std::string& name) {
+    if (name == "random") return std::make_unique<RandomSampler>();
+    return std::make_unique<LatinHypercubeSampler>();
+  }
+};
+
+TEST_P(SamplerTest, ProducesRequestedDistinctConfigs) {
+  const ParamSpace space = small_space();
+  common::Rng rng(1);
+  const auto sampler = make(GetParam());
+  const auto configs = sampler->sample(space, 100, rng);
+  EXPECT_EQ(configs.size(), 100u);
+  std::set<std::uint64_t> unique;
+  for (const auto& c : configs) {
+    EXPECT_TRUE(space.contains(c));
+    unique.insert(space.encode(c));
+  }
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST_P(SamplerTest, ClampsToSpaceSize) {
+  const ParamSpace space = small_space();  // 256 configs
+  common::Rng rng(2);
+  const auto sampler = make(GetParam());
+  const auto configs = sampler->sample(space, 10000, rng);
+  EXPECT_EQ(configs.size(), space.size());
+  std::set<std::uint64_t> unique;
+  for (const auto& c : configs) unique.insert(space.encode(c));
+  EXPECT_EQ(unique.size(), space.size());  // full enumeration, no dups
+}
+
+TEST_P(SamplerTest, ZeroSamplesIsEmpty) {
+  const ParamSpace space = small_space();
+  common::Rng rng(3);
+  EXPECT_TRUE(make(GetParam())->sample(space, 0, rng).empty());
+}
+
+TEST_P(SamplerTest, DeterministicGivenSeed) {
+  const ParamSpace space = small_space();
+  const auto sampler = make(GetParam());
+  common::Rng rng1(42);
+  common::Rng rng2(42);
+  const auto a = sampler->sample(space, 50, rng1);
+  const auto b = sampler->sample(space, 50, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, SamplerTest,
+                         ::testing::Values("random", "lhs"),
+                         [](const auto& param_info) { return std::string(param_info.param); });
+
+TEST(LatinHypercube, StratifiesEachDimension) {
+  // With n a multiple of every level count, each value appears with near
+  // equal frequency in an LHS sample — unlike plain uniform sampling.
+  ParamSpace space;
+  space.add("A", {1, 2, 4, 8});
+  space.add("B", {0, 1, 2, 3, 4, 5, 6, 7});
+  space.add("C", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  // 512-point space, 32 samples: duplicate collisions (which break the
+  // stratification by triggering uniform top-up draws) are rare.
+  common::Rng rng(4);
+  const LatinHypercubeSampler sampler;
+  const auto configs = sampler.sample(space, 32, rng);
+  std::map<int, int> counts_a;
+  for (const auto& c : configs) ++counts_a[c.values[0]];
+  for (const auto& [value, count] : counts_a) {
+    EXPECT_GE(count, 5) << "value " << value;
+    EXPECT_LE(count, 11) << "value " << value;
+  }
+}
+
+TEST(RandomSampler, MatchesUnderlyingDistribution) {
+  // Sampling most of the space should hit most distinct configurations.
+  const ParamSpace space = small_space();
+  common::Rng rng(5);
+  const RandomSampler sampler;
+  const auto configs = sampler.sample(space, 200, rng);
+  std::set<std::uint64_t> unique;
+  for (const auto& c : configs) unique.insert(space.encode(c));
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+}  // namespace
+}  // namespace pt::tuner

@@ -1,0 +1,144 @@
+#include "tuner/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::BowlEvaluator;
+
+TEST(ExhaustiveSearch, FindsGlobalOptimum) {
+  BowlEvaluator eval;
+  const SearchResult r = exhaustive_search(eval);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.best_config, BowlEvaluator::optimum());
+  EXPECT_DOUBLE_EQ(r.best_time_ms, BowlEvaluator::optimum_time());
+  EXPECT_EQ(r.evaluations, eval.space().size());
+  EXPECT_EQ(r.invalid, 0u);
+}
+
+TEST(ExhaustiveSearch, CountsInvalid) {
+  BowlEvaluator eval(/*with_invalid=*/true);
+  const SearchResult r = exhaustive_search(eval);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.invalid, eval.space().size() / 8);  // A=128 slice
+  EXPECT_EQ(r.best_config, BowlEvaluator::optimum());
+}
+
+TEST(ExhaustiveSearch, HardLimitEnforced) {
+  BowlEvaluator eval;
+  EXPECT_THROW((void)exhaustive_search(eval, 10), std::invalid_argument);
+}
+
+TEST(ExhaustiveTable, ListsAllValidTimes) {
+  BowlEvaluator eval(/*with_invalid=*/true);
+  const ExhaustiveTable table = exhaustive_table(eval);
+  EXPECT_EQ(table.times.size(), eval.space().size() * 7 / 8);
+  // The minimum of the table equals the search result.
+  double min_time = table.times.front().second;
+  for (const auto& [idx, t] : table.times) min_time = std::min(min_time, t);
+  EXPECT_DOUBLE_EQ(min_time, table.result.best_time_ms);
+}
+
+TEST(RandomSearch, FindsGoodConfigWithEnoughSamples) {
+  BowlEvaluator eval;
+  common::Rng rng(1);
+  const SearchResult r = random_search(eval, 200, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.evaluations, 200u);
+  EXPECT_LE(r.best_time_ms, 1.6);  // 200/256 coverage gets close
+}
+
+TEST(RandomSearch, ClampsToSpaceSize) {
+  BowlEvaluator eval;
+  common::Rng rng(2);
+  const SearchResult r = random_search(eval, 100000, rng);
+  EXPECT_EQ(r.evaluations, eval.space().size());
+  EXPECT_DOUBLE_EQ(r.best_time_ms, BowlEvaluator::optimum_time());
+}
+
+TEST(RandomSearch, AllInvalidReportsFailure) {
+  class AllInvalid final : public Evaluator {
+   public:
+    AllInvalid() : space_(testing::small_space()) {}
+    const ParamSpace& space() const override { return space_; }
+    std::string name() const override { return "none"; }
+    Measurement measure(const Configuration&) override {
+      Measurement m;
+      m.valid = false;
+      m.status = clsim::Status::kOutOfResources;
+      m.cost_ms = 0.1;
+      return m;
+    }
+
+   private:
+    ParamSpace space_;
+  } eval;
+  common::Rng rng(3);
+  const SearchResult r = random_search(eval, 50, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.invalid, 50u);
+  EXPECT_GT(r.total_cost_ms, 0.0);
+}
+
+TEST(HillClimb, ConvergesOnConvexLandscape) {
+  BowlEvaluator eval;
+  common::Rng rng(4);
+  const SearchResult r = hill_climb(eval, 3, rng);
+  ASSERT_TRUE(r.success);
+  // The bowl is unimodal over the neighbour graph: every climb reaches it.
+  EXPECT_EQ(r.best_config, BowlEvaluator::optimum());
+}
+
+TEST(HillClimb, HandlesInvalidNeighbours) {
+  BowlEvaluator eval(/*with_invalid=*/true);
+  common::Rng rng(5);
+  const SearchResult r = hill_climb(eval, 3, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.best_config, BowlEvaluator::optimum());
+}
+
+TEST(HillClimb, UsesFewerEvaluationsThanExhaustive) {
+  BowlEvaluator eval;
+  common::Rng rng(6);
+  const SearchResult r = hill_climb(eval, 2, rng);
+  EXPECT_LT(r.evaluations, eval.space().size());
+}
+
+TEST(SimulatedAnnealing, ReachesNearOptimum) {
+  BowlEvaluator eval;
+  common::Rng rng(7);
+  AnnealingOptions opts;
+  opts.evaluations = 600;
+  const SearchResult r = simulated_annealing(eval, opts, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(r.best_time_ms, 1.6);
+}
+
+TEST(SimulatedAnnealing, RespectsEvaluationBudget) {
+  BowlEvaluator eval;
+  common::Rng rng(8);
+  AnnealingOptions opts;
+  opts.evaluations = 100;
+  const SearchResult r = simulated_annealing(eval, opts, rng);
+  EXPECT_LE(r.evaluations, 100u);
+}
+
+TEST(Searches, DeterministicGivenSeed) {
+  AnnealingOptions opts;
+  opts.evaluations = 150;
+  for (int pass = 0; pass < 2; ++pass) {
+    BowlEvaluator e1;
+    BowlEvaluator e2;
+    common::Rng r1(77);
+    common::Rng r2(77);
+    const auto a = simulated_annealing(e1, opts, r1);
+    const auto b = simulated_annealing(e2, opts, r2);
+    EXPECT_EQ(a.best_config, b.best_config);
+  }
+}
+
+}  // namespace
+}  // namespace pt::tuner
