@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_validity"
+  "../bench/ablation_validity.pdb"
+  "CMakeFiles/ablation_validity.dir/ablation_validity.cpp.o"
+  "CMakeFiles/ablation_validity.dir/ablation_validity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cost_breakdown"
+  "../bench/cost_breakdown.pdb"
+  "CMakeFiles/cost_breakdown.dir/cost_breakdown.cpp.o"
+  "CMakeFiles/cost_breakdown.dir/cost_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

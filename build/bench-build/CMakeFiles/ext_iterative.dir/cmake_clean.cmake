@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_iterative"
+  "../bench/ext_iterative.pdb"
+  "CMakeFiles/ext_iterative.dir/ext_iterative.cpp.o"
+  "CMakeFiles/ext_iterative.dir/ext_iterative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

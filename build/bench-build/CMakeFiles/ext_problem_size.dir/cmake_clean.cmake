@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_problem_size"
+  "../bench/ext_problem_size.pdb"
+  "CMakeFiles/ext_problem_size.dir/ext_problem_size.cpp.o"
+  "CMakeFiles/ext_problem_size.dir/ext_problem_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

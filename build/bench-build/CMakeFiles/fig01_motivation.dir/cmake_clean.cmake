@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_motivation"
+  "../bench/fig01_motivation.pdb"
+  "CMakeFiles/fig01_motivation.dir/fig01_motivation.cpp.o"
+  "CMakeFiles/fig01_motivation.dir/fig01_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_error_intel"
+  "../bench/fig04_error_intel.pdb"
+  "CMakeFiles/fig04_error_intel.dir/fig04_error_intel.cpp.o"
+  "CMakeFiles/fig04_error_intel.dir/fig04_error_intel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_error_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

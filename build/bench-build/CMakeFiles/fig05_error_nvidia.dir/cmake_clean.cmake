@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_error_nvidia"
+  "../bench/fig05_error_nvidia.pdb"
+  "CMakeFiles/fig05_error_nvidia.dir/fig05_error_nvidia.cpp.o"
+  "CMakeFiles/fig05_error_nvidia.dir/fig05_error_nvidia.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_error_nvidia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_error_amd"
+  "../bench/fig06_error_amd.pdb"
+  "CMakeFiles/fig06_error_amd.dir/fig06_error_amd.cpp.o"
+  "CMakeFiles/fig06_error_amd.dir/fig06_error_amd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_error_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

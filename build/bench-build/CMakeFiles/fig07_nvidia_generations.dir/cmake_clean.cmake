@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_nvidia_generations"
+  "../bench/fig07_nvidia_generations.pdb"
+  "CMakeFiles/fig07_nvidia_generations.dir/fig07_nvidia_generations.cpp.o"
+  "CMakeFiles/fig07_nvidia_generations.dir/fig07_nvidia_generations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nvidia_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

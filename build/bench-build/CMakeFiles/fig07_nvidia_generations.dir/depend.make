@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_nvidia_generations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_10_scatter"
+  "../bench/fig08_10_scatter.pdb"
+  "CMakeFiles/fig08_10_scatter.dir/fig08_10_scatter.cpp.o"
+  "CMakeFiles/fig08_10_scatter.dir/fig08_10_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_10_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_13_autotuner"
+  "../bench/fig11_13_autotuner.pdb"
+  "CMakeFiles/fig11_13_autotuner.dir/fig11_13_autotuner.cpp.o"
+  "CMakeFiles/fig11_13_autotuner.dir/fig11_13_autotuner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_13_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_large_spaces"
+  "../bench/fig14_large_spaces.pdb"
+  "CMakeFiles/fig14_large_spaces.dir/fig14_large_spaces.cpp.o"
+  "CMakeFiles/fig14_large_spaces.dir/fig14_large_spaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_large_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_clsim"
+  "../bench/micro_clsim.pdb"
+  "CMakeFiles/micro_clsim.dir/micro_clsim.cpp.o"
+  "CMakeFiles/micro_clsim.dir/micro_clsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_benchmarks"
+  "../bench/table1_benchmarks.pdb"
+  "CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o"
+  "CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

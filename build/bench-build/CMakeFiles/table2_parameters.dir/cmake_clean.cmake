@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_parameters"
+  "../bench/table2_parameters.pdb"
+  "CMakeFiles/table2_parameters.dir/table2_parameters.cpp.o"
+  "CMakeFiles/table2_parameters.dir/table2_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cross_device_retuning.cpp" "examples/CMakeFiles/cross_device_retuning.dir/cross_device_retuning.cpp.o" "gcc" "examples/CMakeFiles/cross_device_retuning.dir/cross_device_retuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/pt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/pt_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/pt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

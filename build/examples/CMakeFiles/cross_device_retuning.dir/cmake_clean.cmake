@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_device_retuning.dir/cross_device_retuning.cpp.o"
+  "CMakeFiles/cross_device_retuning.dir/cross_device_retuning.cpp.o.d"
+  "cross_device_retuning"
+  "cross_device_retuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_device_retuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_benchmark.dir/custom_benchmark.cpp.o"
+  "CMakeFiles/custom_benchmark.dir/custom_benchmark.cpp.o.d"
+  "custom_benchmark"
+  "custom_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_selection.dir/device_selection.cpp.o"
+  "CMakeFiles/device_selection.dir/device_selection.cpp.o.d"
+  "device_selection"
+  "device_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_exploration.dir/model_exploration.cpp.o"
+  "CMakeFiles/model_exploration.dir/model_exploration.cpp.o.d"
+  "model_exploration"
+  "model_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

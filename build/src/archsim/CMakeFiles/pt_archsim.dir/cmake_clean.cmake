@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_archsim.dir/devices.cpp.o"
+  "CMakeFiles/pt_archsim.dir/devices.cpp.o.d"
+  "CMakeFiles/pt_archsim.dir/timing_model.cpp.o"
+  "CMakeFiles/pt_archsim.dir/timing_model.cpp.o.d"
+  "libpt_archsim.a"
+  "libpt_archsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/benchmark.cpp" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/benchmark.cpp.o" "gcc" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/benchmark.cpp.o.d"
+  "/root/repo/src/benchmarks/convolution.cpp" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/convolution.cpp.o" "gcc" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/convolution.cpp.o.d"
+  "/root/repo/src/benchmarks/raycasting.cpp" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/raycasting.cpp.o" "gcc" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/raycasting.cpp.o.d"
+  "/root/repo/src/benchmarks/registry.cpp" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/registry.cpp.o" "gcc" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/registry.cpp.o.d"
+  "/root/repo/src/benchmarks/stereo.cpp" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/stereo.cpp.o" "gcc" "src/benchmarks/CMakeFiles/pt_benchmarks.dir/stereo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_benchmarks.dir/benchmark.cpp.o"
+  "CMakeFiles/pt_benchmarks.dir/benchmark.cpp.o.d"
+  "CMakeFiles/pt_benchmarks.dir/convolution.cpp.o"
+  "CMakeFiles/pt_benchmarks.dir/convolution.cpp.o.d"
+  "CMakeFiles/pt_benchmarks.dir/raycasting.cpp.o"
+  "CMakeFiles/pt_benchmarks.dir/raycasting.cpp.o.d"
+  "CMakeFiles/pt_benchmarks.dir/registry.cpp.o"
+  "CMakeFiles/pt_benchmarks.dir/registry.cpp.o.d"
+  "CMakeFiles/pt_benchmarks.dir/stereo.cpp.o"
+  "CMakeFiles/pt_benchmarks.dir/stereo.cpp.o.d"
+  "libpt_benchmarks.a"
+  "libpt_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clsim/device.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/device.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/device.cpp.o.d"
+  "/root/repo/src/clsim/error.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/error.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/error.cpp.o.d"
+  "/root/repo/src/clsim/executor.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/executor.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/executor.cpp.o.d"
+  "/root/repo/src/clsim/kernel.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/kernel.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/kernel.cpp.o.d"
+  "/root/repo/src/clsim/kernel_profile.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/kernel_profile.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/clsim/memory.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/memory.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/memory.cpp.o.d"
+  "/root/repo/src/clsim/platform.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/platform.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/platform.cpp.o.d"
+  "/root/repo/src/clsim/queue.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/queue.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/queue.cpp.o.d"
+  "/root/repo/src/clsim/types.cpp" "src/clsim/CMakeFiles/pt_clsim.dir/types.cpp.o" "gcc" "src/clsim/CMakeFiles/pt_clsim.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_clsim.dir/device.cpp.o"
+  "CMakeFiles/pt_clsim.dir/device.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/error.cpp.o"
+  "CMakeFiles/pt_clsim.dir/error.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/executor.cpp.o"
+  "CMakeFiles/pt_clsim.dir/executor.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/kernel.cpp.o"
+  "CMakeFiles/pt_clsim.dir/kernel.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/kernel_profile.cpp.o"
+  "CMakeFiles/pt_clsim.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/memory.cpp.o"
+  "CMakeFiles/pt_clsim.dir/memory.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/platform.cpp.o"
+  "CMakeFiles/pt_clsim.dir/platform.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/queue.cpp.o"
+  "CMakeFiles/pt_clsim.dir/queue.cpp.o.d"
+  "CMakeFiles/pt_clsim.dir/types.cpp.o"
+  "CMakeFiles/pt_clsim.dir/types.cpp.o.d"
+  "libpt_clsim.a"
+  "libpt_clsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_experiments.dir/error_curves.cpp.o"
+  "CMakeFiles/pt_experiments.dir/error_curves.cpp.o.d"
+  "CMakeFiles/pt_experiments.dir/motivation.cpp.o"
+  "CMakeFiles/pt_experiments.dir/motivation.cpp.o.d"
+  "CMakeFiles/pt_experiments.dir/tuner_eval.cpp.o"
+  "CMakeFiles/pt_experiments.dir/tuner_eval.cpp.o.d"
+  "libpt_experiments.a"
+  "libpt_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activation.cpp" "src/ml/CMakeFiles/pt_ml.dir/activation.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/activation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/pt_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/pt_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/pt_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/pt_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/pt_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/pt_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/pt_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/pt_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/pt_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_ml.dir/activation.cpp.o"
+  "CMakeFiles/pt_ml.dir/activation.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pt_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/ensemble.cpp.o"
+  "CMakeFiles/pt_ml.dir/ensemble.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/matrix.cpp.o"
+  "CMakeFiles/pt_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pt_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/mlp.cpp.o"
+  "CMakeFiles/pt_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/scaler.cpp.o"
+  "CMakeFiles/pt_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/serialize.cpp.o"
+  "CMakeFiles/pt_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/pt_ml.dir/trainer.cpp.o"
+  "CMakeFiles/pt_ml.dir/trainer.cpp.o.d"
+  "libpt_ml.a"
+  "libpt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

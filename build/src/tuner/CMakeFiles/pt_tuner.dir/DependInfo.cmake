@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/autotuner.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/autotuner.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/autotuner.cpp.o.d"
+  "/root/repo/src/tuner/evaluator.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/evaluator.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/evaluator.cpp.o.d"
+  "/root/repo/src/tuner/features.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/features.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/features.cpp.o.d"
+  "/root/repo/src/tuner/input_aware.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/input_aware.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/input_aware.cpp.o.d"
+  "/root/repo/src/tuner/iterative.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/iterative.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/iterative.cpp.o.d"
+  "/root/repo/src/tuner/model.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/model.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/model.cpp.o.d"
+  "/root/repo/src/tuner/param.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/param.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/param.cpp.o.d"
+  "/root/repo/src/tuner/persist.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/persist.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/persist.cpp.o.d"
+  "/root/repo/src/tuner/sampler.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/sampler.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/sampler.cpp.o.d"
+  "/root/repo/src/tuner/search.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/search.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/search.cpp.o.d"
+  "/root/repo/src/tuner/validity.cpp" "src/tuner/CMakeFiles/pt_tuner.dir/validity.cpp.o" "gcc" "src/tuner/CMakeFiles/pt_tuner.dir/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_tuner.dir/autotuner.cpp.o"
+  "CMakeFiles/pt_tuner.dir/autotuner.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/evaluator.cpp.o"
+  "CMakeFiles/pt_tuner.dir/evaluator.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/features.cpp.o"
+  "CMakeFiles/pt_tuner.dir/features.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/input_aware.cpp.o"
+  "CMakeFiles/pt_tuner.dir/input_aware.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/iterative.cpp.o"
+  "CMakeFiles/pt_tuner.dir/iterative.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/model.cpp.o"
+  "CMakeFiles/pt_tuner.dir/model.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/param.cpp.o"
+  "CMakeFiles/pt_tuner.dir/param.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/persist.cpp.o"
+  "CMakeFiles/pt_tuner.dir/persist.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/sampler.cpp.o"
+  "CMakeFiles/pt_tuner.dir/sampler.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/search.cpp.o"
+  "CMakeFiles/pt_tuner.dir/search.cpp.o.d"
+  "CMakeFiles/pt_tuner.dir/validity.cpp.o"
+  "CMakeFiles/pt_tuner.dir/validity.cpp.o.d"
+  "libpt_tuner.a"
+  "libpt_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archsim.dir/archsim/test_devices.cpp.o"
+  "CMakeFiles/test_archsim.dir/archsim/test_devices.cpp.o.d"
+  "CMakeFiles/test_archsim.dir/archsim/test_timing_model.cpp.o"
+  "CMakeFiles/test_archsim.dir/archsim/test_timing_model.cpp.o.d"
+  "test_archsim"
+  "test_archsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

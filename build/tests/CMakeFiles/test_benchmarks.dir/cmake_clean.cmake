@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_cross_device.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_cross_device.cpp.o.d"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_functional.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_functional.cpp.o.d"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_profiles.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_profiles.cpp.o.d"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_spaces.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/test_spaces.cpp.o.d"
+  "test_benchmarks"
+  "test_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clsim/test_error.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_error.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_error.cpp.o.d"
+  "/root/repo/tests/clsim/test_executor.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_executor.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_executor.cpp.o.d"
+  "/root/repo/tests/clsim/test_executor_stress.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_executor_stress.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_executor_stress.cpp.o.d"
+  "/root/repo/tests/clsim/test_kernel.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_kernel.cpp.o.d"
+  "/root/repo/tests/clsim/test_memory.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_memory.cpp.o.d"
+  "/root/repo/tests/clsim/test_platform.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_platform.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_platform.cpp.o.d"
+  "/root/repo/tests/clsim/test_profile.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_profile.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_profile.cpp.o.d"
+  "/root/repo/tests/clsim/test_queue.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_queue.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_queue.cpp.o.d"
+  "/root/repo/tests/clsim/test_types.cpp" "tests/CMakeFiles/test_clsim.dir/clsim/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_clsim.dir/clsim/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/pt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/pt_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/pt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

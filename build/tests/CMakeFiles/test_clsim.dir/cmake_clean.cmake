@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clsim.dir/clsim/test_error.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_error.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_executor.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_executor.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_executor_stress.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_executor_stress.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_kernel.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_kernel.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_memory.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_memory.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_platform.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_platform.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_profile.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_profile.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_queue.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_queue.cpp.o.d"
+  "CMakeFiles/test_clsim.dir/clsim/test_types.cpp.o"
+  "CMakeFiles/test_clsim.dir/clsim/test_types.cpp.o.d"
+  "test_clsim"
+  "test_clsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

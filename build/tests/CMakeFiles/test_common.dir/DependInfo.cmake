@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/pt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/pt_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/pt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

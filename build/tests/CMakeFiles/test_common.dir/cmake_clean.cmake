@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_cli.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_experiments.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_experiments.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

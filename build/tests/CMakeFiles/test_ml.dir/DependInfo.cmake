@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_activation.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_activation.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_activation.cpp.o.d"
+  "/root/repo/tests/ml/test_dataset.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "/root/repo/tests/ml/test_ensemble.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o.d"
+  "/root/repo/tests/ml/test_matrix.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_mlp.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_scaler.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_scaler.cpp.o.d"
+  "/root/repo/tests/ml/test_serialize.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o.d"
+  "/root/repo/tests/ml/test_trainer.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/pt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/pt_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/pt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_activation.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_activation.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_ensemble.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_scaler.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_scaler.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_trainer.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_trainer.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

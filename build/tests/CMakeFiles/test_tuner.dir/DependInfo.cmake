@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuner/test_autotuner.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_autotuner.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_autotuner.cpp.o.d"
+  "/root/repo/tests/tuner/test_evaluator.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_evaluator.cpp.o.d"
+  "/root/repo/tests/tuner/test_input_aware.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_input_aware.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_input_aware.cpp.o.d"
+  "/root/repo/tests/tuner/test_iterative.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_iterative.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_iterative.cpp.o.d"
+  "/root/repo/tests/tuner/test_model.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_model.cpp.o.d"
+  "/root/repo/tests/tuner/test_param.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o.d"
+  "/root/repo/tests/tuner/test_persist.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_persist.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_persist.cpp.o.d"
+  "/root/repo/tests/tuner/test_sampler.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_sampler.cpp.o.d"
+  "/root/repo/tests/tuner/test_search.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_search.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_search.cpp.o.d"
+  "/root/repo/tests/tuner/test_validity.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_validity.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/pt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/pt_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/pt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/pt_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuner.dir/tuner/test_autotuner.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_autotuner.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_evaluator.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_input_aware.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_input_aware.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_iterative.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_iterative.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_model.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_model.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_persist.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_persist.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_sampler.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_sampler.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_search.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_search.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_validity.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_validity.cpp.o.d"
+  "test_tuner"
+  "test_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
