@@ -62,6 +62,7 @@ double evaluate_variant(const Variant& variant, tuner::Evaluator& eval,
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Ablation: model design choices (convolution @ Nvidia K40)", false);
   const auto training = static_cast<std::size_t>(args.get("training", 1500L));

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Ablation: search strategies at equal budget (convolution)", false);
   const auto budget = static_cast<std::size_t>(args.get("budget", 1100L));

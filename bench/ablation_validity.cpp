@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Extension: validity-classifier filter for the second stage (stereo)",
       false);

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner("Section 6: data-gathering vs model-training cost "
                       "(convolution @ Nvidia K40)",
                       false);

@@ -16,6 +16,7 @@ inline int run_error_curve_figure(const std::string& figure_title,
                                   const std::string& device_name, int argc,
                                   char** argv) {
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const bool full = args.get("full", false);
   print_banner(figure_title, full);
 

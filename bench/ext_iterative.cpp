@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Extension: iterative active-learning tuner vs one-shot (convolution)",
       false);

@@ -70,6 +70,7 @@ double score(const tuner::InputAwarePerformanceModel& model,
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Extension: input-aware model across convolution image sizes "
       "(@ Nvidia K40)",

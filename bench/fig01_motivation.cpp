@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner("Figure 1: cross-device slowdown of per-device best "
                       "configurations (convolution)",
                       false);

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const bool full = args.get("full", false);
   bench::print_banner(
       "Figure 7: convolution prediction error across Nvidia generations",

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner(
       "Figures 8-10: predicted vs actual execution times (convolution)",
       false);

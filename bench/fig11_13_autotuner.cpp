@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const bool full = args.get("full", false);
   bench::print_banner(
       "Figures 11-13: auto-tuner slowdown vs global optimum (convolution)",

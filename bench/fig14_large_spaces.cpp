@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const bool full = args.get("full", false);
   bench::print_banner(
       "Figure 14: auto-tuner vs 50K-random baseline (raycasting, stereo)",

@@ -1,0 +1,172 @@
+// Microbenchmark for the parallel prediction-scan engine: times the dense
+// range scan (predict_range_ms) and the streaming top-M scan
+// (predict_scan_top_m) over the full Table-2 spaces at several thread
+// counts, checks that the selected configurations are identical at every
+// thread count, and writes a small JSON report.
+//
+// The model is trained on synthetic (strictly positive) times so the bench
+// exercises exactly the prediction path — no device simulation involved.
+//
+// Flags:
+//   --out=FILE      JSON report path (default micro_scan.json)
+//   --limit=N       scan at most N configurations per space (0 = full space)
+//   --m=M           top-M size (default 300)
+//   --training=N    synthetic training samples (default 300)
+//   --seed=S        RNG seed (default 1)
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tuner/model.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Deterministic, strictly positive pseudo-time for a configuration.
+double synthetic_time_ms(const pt::tuner::Configuration& config) {
+  double t = 5.0;
+  for (std::size_t d = 0; d < config.values.size(); ++d) {
+    const double v = static_cast<double>(config.values[d]);
+    t += 0.37 * static_cast<double>(d + 1) * std::log2(std::abs(v) + 2.0);
+    t += 0.05 * std::fmod(std::abs(v), 7.0);
+  }
+  return t;
+}
+
+struct Run {
+  std::size_t threads = 0;
+  double range_ms = 0.0;
+  double top_m_ms = 0.0;
+};
+
+struct SpaceReport {
+  std::string name;
+  std::uint64_t space_size = 0;
+  std::uint64_t scanned = 0;
+  double fit_ms = 0.0;
+  std::vector<Run> runs;
+  bool deterministic = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  const auto out_path = args.get("out", "micro_scan.json");
+  const auto limit = static_cast<std::uint64_t>(args.get("limit", 0L));
+  const auto m = static_cast<std::size_t>(args.get("m", 300L));
+  const auto training = static_cast<std::size_t>(args.get("training", 300L));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t hw = common::default_thread_count();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::vector<SpaceReport> reports;
+  for (const auto& name : benchkit::benchmark_names()) {
+    const auto bench = benchkit::make_benchmark(name);
+    const tuner::ParamSpace& space = bench->space();
+
+    SpaceReport report;
+    report.name = name;
+    report.space_size = space.size();
+    report.scanned =
+        limit == 0 ? space.size() : std::min<std::uint64_t>(limit, space.size());
+
+    // Train once (at the default thread count) on synthetic times.
+    common::Rng rng(seed);
+    std::vector<tuner::TrainingSample> samples;
+    samples.reserve(training);
+    for (std::size_t i = 0; i < training; ++i) {
+      const tuner::Configuration config = space.random(rng);
+      samples.push_back({config, synthetic_time_ms(config)});
+    }
+    tuner::AnnPerformanceModel::Options model_opts;
+    model_opts.ensemble.trainer.common.max_epochs = 150;
+    tuner::AnnPerformanceModel model(model_opts);
+    {
+      const auto start = Clock::now();
+      model.fit(space, samples, rng);
+      report.fit_ms = ms_since(start);
+    }
+
+    std::vector<std::uint64_t> reference_top;
+    for (const std::size_t threads : thread_counts) {
+      common::set_global_pool_threads(threads);
+      Run run;
+      run.threads = threads;
+      {
+        const auto start = Clock::now();
+        const auto preds = model.predict_range_ms(0, report.scanned);
+        run.range_ms = ms_since(start);
+        if (preds.size() != report.scanned) return 1;  // defensive
+      }
+      {
+        const auto start = Clock::now();
+        const auto scan = model.predict_scan_top_m(0, report.scanned, m);
+        run.top_m_ms = ms_since(start);
+        std::vector<std::uint64_t> top;
+        top.reserve(scan.top.size());
+        for (const auto& c : scan.top) top.push_back(c.index);
+        if (reference_top.empty()) {
+          reference_top = std::move(top);
+        } else if (top != reference_top) {
+          report.deterministic = false;
+        }
+      }
+      report.runs.push_back(run);
+      std::cout << name << " threads=" << threads
+                << " range=" << run.range_ms << "ms"
+                << " top_m=" << run.top_m_ms << "ms\n"
+                << std::flush;
+    }
+    if (!report.deterministic)
+      std::cout << "WARNING: " << name
+                << ": top-M selection differs across thread counts\n";
+    reports.push_back(std::move(report));
+  }
+  common::set_global_pool_threads(0);  // restore the default
+
+  std::ofstream out(out_path);
+  out << "{\n  \"m\": " << m << ",\n  \"training_samples\": " << training
+      << ",\n  \"benchmarks\": [\n";
+  for (std::size_t b = 0; b < reports.size(); ++b) {
+    const auto& r = reports[b];
+    out << "    {\n      \"name\": \"" << r.name << "\",\n"
+        << "      \"space_size\": " << r.space_size << ",\n"
+        << "      \"scanned\": " << r.scanned << ",\n"
+        << "      \"fit_ms\": " << r.fit_ms << ",\n"
+        << "      \"deterministic_across_threads\": "
+        << (r.deterministic ? "true" : "false") << ",\n"
+        << "      \"runs\": [\n";
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      const auto& run = r.runs[i];
+      out << "        {\"threads\": " << run.threads
+          << ", \"range_ms\": " << run.range_ms
+          << ", \"top_m_ms\": " << run.top_m_ms
+          << ", \"range_speedup\": "
+          << (run.range_ms > 0.0 ? r.runs.front().range_ms / run.range_ms
+                                 : 0.0)
+          << "}" << (i + 1 < r.runs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (b + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "report written to " << out_path << "\n";
+  return 0;
+}

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner("Table 1: Benchmarks used", false);
 
   const benchkit::ConvolutionBenchmark conv;

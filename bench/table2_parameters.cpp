@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   bench::print_banner("Table 2: Parameters used for the benchmarks", false);
 
   for (const auto& name : benchkit::benchmark_names()) {

@@ -30,6 +30,7 @@ tuner::AutoTuneResult tune_on(const benchkit::TunableBenchmark& benchmark,
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const clsim::Platform platform = archsim::default_platform();
   const auto benchmark =
       benchkit::make_benchmark(args.get("benchmark", "convolution"));

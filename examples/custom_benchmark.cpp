@@ -207,6 +207,7 @@ class TransposeBenchmark final : public benchkit::TunableBenchmark {
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const clsim::Platform platform = archsim::default_platform();
 
   // Functional check on a small instance first.

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const clsim::Platform platform = archsim::default_platform();
   const auto benchmark =
       benchkit::make_benchmark(args.get("benchmark", "raycasting"));

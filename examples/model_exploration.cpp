@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
   const clsim::Platform platform = archsim::default_platform();
   const clsim::Device device =
       platform.device_by_name(args.get("device", archsim::kNvidiaK40));

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
 
   // 1. A platform of simulated devices (the paper's five-device roster).
   const clsim::Platform platform = archsim::default_platform();

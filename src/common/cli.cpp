@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace pt::common {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -57,6 +59,17 @@ bool CliArgs::get(const std::string& name, bool fallback) const {
   const auto v = value(name);
   if (!v) return true;  // bare --flag
   return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::size_t thread_count_from(const CliArgs& args) {
+  const long n = args.get("threads", 0L);
+  if (n > 0) return static_cast<std::size_t>(n);
+  return default_thread_count();
+}
+
+void apply_thread_option(const CliArgs& args) {
+  const long n = args.get("threads", 0L);
+  set_global_pool_threads(n > 0 ? static_cast<std::size_t>(n) : 0);
 }
 
 }  // namespace pt::common

@@ -3,6 +3,7 @@
 // Minimal command-line option parser for the bench/example binaries.
 // Supports --name=value, --name value, and boolean --flag forms.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -44,5 +45,14 @@ class CliArgs {
   std::unordered_map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// Worker-thread count selected by --threads N; when the flag is absent or
+/// non-positive, falls back to default_thread_count() (the PT_THREADS
+/// environment variable, then hardware concurrency).
+[[nodiscard]] std::size_t thread_count_from(const CliArgs& args);
+
+/// Resize the global thread pool per --threads / PT_THREADS. Call once at
+/// program start, right after parsing the arguments.
+void apply_thread_option(const CliArgs& args);
 
 }  // namespace pt::common

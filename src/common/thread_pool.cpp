@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace pt::common {
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -46,37 +45,104 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()) * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  auto state = std::make_shared<ForState>();
 
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([&, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
+  auto run_range = [&fn, state](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (state->failed.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+        break;
       }
-    }));
+    }
+    // Decrement under the state mutex so the waiter cannot observe zero and
+    // destroy the state before notify runs.
+    std::size_t left;
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      left = state->remaining.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    }
+    if (left == 0) state->done.notify_all();
+  };
+
+  std::size_t enqueued = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * chunk_size;
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      queue_.emplace([run_range, lo, hi] { run_range(lo, hi); });
+      ++enqueued;
+    }
+    state->remaining.store(enqueued, std::memory_order_release);
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  // Help drain the queue while our chunks are outstanding. Running tasks
+  // here (including tasks of other callers) is what keeps nested
+  // parallel_for calls from deadlocking a fully-occupied pool.
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    std::function<void()> task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    // Nothing queued: our remaining chunks are running on other workers.
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
-ThreadPool& global_pool() {
-  static ThreadPool pool;
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PT_THREADS")) {
+    char* parse_end = nullptr;
+    const long v = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+namespace {
+
+std::mutex g_global_pool_mutex;
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void set_global_pool_threads(std::size_t threads) {
+  const std::size_t want = threads != 0 ? threads : default_thread_count();
+  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  auto& slot = global_pool_slot();
+  if (slot && slot->size() == want) return;
+  slot.reset();  // drains queued tasks and joins the old workers
+  slot = std::make_unique<ThreadPool>(want);
 }
 
 }  // namespace pt::common

@@ -1,13 +1,19 @@
 #pragma once
 
 // Fixed-size worker pool with a parallel_for helper. Used by the clsim
-// executor to spread work-groups across host cores and by the experiment
-// harness to run independent model trainings concurrently.
+// executor to spread work-groups across host cores, by the bagging ensemble
+// to train members concurrently, and by the tuner's prediction scan.
+//
+// parallel_for is nesting-safe: the calling thread participates in draining
+// the task queue while it waits, so a task running on the pool may itself
+// call parallel_for (e.g. parallel bagging inside an experiment that is
+// already running on the pool) without deadlocking — even on a 1-thread pool.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -17,7 +23,7 @@ namespace pt::common {
 
 class ThreadPool {
  public:
-  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  /// threads == 0 picks default_thread_count().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -43,10 +49,22 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// Indices are chunked contiguously; exceptions are rethrown (first one).
+  /// The caller helps execute queued tasks while waiting, so nested calls
+  /// from pool workers make progress instead of blocking the pool.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Completion state shared between a parallel_for call and its chunk
+  /// tasks; owned via shared_ptr so a late task cannot outlive it.
+  struct ForState {
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -56,7 +74,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Shared process-wide pool (lazily constructed, sized to the machine).
+/// Worker threads to use by default: the PT_THREADS environment variable if
+/// set to a positive integer, otherwise std::thread::hardware_concurrency()
+/// (min 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Shared process-wide pool (lazily constructed with default_thread_count()).
 ThreadPool& global_pool();
+
+/// Resize the global pool (0 = default_thread_count()). Joins the current
+/// workers after draining queued tasks, so call this at program start —
+/// typically from the --threads CLI flag — before other threads hold a
+/// reference to the pool.
+void set_global_pool_threads(std::size_t threads);
 
 }  // namespace pt::common

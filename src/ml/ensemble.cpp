@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace pt::ml {
 
@@ -31,29 +34,36 @@ void BaggingEnsemble::fit(const Dataset& data, common::Rng& rng) {
   std::vector<LayerSpec> layers = options_.hidden_layers;
   layers.push_back(LayerSpec{1, Activation::kLinear});
 
-  if (k == 1) {
-    Mlp net(data.features(), layers);
-    net.init_weights(rng);
-    RpropTrainer(options_.trainer).train(net, scaled, rng);
-    members_.push_back(std::move(net));
-    return;
-  }
+  // The fold split and one forked RNG per member are drawn from the parent
+  // RNG *before* dispatch, in member order, so training is deterministic and
+  // bit-identical no matter how the pool schedules the members.
+  std::vector<std::vector<std::size_t>> folds;
+  if (k > 1) folds = kfold_indices(data.size(), k, rng);
+  std::vector<common::Rng> member_rngs;
+  member_rngs.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) member_rngs.push_back(rng.fork());
 
-  const auto folds = kfold_indices(data.size(), k, rng);
-  for (std::size_t f = 0; f < k; ++f) {
-    // Member f trains on every fold except f.
-    std::vector<std::size_t> idx;
-    idx.reserve(data.size() - folds[f].size());
-    for (std::size_t g = 0; g < k; ++g) {
-      if (g == f) continue;
-      idx.insert(idx.end(), folds[g].begin(), folds[g].end());
-    }
-    const Dataset member_data = scaled.subset(idx);
+  std::vector<std::optional<Mlp>> trained(k);
+  common::global_pool().parallel_for(0, k, [&](std::size_t f) {
     Mlp net(data.features(), layers);
-    net.init_weights(rng);
-    RpropTrainer(options_.trainer).train(net, member_data, rng);
-    members_.push_back(std::move(net));
-  }
+    net.init_weights(member_rngs[f]);
+    const RpropTrainer trainer(options_.trainer);
+    if (k == 1) {
+      trainer.train(net, scaled, member_rngs[f]);
+    } else {
+      // Member f trains on every fold except f.
+      std::vector<std::size_t> idx;
+      idx.reserve(data.size() - folds[f].size());
+      for (std::size_t g = 0; g < k; ++g) {
+        if (g == f) continue;
+        idx.insert(idx.end(), folds[g].begin(), folds[g].end());
+      }
+      const Dataset member_data = scaled.subset(idx);
+      trainer.train(net, member_data, member_rngs[f]);
+    }
+    trained[f].emplace(std::move(net));
+  });
+  for (auto& net : trained) members_.push_back(std::move(*net));
 }
 
 double BaggingEnsemble::predict(std::span<const double> x) const {
@@ -62,20 +72,31 @@ double BaggingEnsemble::predict(std::span<const double> x) const {
   scaler_.transform_row(scaled);
   double acc = 0.0;
   for (const auto& net : members_) acc += net.forward(scaled)[0];
-  return acc / static_cast<double>(members_.size());
+  // Multiply by the reciprocal, matching predict_batch_into bit-for-bit.
+  return acc * (1.0 / static_cast<double>(members_.size()));
 }
 
 std::vector<double> BaggingEnsemble::predict_batch(const Matrix& x) const {
+  std::vector<double> out;
+  PredictScratch scratch;
+  predict_batch_into(x, out, scratch);
+  return out;
+}
+
+void BaggingEnsemble::predict_batch_into(const Matrix& x,
+                                         std::vector<double>& out,
+                                         PredictScratch& scratch) const {
   if (!fitted()) throw std::logic_error("BaggingEnsemble: not fitted");
-  const Matrix scaled = scaler_.transform(x);
-  std::vector<double> out(x.rows(), 0.0);
+  scaler_.transform_to(x, scratch.scaled);
+  out.assign(x.rows(), 0.0);
   for (const auto& net : members_) {
-    const Matrix y = net.forward_batch(scaled);
+    const Matrix& y =
+        net.forward_batch_into(scratch.scaled, scratch.layer_a,
+                               scratch.layer_b);
     for (std::size_t r = 0; r < y.rows(); ++r) out[r] += y(r, 0);
   }
   const double inv = 1.0 / static_cast<double>(members_.size());
   for (auto& v : out) v *= inv;
-  return out;
 }
 
 std::vector<double> BaggingEnsemble::member_predictions(

@@ -33,8 +33,20 @@ class BaggingEnsemble {
   BaggingEnsemble() : BaggingEnsemble(Options()) {}
   explicit BaggingEnsemble(Options options);
 
-  /// Train k networks with leave-one-fold-out bagging. Replaces any previous
-  /// state. If the dataset has fewer rows than k, k is clamped down.
+  /// Reusable scratch buffers for predict_batch_into: the scaled copy of the
+  /// query matrix plus the two layer-output ping-pong buffers. Keeping one
+  /// per worker makes a chunked prediction scan allocation-free.
+  struct PredictScratch {
+    Matrix scaled;
+    Matrix layer_a;
+    Matrix layer_b;
+  };
+
+  /// Train k networks with leave-one-fold-out bagging, in parallel on the
+  /// global thread pool. The fold split and one forked RNG per member are
+  /// derived from `rng` before dispatch, so the result is bit-identical for
+  /// every pool size (including 1). Replaces any previous state. If the
+  /// dataset has fewer rows than k, k is clamped down.
   void fit(const Dataset& data, common::Rng& rng);
 
   [[nodiscard]] bool fitted() const noexcept { return !members_.empty(); }
@@ -52,6 +64,12 @@ class BaggingEnsemble {
 
   /// Batch prediction; returns one value per row of x (single-output nets).
   [[nodiscard]] std::vector<double> predict_batch(const Matrix& x) const;
+
+  /// Batch prediction into a caller-owned output vector and scratch —
+  /// equivalent to predict_batch but allocation-free once the buffers are
+  /// warm. Safe to call concurrently with distinct scratch objects.
+  void predict_batch_into(const Matrix& x, std::vector<double>& out,
+                          PredictScratch& scratch) const;
 
   /// Per-member predictions for one sample (exposed for uncertainty
   /// estimation: the spread is a cheap confidence signal).

@@ -1,5 +1,6 @@
 #include "ml/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -49,18 +50,28 @@ Matrix& Matrix::operator*=(double scalar) noexcept {
   return *this;
 }
 
+// Cache block over the shared dimension: the block of b rows (or a rows for
+// matmul_at) stays resident while it is streamed against every output row.
+// The inner j loops are branch-free over contiguous memory so the compiler
+// auto-vectorizes them (the old `aik == 0.0` early-out defeated that and
+// almost never fired on real weights).
+constexpr std::size_t kMatmulBlock = 128;
+
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
-  out = Matrix(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both b and out.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto arow = a.row(i);
-    auto orow = out.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+  out.reshape(a.rows(), b.cols());
+  const std::size_t kk = a.cols();
+  const std::size_t nn = b.cols();
+  for (std::size_t k0 = 0; k0 < kk; k0 += kMatmulBlock) {
+    const std::size_t k1 = std::min(kk, k0 + kMatmulBlock);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const auto arow = a.row(i);
+      double* const orow = out.row(i).data();
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        const double* const brow = b.row(k).data();
+        for (std::size_t j = 0; j < nn; ++j) orow[j] += aik * brow[j];
+      }
     }
   }
 }
@@ -68,14 +79,28 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
 void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.cols())
     throw std::invalid_argument("matmul_bt: shape mismatch");
-  out = Matrix(a.rows(), b.rows());
+  out.reshape(a.rows(), b.rows());
+  const std::size_t kk = a.cols();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto arow = a.row(i);
+    const double* const arow = a.row(i).data();
     auto orow = out.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      const double* const brow = b.row(j).data();
+      // Four independent partial sums break the additive dependency chain so
+      // the reduction vectorizes.
+      double acc0 = 0.0;
+      double acc1 = 0.0;
+      double acc2 = 0.0;
+      double acc3 = 0.0;
+      std::size_t k = 0;
+      for (; k + 4 <= kk; k += 4) {
+        acc0 += arow[k] * brow[k];
+        acc1 += arow[k + 1] * brow[k + 1];
+        acc2 += arow[k + 2] * brow[k + 2];
+        acc3 += arow[k + 3] * brow[k + 3];
+      }
+      double acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; k < kk; ++k) acc += arow[k] * brow[k];
       orow[j] = acc;
     }
   }
@@ -84,15 +109,17 @@ void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
 void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("matmul_at: shape mismatch");
-  out = Matrix(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const auto arow = a.row(k);
-    const auto brow = b.row(k);
+  out.reshape(a.cols(), b.cols());
+  const std::size_t nn = b.cols();
+  for (std::size_t k0 = 0; k0 < a.rows(); k0 += kMatmulBlock) {
+    const std::size_t k1 = std::min(a.rows(), k0 + kMatmulBlock);
     for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      auto orow = out.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+      double* const orow = out.row(i).data();
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aki = a(k, i);
+        const double* const brow = b.row(k).data();
+        for (std::size_t j = 0; j < nn; ++j) orow[j] += aki * brow[j];
+      }
     }
   }
 }

@@ -46,6 +46,15 @@ class Matrix {
   /// Copy a subset of rows (by index) into a new matrix.
   [[nodiscard]] Matrix gather_rows(std::span<const std::size_t> indices) const;
 
+  /// Change shape to (rows, cols) and set every element to `value`, reusing
+  /// the existing allocation whenever it is large enough. This is what keeps
+  /// the bulk-prediction scratch buffers allocation-free after warm-up.
+  void reshape(std::size_t rows, std::size_t cols, double value = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, value);
+  }
+
   void fill(double value) noexcept;
 
   Matrix& operator+=(const Matrix& other);
@@ -62,13 +71,15 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// out = a * b. Shapes must agree; out is resized.
+/// out = a * b. Shapes must agree; out is reshaped in place (its allocation
+/// is reused when possible). out must not alias a or b.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// out = a * b^T (avoids materializing the transpose; the backward pass hot path).
+/// out = a * b^T (avoids materializing the transpose; the backward pass hot
+/// path). out must not alias a or b.
 void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// out = a^T * b.
+/// out = a^T * b. out must not alias a or b.
 void matmul_at(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out(r, :) += bias for every row r.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace pt::ml {
 
@@ -60,7 +61,6 @@ std::vector<double> Mlp::forward(std::span<const double> x) const {
     next.assign(w.cols(), 0.0);
     for (std::size_t i = 0; i < w.rows(); ++i) {
       const double xi = cur[i];
-      if (xi == 0.0) continue;
       const auto wrow = w.row(i);
       for (std::size_t j = 0; j < w.cols(); ++j) next[j] += xi * wrow[j];
     }
@@ -73,18 +73,30 @@ std::vector<double> Mlp::forward(std::span<const double> x) const {
 }
 
 Matrix Mlp::forward_batch(const Matrix& x) const {
+  Matrix scratch_a;
+  Matrix scratch_b;
+  Matrix& result = forward_batch_into(x, scratch_a, scratch_b);
+  return std::move(result);
+}
+
+Matrix& Mlp::forward_batch_into(const Matrix& x, Matrix& scratch_a,
+                                Matrix& scratch_b) const {
   if (x.cols() != inputs_)
     throw std::invalid_argument("Mlp::forward_batch: width mismatch");
-  Matrix cur = x;
-  Matrix next;
+  const Matrix* cur = &x;
+  Matrix* bufs[2] = {&scratch_a, &scratch_b};
+  std::size_t which = 0;
+  Matrix* last = bufs[0];  // layers_ is never empty (checked in constructor)
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    matmul(cur, weights_[l], next);
-    add_row_vector(next, biases_[l]);
-    activate_inplace(layers_[l].activation, next);
-    cur = std::move(next);
-    next = Matrix();
+    Matrix* next = bufs[which];
+    which ^= 1;
+    matmul(*cur, weights_[l], *next);
+    add_row_vector(*next, biases_[l]);
+    activate_inplace(layers_[l].activation, *next);
+    cur = next;
+    last = next;
   }
-  return cur;
+  return *last;
 }
 
 double Mlp::backward_batch(const Matrix& x, const Matrix& target,

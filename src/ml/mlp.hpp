@@ -70,6 +70,14 @@ class Mlp {
   /// Predict a batch; rows of X are samples. Returns (X.rows, output_size).
   [[nodiscard]] Matrix forward_batch(const Matrix& x) const;
 
+  /// Allocation-free batch prediction: layer outputs ping-pong between the
+  /// two caller-owned scratch matrices (reshaped as needed, reusing their
+  /// storage), and the returned reference points at whichever holds the
+  /// final layer. Neither scratch matrix may alias x. This is the bulk
+  /// prediction-scan hot path.
+  Matrix& forward_batch_into(const Matrix& x, Matrix& scratch_a,
+                             Matrix& scratch_b) const;
+
   /// Forward + backward over a batch with squared-error loss
   /// L = (1/N) * sum_i sum_k (y_ik - t_ik)^2.
   /// Fills `grads` (resized as needed) and returns the loss.

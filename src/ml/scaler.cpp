@@ -45,6 +45,18 @@ Matrix StandardScaler::transform(const Matrix& x) const {
   return out;
 }
 
+void StandardScaler::transform_to(const Matrix& x, Matrix& out) const {
+  if (x.cols() != width())
+    throw std::invalid_argument("StandardScaler: width mismatch");
+  out.reshape(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      dst[c] = (src[c] - means_[c]) / stddevs_[c];
+  }
+}
+
 void StandardScaler::transform_row(std::span<double> row) const {
   if (row.size() != width())
     throw std::invalid_argument("StandardScaler: width mismatch");

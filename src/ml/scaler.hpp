@@ -28,6 +28,9 @@ class StandardScaler {
 
   void transform_inplace(Matrix& x) const;
   [[nodiscard]] Matrix transform(const Matrix& x) const;
+  /// Transformed copy written into `out` (reshaped in place, reusing its
+  /// allocation) — the allocation-free variant for bulk-prediction scratch.
+  void transform_to(const Matrix& x, Matrix& out) const;
   void transform_row(std::span<double> row) const;
 
   void inverse_inplace(Matrix& x) const;

@@ -17,23 +17,6 @@ double host_ms_since(
       .count();
 }
 
-/// Indices of the m smallest predictions (partial selection).
-std::vector<std::uint64_t> lowest_m(const std::vector<double>& predictions,
-                                    std::uint64_t index_offset,
-                                    std::size_t m) {
-  std::vector<std::uint64_t> order(predictions.size());
-  for (std::size_t i = 0; i < order.size(); ++i)
-    order[i] = index_offset + i;
-  m = std::min(m, order.size());
-  std::partial_sort(
-      order.begin(), order.begin() + static_cast<std::ptrdiff_t>(m),
-      order.end(), [&](std::uint64_t a, std::uint64_t b) {
-        return predictions[a - index_offset] < predictions[b - index_offset];
-      });
-  order.resize(m);
-  return order;
-}
-
 }  // namespace
 
 AutoTuner::AutoTuner(AutoTunerOptions options) : options_(std::move(options)) {
@@ -98,36 +81,36 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   }
 
   // --- Stage 2: scan predictions, measure the M most promising. ---
+  // The scan streams: a bounded top-M heap per worker instead of a
+  // full-space prediction vector, with the validity filter (if any) applied
+  // lazily to heap-entering candidates only.
   const auto scan_start = std::chrono::steady_clock::now();
   std::uint64_t scan_end = space.size();
   if (options_.prediction_scan_limit != 0)
     scan_end = std::min<std::uint64_t>(scan_end,
                                        options_.prediction_scan_limit);
-  const auto predictions = result.model->predict_range_ms(0, scan_end);
-  std::vector<std::uint64_t> candidates;
+  ScanFilter filter;
   if (result.validity_model) {
-    // Walk the prediction ranking (over a generous pool) and keep the first
-    // M candidates the classifier accepts.
-    const std::size_t pool = std::min<std::size_t>(
-        predictions.size(), options_.second_stage_size * 64);
-    const auto ranked = lowest_m(predictions, 0, pool);
-    for (const std::uint64_t index : ranked) {
+    const ValidityModel& validity = *result.validity_model;
+    filter = [&space, &validity](std::uint64_t index) {
+      return validity.predict_valid(space.decode(index));
+    };
+  }
+  const TopMScanResult scan = result.model->predict_scan_top_m(
+      0, scan_end, options_.second_stage_size, filter);
+  std::vector<std::uint64_t> candidates;
+  candidates.reserve(options_.second_stage_size);
+  for (const auto& c : scan.top) candidates.push_back(c.index);
+  if (result.validity_model) {
+    result.stage2_filtered = static_cast<std::size_t>(scan.rejected);
+    // If the filter was too aggressive, top up with the best remaining
+    // configurations from the unfiltered ranking.
+    for (const auto& c : scan.top_unfiltered) {
       if (candidates.size() >= options_.second_stage_size) break;
-      if (result.validity_model->predict_valid(space.decode(index))) {
-        candidates.push_back(index);
-      } else {
-        ++result.stage2_filtered;
-      }
-    }
-    // If the filter was too aggressive, top up with the best remaining.
-    for (const std::uint64_t index : ranked) {
-      if (candidates.size() >= options_.second_stage_size) break;
-      if (std::find(candidates.begin(), candidates.end(), index) ==
+      if (std::find(candidates.begin(), candidates.end(), c.index) ==
           candidates.end())
-        candidates.push_back(index);
+        candidates.push_back(c.index);
     }
-  } else {
-    candidates = lowest_m(predictions, 0, options_.second_stage_size);
   }
   result.prediction_scan_host_ms = host_ms_since(scan_start);
 

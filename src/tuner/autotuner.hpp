@@ -66,7 +66,10 @@ struct AutoTuneResult {
   /// Fitted validity classifier (only with options.validity_filter and
   /// both classes observed in stage 1).
   std::optional<ValidityModel> validity_model;
-  /// Stage-2 candidates dropped by the validity filter.
+  /// Candidates the validity filter rejected during the prediction scan.
+  /// Counted lazily: only configurations good enough to enter a scan
+  /// chunk's bounded top-M heap are ever tested, so this is a lower bound
+  /// on the number of predicted-invalid configurations in the space.
   std::size_t stage2_filtered = 0;
 };
 

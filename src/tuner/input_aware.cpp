@@ -12,13 +12,13 @@ namespace pt::tuner {
 InputAwarePerformanceModel::InputAwarePerformanceModel(Options options)
     : options_(std::move(options)), ensemble_(options_.ensemble) {}
 
-std::vector<double> InputAwarePerformanceModel::encode(
-    const Configuration& config, const ProblemInstance& instance) const {
+std::vector<double> InputAwarePerformanceModel::instance_features(
+    const ProblemInstance& instance) const {
   if (instance.values.size() != problem_names_.size())
     throw std::invalid_argument(
         "InputAwarePerformanceModel: instance width mismatch");
-  std::vector<double> features = codec_.encode(config);
-  features.reserve(features.size() + instance.values.size());
+  std::vector<double> features;
+  features.reserve(instance.values.size());
   for (const double v : instance.values) {
     if (options_.log2_problem_parameters) {
       if (v <= 0.0)
@@ -30,6 +30,14 @@ std::vector<double> InputAwarePerformanceModel::encode(
       features.push_back(v);
     }
   }
+  return features;
+}
+
+std::vector<double> InputAwarePerformanceModel::encode(
+    const Configuration& config, const ProblemInstance& instance) const {
+  const std::vector<double> inst = instance_features(instance);
+  std::vector<double> features = codec_.encode(config);
+  features.insert(features.end(), inst.begin(), inst.end());
   return features;
 }
 
@@ -103,6 +111,45 @@ std::vector<double> InputAwarePerformanceModel::predict_many_ms(
     if (options_.log_targets) p = ml::LogTargetTransform::inverse(p);
   }
   return preds;
+}
+
+OutputTransform InputAwarePerformanceModel::output_transform()
+    const noexcept {
+  return OutputTransform{target_scale_, target_mean_, options_.log_targets};
+}
+
+ScanRowFiller InputAwarePerformanceModel::row_filler(
+    const ProblemInstance& instance) const {
+  // The instance features are fixed across the scan: validate and transform
+  // them once, then copy into every row.
+  return [this, inst = instance_features(instance)](
+             std::uint64_t lo, std::uint64_t hi, ml::Matrix& x) {
+    const std::size_t dims = space_.dimension_count();
+    x.reshape(static_cast<std::size_t>(hi - lo), dims + inst.size());
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      auto row = x.row(static_cast<std::size_t>(idx - lo));
+      codec_.encode_into(space_.decode(idx), row.subspan(0, dims));
+      std::copy(inst.begin(), inst.end(), row.begin() + dims);
+    }
+  };
+}
+
+std::vector<double> InputAwarePerformanceModel::predict_range_ms(
+    std::uint64_t begin, std::uint64_t end,
+    const ProblemInstance& instance) const {
+  if (!fitted())
+    throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  return scan_predict_range(ensemble_, row_filler(instance), begin, end,
+                            output_transform());
+}
+
+TopMScanResult InputAwarePerformanceModel::predict_scan_top_m(
+    std::uint64_t begin, std::uint64_t end, std::size_t m,
+    const ProblemInstance& instance, const ScanFilter& filter) const {
+  if (!fitted())
+    throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  return scan_top_m(ensemble_, row_filler(instance), begin, end, m,
+                    output_transform(), filter);
 }
 
 }  // namespace pt::tuner

@@ -18,6 +18,7 @@
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
 #include "tuner/param.hpp"
+#include "tuner/scan.hpp"
 
 namespace pt::tuner {
 
@@ -66,11 +67,31 @@ class InputAwarePerformanceModel {
       const std::vector<Configuration>& configs,
       const ProblemInstance& instance) const;
 
+  /// Predicted times for the flat-index range [begin, end) of the space at
+  /// one instance — the parallel chunked scan (see tuner/scan.hpp).
+  [[nodiscard]] std::vector<double> predict_range_ms(
+      std::uint64_t begin, std::uint64_t end,
+      const ProblemInstance& instance) const;
+
+  /// Streaming top-m selection over [begin, end) at one instance (see
+  /// AnnPerformanceModel::predict_scan_top_m for semantics).
+  [[nodiscard]] TopMScanResult predict_scan_top_m(
+      std::uint64_t begin, std::uint64_t end, std::size_t m,
+      const ProblemInstance& instance, const ScanFilter& filter = {}) const;
+
   /// Feature vector (configuration features then instance features).
   [[nodiscard]] std::vector<double> encode(
       const Configuration& config, const ProblemInstance& instance) const;
 
  private:
+  /// Instance features with the optional log2 applied (validated once, then
+  /// reused for every row of a scan).
+  [[nodiscard]] std::vector<double> instance_features(
+      const ProblemInstance& instance) const;
+  /// Scan-engine adapters (see AnnPerformanceModel).
+  [[nodiscard]] OutputTransform output_transform() const noexcept;
+  [[nodiscard]] ScanRowFiller row_filler(const ProblemInstance& instance) const;
+
   Options options_;
   ParamSpace space_;
   FeatureCodec codec_;

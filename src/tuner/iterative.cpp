@@ -81,22 +81,15 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
         static_cast<double>(batch) * options_.exploration_fraction + 0.5);
     const std::size_t exploit = batch - explore;
 
-    const auto predictions = model.predict_range_ms(0, space.size());
-    std::vector<std::uint64_t> order(predictions.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    const std::size_t pool =
-        std::min(order.size(), exploit + measured.size() + batch);
-    std::partial_sort(order.begin(),
-                      order.begin() + static_cast<std::ptrdiff_t>(pool),
-                      order.end(), [&](std::uint64_t a, std::uint64_t b) {
-                        return predictions[a] < predictions[b];
-                      });
-    std::size_t taken = 0;
-    for (const std::uint64_t index : order) {
-      if (taken >= exploit) break;
-      if (measured.count(index)) continue;
-      measure_index(index);
-      ++taken;
+    if (exploit > 0) {
+      // Streaming top-m scan with a "not yet measured" filter: no full
+      // prediction vector, and the selection is exactly the exploit best
+      // unmeasured configurations.
+      const auto scan = model.predict_scan_top_m(
+          0, space.size(), exploit, [&measured](std::uint64_t index) {
+            return measured.count(index) == 0;
+          });
+      for (const auto& candidate : scan.top) measure_index(candidate.index);
     }
     // Exploration: fresh random configurations.
     for (std::size_t e = 0; e < explore; ++e) {

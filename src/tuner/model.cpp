@@ -84,26 +84,35 @@ double AnnPerformanceModel::predict_ms(const Configuration& config) const {
   return to_time_ms(ensemble_.predict(encode_features(config)));
 }
 
+OutputTransform AnnPerformanceModel::output_transform() const noexcept {
+  return OutputTransform{target_scale_, target_mean_, options_.log_targets};
+}
+
+ScanRowFiller AnnPerformanceModel::row_filler() const {
+  return [this](std::uint64_t lo, std::uint64_t hi, ml::Matrix& x) {
+    x.reshape(static_cast<std::size_t>(hi - lo), space_.dimension_count());
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      codec_.encode_into(space_.decode(idx),
+                         x.row(static_cast<std::size_t>(idx - lo)));
+    }
+  };
+}
+
 std::vector<double> AnnPerformanceModel::predict_range_ms(
     std::uint64_t begin, std::uint64_t end) const {
   if (!fitted())
     throw std::logic_error("AnnPerformanceModel: predict before fit");
-  if (begin > end)
-    throw std::invalid_argument("AnnPerformanceModel: bad range");
-  const std::size_t n = static_cast<std::size_t>(end - begin);
-  std::vector<double> out(n);
+  return scan_predict_range(ensemble_, row_filler(), begin, end,
+                            output_transform());
+}
 
-  constexpr std::size_t kChunk = 65536;
-  for (std::size_t start = 0; start < n; start += kChunk) {
-    const std::size_t len = std::min(kChunk, n - start);
-    ml::Matrix x(len, space_.dimension_count());
-    for (std::size_t i = 0; i < len; ++i) {
-      codec_.encode_into(space_.decode(begin + start + i), x.row(i));
-    }
-    const auto preds = ensemble_.predict_batch(x);
-    for (std::size_t i = 0; i < len; ++i) out[start + i] = to_time_ms(preds[i]);
-  }
-  return out;
+TopMScanResult AnnPerformanceModel::predict_scan_top_m(
+    std::uint64_t begin, std::uint64_t end, std::size_t m,
+    const ScanFilter& filter) const {
+  if (!fitted())
+    throw std::logic_error("AnnPerformanceModel: predict before fit");
+  return scan_top_m(ensemble_, row_filler(), begin, end, m,
+                    output_transform(), filter);
 }
 
 std::vector<double> AnnPerformanceModel::predict_many_ms(

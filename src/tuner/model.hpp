@@ -18,6 +18,7 @@
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
 #include "tuner/param.hpp"
+#include "tuner/scan.hpp"
 
 namespace pt::tuner {
 
@@ -56,8 +57,20 @@ class AnnPerformanceModel {
 
   /// Predicted times for a contiguous flat-index range [begin, end) of the
   /// space — the bulk path used to scan entire configuration spaces.
+  /// Chunks of kScanChunkRows rows are dispatched on the global thread pool;
+  /// results are bit-identical for every pool size.
   [[nodiscard]] std::vector<double> predict_range_ms(std::uint64_t begin,
                                                      std::uint64_t end) const;
+
+  /// Streaming top-m selection over [begin, end): the m configurations with
+  /// the lowest predicted time (ascending), found in O(n log m) time and
+  /// O(workers * m) memory — no full prediction vector. The optional filter
+  /// (e.g. a validity model; must be thread-safe) is applied during the
+  /// scan, lazily, and the result also carries the unfiltered top-m so
+  /// callers can top up after heavy filtering.
+  [[nodiscard]] TopMScanResult predict_scan_top_m(
+      std::uint64_t begin, std::uint64_t end, std::size_t m,
+      const ScanFilter& filter = {}) const;
 
   /// Predicted times for an explicit list of configurations.
   [[nodiscard]] std::vector<double> predict_many_ms(
@@ -82,6 +95,10 @@ class AnnPerformanceModel {
 
  private:
   [[nodiscard]] double to_time_ms(double network_output) const noexcept;
+  /// Scan-engine adapters: the transform equivalent to to_time_ms and a
+  /// filler that decodes+encodes a flat-index range into a feature matrix.
+  [[nodiscard]] OutputTransform output_transform() const noexcept;
+  [[nodiscard]] ScanRowFiller row_filler() const;
 
   Options options_;
   ParamSpace space_;

@@ -1,0 +1,183 @@
+#include "tuner/scan.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace pt::tuner {
+namespace {
+
+/// Per-chunk working set: the feature matrix, the ensemble's prediction
+/// scratch, and the raw-output vector. Pooled so each worker reuses one
+/// across all the chunks it executes.
+struct ChunkScratch {
+  ml::Matrix x;
+  ml::BaggingEnsemble::PredictScratch ps;
+  std::vector<double> preds;
+};
+
+class ScratchPool {
+ public:
+  std::unique_ptr<ChunkScratch> acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return std::make_unique<ChunkScratch>();
+    auto s = std::move(free_.back());
+    free_.pop_back();
+    return s;
+  }
+
+  void release(std::unique_ptr<ChunkScratch> s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(s));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ChunkScratch>> free_;
+};
+
+struct RawCandidate {
+  double raw = 0.0;
+  std::uint64_t index = 0;
+};
+
+/// Total order: smaller raw output (faster prediction) first, index breaks
+/// ties. Totality makes the merged selection independent of chunk order.
+bool better(const RawCandidate& a, const RawCandidate& b) {
+  if (a.raw != b.raw) return a.raw < b.raw;
+  return a.index < b.index;
+}
+
+/// Bounded selection heap: keeps the best m candidates seen so far with the
+/// worst of them at the front (a max-heap under `better`), so each new
+/// candidate is one comparison against the current cutoff.
+class BoundedTopM {
+ public:
+  explicit BoundedTopM(std::size_t m) : m_(m) { heap_.reserve(m); }
+
+  [[nodiscard]] bool would_enter(const RawCandidate& c) const {
+    if (m_ == 0) return false;
+    if (heap_.size() < m_) return true;
+    return better(c, heap_.front());
+  }
+
+  void push(const RawCandidate& c) {
+    heap_.push_back(c);
+    std::push_heap(heap_.begin(), heap_.end(), better);
+    if (heap_.size() > m_) {
+      std::pop_heap(heap_.begin(), heap_.end(), better);
+      heap_.pop_back();
+    }
+  }
+
+  [[nodiscard]] std::vector<RawCandidate> take() { return std::move(heap_); }
+
+ private:
+  std::size_t m_;
+  std::vector<RawCandidate> heap_;
+};
+
+std::uint64_t chunk_count_for(std::uint64_t n) {
+  return (n + kScanChunkRows - 1) / kScanChunkRows;
+}
+
+std::vector<ScanCandidate> merge_chunks(
+    std::vector<std::vector<RawCandidate>>& chunks, std::size_t m,
+    const OutputTransform& transform) {
+  std::vector<RawCandidate> all;
+  for (auto& v : chunks) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(), better);
+  if (all.size() > m) all.resize(m);
+  std::vector<ScanCandidate> out;
+  out.reserve(all.size());
+  for (const auto& c : all)
+    out.push_back(ScanCandidate{c.index, transform(c.raw)});
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
+                                       const ScanRowFiller& fill,
+                                       std::uint64_t begin, std::uint64_t end,
+                                       const OutputTransform& transform) {
+  if (begin > end) throw std::invalid_argument("scan_predict_range: bad range");
+  const std::uint64_t n = end - begin;
+  std::vector<double> out(static_cast<std::size_t>(n));
+  if (n == 0) return out;
+
+  ScratchPool pool;
+  common::global_pool().parallel_for(
+      0, static_cast<std::size_t>(chunk_count_for(n)), [&](std::size_t c) {
+        const std::uint64_t lo = begin + c * kScanChunkRows;
+        const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
+        auto scratch = pool.acquire();
+        fill(lo, hi, scratch->x);
+        ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
+        const std::size_t offset = static_cast<std::size_t>(lo - begin);
+        for (std::size_t i = 0; i < scratch->preds.size(); ++i)
+          out[offset + i] = transform(scratch->preds[i]);
+        pool.release(std::move(scratch));
+      });
+  return out;
+}
+
+TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
+                          const ScanRowFiller& fill, std::uint64_t begin,
+                          std::uint64_t end, std::size_t m,
+                          const OutputTransform& transform,
+                          const ScanFilter& filter) {
+  if (begin > end) throw std::invalid_argument("scan_top_m: bad range");
+  if (!(transform.scale > 0.0))
+    throw std::invalid_argument("scan_top_m: non-positive transform scale");
+  TopMScanResult result;
+  const std::uint64_t n = end - begin;
+  result.scanned = n;
+  if (n == 0 || m == 0) return result;
+
+  const std::size_t chunks = static_cast<std::size_t>(chunk_count_for(n));
+  std::vector<std::vector<RawCandidate>> chunk_top(chunks);
+  std::vector<std::vector<RawCandidate>> chunk_top_unfiltered(chunks);
+  std::vector<std::uint64_t> chunk_rejected(chunks, 0);
+
+  ScratchPool pool;
+  common::global_pool().parallel_for(0, chunks, [&](std::size_t c) {
+    const std::uint64_t lo = begin + c * kScanChunkRows;
+    const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
+    auto scratch = pool.acquire();
+    fill(lo, hi, scratch->x);
+    ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
+
+    BoundedTopM unfiltered(m);
+    BoundedTopM filtered(m);
+    std::uint64_t rejected = 0;
+    for (std::size_t i = 0; i < scratch->preds.size(); ++i) {
+      const RawCandidate cand{scratch->preds[i], lo + i};
+      if (unfiltered.would_enter(cand)) unfiltered.push(cand);
+      if (filter && filtered.would_enter(cand)) {
+        // Lazy filter evaluation: only candidates good enough to enter the
+        // chunk heap pay for the validity check.
+        if (filter(cand.index)) {
+          filtered.push(cand);
+        } else {
+          ++rejected;
+        }
+      }
+    }
+    chunk_top_unfiltered[c] = unfiltered.take();
+    if (filter) chunk_top[c] = filtered.take();
+    chunk_rejected[c] = rejected;
+    pool.release(std::move(scratch));
+  });
+
+  for (std::uint64_t r : chunk_rejected) result.rejected += r;
+  result.top_unfiltered = merge_chunks(chunk_top_unfiltered, m, transform);
+  result.top =
+      filter ? merge_chunks(chunk_top, m, transform) : result.top_unfiltered;
+  return result;
+}
+
+}  // namespace pt::tuner

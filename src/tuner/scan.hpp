@@ -1,0 +1,97 @@
+#pragma once
+
+// Parallel prediction-scan engine: evaluates a fitted ensemble over a flat
+// index range in fixed 65536-row chunks dispatched on the global thread
+// pool, with per-worker reusable scratch so a full-space scan performs no
+// per-chunk allocations once the buffers are warm.
+//
+// Chunking is defined by the *index range*, never by the pool size, so every
+// result is bit-identical regardless of the number of threads.
+//
+// Two entry points:
+//  - scan_predict_range: the dense path; one predicted value per index.
+//  - scan_top_m: the streaming selection path; keeps a bounded per-chunk
+//    worst-on-top heap of the best m candidates (O(workers * m) memory,
+//    O(n log m) time) instead of materializing |space| predictions. An
+//    optional validity filter is evaluated lazily — only for candidates that
+//    would enter the heap — and a parallel unfiltered top list is kept so
+//    callers can top up when the filter rejects too much.
+//
+// Candidates are ordered by (raw network output, index): the output
+// transform (affine with positive scale, optionally exp) is strictly
+// increasing, so ranking raw outputs ranks predicted times, and the index
+// tie-break makes the order total — merge results cannot depend on chunk
+// arrival order.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/ensemble.hpp"
+
+namespace pt::tuner {
+
+/// Rows per scan chunk. Fixed (not derived from the pool size) so results
+/// are independent of the number of worker threads.
+inline constexpr std::size_t kScanChunkRows = 65536;
+
+/// Maps a raw network output to a predicted time: y * scale + mean, then
+/// exp when `exponentiate` (matches the model's target standardization and
+/// optional log-target transform bit for bit). Strictly increasing as long
+/// as scale > 0, which scan_top_m requires.
+struct OutputTransform {
+  double scale = 1.0;
+  double mean = 0.0;
+  bool exponentiate = false;
+
+  [[nodiscard]] double operator()(double y) const noexcept {
+    const double raw = y * scale + mean;
+    return exponentiate ? std::exp(raw) : raw;
+  }
+};
+
+/// One selected configuration: flat index plus its predicted time.
+struct ScanCandidate {
+  std::uint64_t index = 0;
+  double predicted_ms = 0.0;
+};
+
+/// Result of scan_top_m. `top` is the best-first filtered selection (equal
+/// to `top_unfiltered` when no filter was given); `rejected` counts filter
+/// rejections, which only happen for candidates good enough to enter a
+/// chunk heap at the moment they were scanned.
+struct TopMScanResult {
+  std::vector<ScanCandidate> top;
+  std::vector<ScanCandidate> top_unfiltered;
+  std::uint64_t scanned = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Validity predicate over flat indices. Called concurrently from worker
+/// threads; must be thread-safe (read-only captures are fine).
+using ScanFilter = std::function<bool(std::uint64_t)>;
+
+/// Fills `x` (reshaped by the callee) with the feature rows for flat
+/// indices [lo, hi). Called concurrently from worker threads.
+using ScanRowFiller =
+    std::function<void(std::uint64_t lo, std::uint64_t hi, ml::Matrix& x)>;
+
+/// Predicted (transformed) value for every index in [begin, end), in order.
+[[nodiscard]] std::vector<double> scan_predict_range(
+    const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
+    std::uint64_t begin, std::uint64_t end, const OutputTransform& transform);
+
+/// Best m candidates over [begin, end) by predicted value (ascending),
+/// without materializing the full prediction vector. Requires
+/// transform.scale > 0. `m` may exceed the range size; the result is then
+/// just every (valid) index, ranked.
+[[nodiscard]] TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
+                                        const ScanRowFiller& fill,
+                                        std::uint64_t begin, std::uint64_t end,
+                                        std::size_t m,
+                                        const OutputTransform& transform,
+                                        const ScanFilter& filter = {});
+
+}  // namespace pt::tuner

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
+
 namespace pt::common {
 namespace {
 
@@ -65,6 +67,26 @@ TEST(Cli, ValueOfMissingIsNullopt) {
   const auto args = parse({"prog", "--empty"});
   EXPECT_FALSE(args.value("empty").has_value());
   EXPECT_TRUE(args.has("empty"));
+}
+
+TEST(Cli, ThreadCountFromFlag) {
+  EXPECT_EQ(thread_count_from(parse({"prog", "--threads", "3"})), 3u);
+  EXPECT_EQ(thread_count_from(parse({"prog", "--threads=5"})), 5u);
+}
+
+TEST(Cli, ThreadCountFallsBackToDefault) {
+  EXPECT_EQ(thread_count_from(parse({"prog"})), default_thread_count());
+  EXPECT_EQ(thread_count_from(parse({"prog", "--threads=0"})),
+            default_thread_count());
+  EXPECT_EQ(thread_count_from(parse({"prog", "--threads=-2"})),
+            default_thread_count());
+}
+
+TEST(Cli, ApplyThreadOptionResizesGlobalPool) {
+  apply_thread_option(parse({"prog", "--threads=2"}));
+  EXPECT_EQ(global_pool().size(), 2u);
+  apply_thread_option(parse({"prog"}));  // restore the default
+  EXPECT_EQ(global_pool().size(), default_thread_count());
 }
 
 }  // namespace

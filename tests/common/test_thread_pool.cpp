@@ -81,5 +81,54 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
 }
 
+// Regression: parallel_for called from inside a task that is itself running
+// a parallel_for chunk must not deadlock, even when the pool has a single
+// worker — the calling thread helps drain the queue while it waits.
+TEST(ThreadPool, NestedParallelForSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForInsideSubmittedTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([&] {
+    std::atomic<int> hits{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { hits.fetch_add(1); });
+    return hits.load();
+  });
+  EXPECT_EQ(fut.get(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(
+                                       0, 4, [](std::size_t i) {
+                                         if (i == 2)
+                                           throw std::runtime_error("inner");
+                                       });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SetGlobalPoolThreadsResizes) {
+  set_global_pool_threads(2);
+  EXPECT_EQ(global_pool().size(), 2u);
+  std::atomic<int> hits{0};
+  global_pool().parallel_for(0, 10, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+  set_global_pool_threads(0);  // back to the default
+  EXPECT_EQ(global_pool().size(), default_thread_count());
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
 }  // namespace
 }  // namespace pt::common

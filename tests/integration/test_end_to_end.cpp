@@ -19,6 +19,10 @@ tuner::AutoTunerOptions fast_tuner(std::size_t n, std::size_t m) {
   o.second_stage_size = m;
   o.model.ensemble.k = 3;
   o.model.ensemble.trainer.common.max_epochs = 250;
+  // On GPU-like devices the model often ranks oversized (invalid)
+  // work-groups fastest — the paper's stage-2 failure mode. The validity
+  // classifier screens those out during the streaming prediction scan.
+  o.validity_filter = true;
   return o;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
 
 namespace pt::ml {
@@ -147,6 +148,48 @@ TEST(Ensemble, RefitReplacesState) {
   // Predictions should be similar but the state is genuinely new.
   EXPECT_NO_THROW((void)e.predict(train.x.row(0)));
   (void)first;
+}
+
+// Parallel bagging must be bit-identical regardless of the pool size: all
+// randomness (fold split, per-member RNGs) is drawn before dispatch.
+TEST(Ensemble, FitIsBitIdenticalAcrossThreadCounts) {
+  common::Rng data_rng(18);
+  const Dataset train = make_regression(160, data_rng);
+
+  auto fit_with_threads = [&](std::size_t threads) {
+    common::set_global_pool_threads(threads);
+    BaggingEnsemble e(fast_options(4));
+    common::Rng rng(42);
+    e.fit(train, rng);
+    return e.predict_batch(train.x);
+  };
+
+  const auto serial = fit_with_threads(1);
+  const auto parallel = fit_with_threads(4);
+  common::set_global_pool_threads(0);  // restore the default
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "row " << i;  // exact, not near
+  }
+}
+
+TEST(Ensemble, PredictBatchIntoMatchesPredictBatch) {
+  common::Rng rng(19);
+  const Dataset train = make_regression(120, rng);
+  BaggingEnsemble e(fast_options(3));
+  e.fit(train, rng);
+  const auto reference = e.predict_batch(train.x);
+  std::vector<double> out;
+  BaggingEnsemble::PredictScratch scratch;
+  e.predict_batch_into(train.x, out, scratch);
+  ASSERT_EQ(out.size(), reference.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], reference[i]);
+  // Reusing the same scratch must give the same answer again.
+  e.predict_batch_into(train.x, out, scratch);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], reference[i]);
 }
 
 TEST(Ensemble, RestoreValidation) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 namespace pt::ml {
 namespace {
 
@@ -120,6 +122,64 @@ TEST(Matmul, TransposedVariantsAgree) {
   EXPECT_EQ(a_bt.cols(), 3u);
   EXPECT_DOUBLE_EQ(a_bt(0, 0), 1.0 * 1.0 + 2.0 * -1.0);
   EXPECT_DOUBLE_EQ(a_bt(2, 1), 5.0 * 2.0 + 6.0 * 0.5);
+}
+
+// The kernels are cache-blocked/unrolled; check them against a plain
+// triple loop on sizes that straddle the 128-wide block boundary.
+TEST(Matmul, BlockedKernelsMatchNaiveReference) {
+  common::Rng rng(77);
+  const std::size_t n = 150, k = 140, p = 130;  // all cross one block edge
+  Matrix a(n, k);
+  Matrix b(k, p);
+  for (auto& x : a.flat()) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b.flat()) x = rng.uniform(-1.0, 1.0);
+
+  Matrix out;
+  matmul(a, b, out);
+  ASSERT_EQ(out.rows(), n);
+  ASSERT_EQ(out.cols(), p);
+  for (std::size_t i = 0; i < n; i += 37) {
+    for (std::size_t j = 0; j < p; j += 29) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+      EXPECT_NEAR(out(i, j), acc, 1e-9 * k);
+    }
+  }
+
+  Matrix bt_out;  // a * a^T via matmul_bt (uses a as both operands)
+  matmul_bt(a, a, bt_out);
+  ASSERT_EQ(bt_out.rows(), n);
+  ASSERT_EQ(bt_out.cols(), n);
+  for (std::size_t i = 0; i < n; i += 41) {
+    for (std::size_t j = 0; j < n; j += 43) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a(i, kk) * a(j, kk);
+      EXPECT_NEAR(bt_out(i, j), acc, 1e-9 * k);
+    }
+  }
+
+  Matrix at_out;  // a^T * a via matmul_at
+  matmul_at(a, a, at_out);
+  ASSERT_EQ(at_out.rows(), k);
+  ASSERT_EQ(at_out.cols(), k);
+  for (std::size_t i = 0; i < k; i += 31) {
+    for (std::size_t j = 0; j < k; j += 33) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) acc += a(r, i) * a(r, j);
+      EXPECT_NEAR(at_out(i, j), acc, 1e-9 * n);
+    }
+  }
+}
+
+TEST(Matrix, ReshapeReusesAllocationAndZeroes) {
+  Matrix m(4, 4, 7.0);
+  m.reshape(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (double x : m.flat()) EXPECT_DOUBLE_EQ(x, 0.0);
+  m.reshape(5, 2, 1.5);
+  EXPECT_EQ(m.size(), 10u);
+  for (double x : m.flat()) EXPECT_DOUBLE_EQ(x, 1.5);
 }
 
 TEST(Matrix, AddRowVector) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "ml/metrics.hpp"
 #include "test_helpers.hpp"
@@ -137,6 +139,44 @@ TEST(InputAwareModel, EncodingLayout) {
   EXPECT_DOUBLE_EQ(features[1], 7.0);   // log2(128)
   EXPECT_DOUBLE_EQ(features[2], 3.0);   // raw (0..3 range)
   EXPECT_DOUBLE_EQ(features[3], 10.0);  // log2(1024)
+}
+
+TEST(InputAwareModel, PredictRangeMatchesSingle) {
+  common::Rng rng(8);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"},
+            family_samples(space, {128.0, 256.0}, 200, rng), rng);
+  const ProblemInstance inst{{256.0}};
+  const auto range = model.predict_range_ms(10, 40, inst);
+  ASSERT_EQ(range.size(), 30u);
+  for (std::uint64_t i = 10; i < 40; i += 7) {
+    EXPECT_NEAR(range[i - 10], model.predict_ms(space.decode(i), inst), 1e-9);
+  }
+}
+
+TEST(InputAwareModel, ScanTopMMatchesFullRanking) {
+  common::Rng rng(9);
+  const ParamSpace space = small_space();
+  InputAwarePerformanceModel model(fast_options());
+  model.fit(space, {"size"},
+            family_samples(space, {128.0, 256.0, 512.0}, 300, rng), rng);
+  const ProblemInstance inst{{512.0}};
+  const auto preds = model.predict_range_ms(0, space.size(), inst);
+  std::vector<std::uint64_t> order(preds.size());
+  for (std::uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              if (preds[a] != preds[b]) return preds[a] < preds[b];
+              return a < b;
+            });
+  const std::size_t m = 20;
+  const auto scan = model.predict_scan_top_m(0, space.size(), m, inst);
+  ASSERT_EQ(scan.top.size(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(scan.top[i].index, order[i]) << "rank " << i;
+    EXPECT_DOUBLE_EQ(scan.top[i].predicted_ms, preds[order[i]]);
+  }
 }
 
 TEST(InputAwareModel, NonPositiveProblemParamRejectedWithLog2) {

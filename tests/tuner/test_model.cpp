@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
 #include "test_helpers.hpp"
 
@@ -176,6 +179,169 @@ TEST(Model, LogTargetsBeatRawOnWideDynamicRange) {
   const double mre_log = fit_and_score(true);
   const double mre_raw = fit_and_score(false);
   EXPECT_LT(mre_log, mre_raw);
+}
+
+// ---- Parallel scan engine tests (chunked predict_range_ms and the
+// ---- streaming predict_scan_top_m) on a space larger than one chunk.
+
+/// 64 * 64 * 32 = 131072 configurations — two full scan chunks.
+ParamSpace big_space() {
+  auto values_up_to = [](int n) {
+    std::vector<int> v(static_cast<std::size_t>(n));
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  };
+  ParamSpace space;
+  space.add("A", values_up_to(64));
+  space.add("B", values_up_to(64));
+  space.add("C", values_up_to(32));
+  return space;
+}
+
+/// A cheap model (k=1, tiny net) fitted once on synthetic times from the
+/// big space; shared by the scan tests below.
+const AnnPerformanceModel& big_model() {
+  static const AnnPerformanceModel model = [] {
+    const ParamSpace space = big_space();
+    common::Rng rng(21);
+    std::vector<TrainingSample> samples;
+    for (const auto idx : rng.sample_without_replacement(
+             static_cast<std::size_t>(space.size()), 100)) {
+      const Configuration c = space.decode(idx);
+      const double t = 1.0 + 0.02 * c.values[0] + 0.05 * c.values[1] +
+                       0.03 * c.values[2] +
+                       0.4 * std::sin(0.2 * c.values[0]);
+      samples.push_back({c, t});
+    }
+    AnnPerformanceModel::Options opts;
+    opts.ensemble.k = 1;
+    opts.ensemble.hidden_layers = {ml::LayerSpec{8, ml::Activation::kSigmoid}};
+    opts.ensemble.trainer.common.max_epochs = 80;
+    opts.ensemble.trainer.common.patience = 20;
+    AnnPerformanceModel m(opts);
+    m.fit(space, samples, rng);
+    return m;
+  }();
+  return model;
+}
+
+/// Reference selection: full prediction vector, ranked by (time, index).
+std::vector<std::uint64_t> reference_top_m(const std::vector<double>& preds,
+                                           std::size_t m,
+                                           std::uint64_t skip_every = 0) {
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t i = 0; i < preds.size(); ++i) {
+    if (skip_every != 0 && i % skip_every == 0) continue;
+    order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              if (preds[a] != preds[b]) return preds[a] < preds[b];
+              return a < b;
+            });
+  if (order.size() > m) order.resize(m);
+  return order;
+}
+
+TEST(ModelScan, PredictRangeAgreesWithSingleAcrossChunkBoundaries) {
+  const auto& model = big_model();
+  const ParamSpace space = big_space();
+  for (const std::uint64_t n : {std::uint64_t{1}, std::uint64_t{65535},
+                                std::uint64_t{65536}, std::uint64_t{65537}}) {
+    const auto range = model.predict_range_ms(0, n);
+    ASSERT_EQ(range.size(), n);
+    // Boundaries of the chunking plus a stride through the interior.
+    std::vector<std::uint64_t> probes = {0, n - 1};
+    for (std::uint64_t i = 8191; i < n; i += 8191) probes.push_back(i);
+    for (const std::uint64_t i : probes) {
+      EXPECT_NEAR(range[i], model.predict_ms(space.decode(i)), 1e-9)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ModelScan, PredictRangeBitIdenticalAcrossThreadCounts) {
+  const auto& model = big_model();
+  common::set_global_pool_threads(1);
+  const auto serial = model.predict_range_ms(0, 65537);
+  common::set_global_pool_threads(4);
+  const auto parallel = model.predict_range_ms(0, 65537);
+  common::set_global_pool_threads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << "i=" << i;  // exact, not near
+}
+
+TEST(ModelScan, TopMMatchesFullVectorReference) {
+  const auto& model = big_model();
+  const std::uint64_t n = 70000;
+  const std::size_t m = 50;
+  const auto preds = model.predict_range_ms(0, n);
+  const auto reference = reference_top_m(preds, m);
+  const auto scan = model.predict_scan_top_m(0, n, m);
+  EXPECT_EQ(scan.scanned, n);
+  EXPECT_EQ(scan.rejected, 0u);
+  ASSERT_EQ(scan.top.size(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(scan.top[i].index, reference[i]) << "rank " << i;
+    EXPECT_DOUBLE_EQ(scan.top[i].predicted_ms, preds[reference[i]]);
+  }
+  // Without a filter the two rankings are the same object.
+  ASSERT_EQ(scan.top_unfiltered.size(), m);
+  EXPECT_EQ(scan.top_unfiltered[0].index, scan.top[0].index);
+}
+
+TEST(ModelScan, TopMWithFilterMatchesFilteredReference) {
+  const auto& model = big_model();
+  const std::uint64_t n = 70000;
+  const std::size_t m = 40;
+  const auto preds = model.predict_range_ms(0, n);
+  const auto reference = reference_top_m(preds, m, /*skip_every=*/3);
+  const auto scan = model.predict_scan_top_m(
+      0, n, m, [](std::uint64_t index) { return index % 3 != 0; });
+  ASSERT_EQ(scan.top.size(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(scan.top[i].index, reference[i]) << "rank " << i;
+    EXPECT_NE(scan.top[i].index % 3, 0u);
+  }
+  // The unfiltered ranking still matches the unfiltered reference.
+  const auto unfiltered_reference = reference_top_m(preds, m);
+  ASSERT_EQ(scan.top_unfiltered.size(), m);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(scan.top_unfiltered[i].index, unfiltered_reference[i]);
+  EXPECT_GT(scan.rejected, 0u);
+}
+
+TEST(ModelScan, TopMBitIdenticalAcrossThreadCounts) {
+  const auto& model = big_model();
+  auto run = [&](std::size_t threads) {
+    common::set_global_pool_threads(threads);
+    return model.predict_scan_top_m(
+        0, 70000, 30, [](std::uint64_t index) { return index % 5 != 0; });
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  common::set_global_pool_threads(0);
+  EXPECT_EQ(serial.rejected, parallel.rejected);
+  ASSERT_EQ(serial.top.size(), parallel.top.size());
+  for (std::size_t i = 0; i < serial.top.size(); ++i) {
+    EXPECT_EQ(serial.top[i].index, parallel.top[i].index);
+    EXPECT_EQ(serial.top[i].predicted_ms, parallel.top[i].predicted_ms);
+  }
+}
+
+TEST(ModelScan, TopMEdgeCases) {
+  const auto& model = big_model();
+  // m larger than the range: every index, ranked.
+  const auto all = model.predict_scan_top_m(0, 10, 20);
+  EXPECT_EQ(all.top.size(), 10u);
+  for (std::size_t i = 1; i < all.top.size(); ++i)
+    EXPECT_LE(all.top[i - 1].predicted_ms, all.top[i].predicted_ms);
+  // m == 0 and empty ranges are empty results, not errors.
+  EXPECT_TRUE(model.predict_scan_top_m(0, 10, 0).top.empty());
+  EXPECT_TRUE(model.predict_scan_top_m(5, 5, 3).top.empty());
+  EXPECT_THROW((void)model.predict_scan_top_m(7, 3, 1),
+               std::invalid_argument);
 }
 
 }  // namespace
