@@ -48,8 +48,10 @@ int main(int argc, char** argv) {
     for (const auto& on : result.bests) {
       for (const auto& cell : result.matrix) {
         if (cell.config_from == from.device && cell.run_on == on.device) {
-          row.push_back(cell.valid ? common::fmt(cell.slowdown, 2)
-                                   : "invalid");
+          row.push_back(cell.valid
+                            ? common::fmt(cell.slowdown, 2)
+                            : std::string("invalid (") +
+                                  clsim::to_string(cell.status) + ")");
         }
       }
     }

@@ -80,6 +80,21 @@ double quantile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double trimmed_mean(std::span<const double> xs, double trim_fraction) {
+  if (xs.empty()) throw std::invalid_argument("trimmed_mean: empty sample");
+  if (trim_fraction < 0.0 || trim_fraction >= 0.5)
+    throw std::invalid_argument("trimmed_mean: fraction outside [0, 0.5)");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto cut = static_cast<std::size_t>(
+      trim_fraction * static_cast<double>(sorted.size()));
+  double acc = 0.0;
+  for (std::size_t i = cut; i < sorted.size() - cut; ++i) acc += sorted[i];
+  return acc / static_cast<double>(sorted.size() - 2 * cut);
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.count = xs.size();

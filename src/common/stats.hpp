@@ -56,6 +56,17 @@ struct Summary {
 /// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
+/// Median (quantile 0.5). Throws std::invalid_argument on an empty sample.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Symmetrically trimmed mean: sorts a copy, drops floor(trim_fraction * n)
+/// values from each end and averages the rest — the robust aggregator used
+/// when repeating noisy measurements. trim_fraction must be in [0, 0.5);
+/// trim_fraction == 0 is the plain mean. Throws std::invalid_argument on an
+/// empty sample or an out-of-range fraction.
+[[nodiscard]] double trimmed_mean(std::span<const double> xs,
+                                  double trim_fraction);
+
 /// Full summary of a sample (sorts a copy once).
 [[nodiscard]] Summary summarize(std::span<const double> xs);
 

@@ -15,7 +15,7 @@ MotivationResult cross_device_slowdowns(
     const tuner::SearchResult best = tuner::exhaustive_search(evaluator);
     if (!best.success) {
       common::log_warn("motivation: no valid configuration on ",
-                       device.name());
+                       device.name(), " (", best.rejections.to_string(), ")");
       continue;
     }
     result.bests.push_back(
@@ -36,7 +36,14 @@ MotivationResult cross_device_slowdowns(
         benchkit::BenchmarkEvaluator evaluator(benchmark, device);
         const tuner::Measurement m = evaluator.measure(from.config);
         cell.valid = m.valid;
-        if (m.valid) cell.slowdown = m.time_ms / on.time_ms;
+        if (m.valid) {
+          cell.slowdown = m.time_ms / on.time_ms;
+        } else {
+          cell.status = m.status;
+          common::log_info("motivation: best of ", from.device,
+                           " rejected on ", on.device, " (",
+                           clsim::to_string(m.status), ")");
+        }
       }
       result.matrix.push_back(cell);
     }

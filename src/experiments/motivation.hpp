@@ -9,6 +9,7 @@
 
 #include "benchmarks/benchmark.hpp"
 #include "clsim/device.hpp"
+#include "clsim/error.hpp"
 
 namespace pt::exp {
 
@@ -17,6 +18,8 @@ struct CrossDeviceCell {
   std::string run_on;       // device it was executed on
   double slowdown = 0.0;    // time / run_on's own optimum
   bool valid = false;       // the configuration may be invalid on run_on
+  /// Why run_on rejected the configuration (meaningful when !valid).
+  clsim::Status status = clsim::Status::kSuccess;
 };
 
 struct MotivationResult {

@@ -16,7 +16,7 @@ SlowdownGrid autotuner_slowdown_grid(tuner::Evaluator& evaluator,
   const tuner::SearchResult truth = tuner::exhaustive_search(evaluator);
   if (!truth.success) {
     common::log_warn("slowdown grid: no valid configuration at all for ",
-                     grid.label);
+                     grid.label, " (", truth.rejections.to_string(), ")");
     return grid;
   }
   grid.optimum_ms = truth.best_time_ms;
@@ -62,7 +62,7 @@ LargeSpaceResult large_space_eval(tuner::Evaluator& evaluator,
       tuner::random_search(evaluator, options.random_baseline, rng);
   if (!baseline.success) {
     common::log_warn("large-space eval: random baseline found nothing for ",
-                     result.label);
+                     result.label, " (", baseline.rejections.to_string(), ")");
     return result;
   }
   result.baseline_ms = baseline.best_time_ms;
@@ -75,7 +75,13 @@ LargeSpaceResult large_space_eval(tuner::Evaluator& evaluator,
     topt.model = options.model;
     const tuner::AutoTuner tuner(topt);
     const tuner::AutoTuneResult run = tuner.tune(evaluator, rng);
-    if (!run.success) continue;
+    if (!run.success) {
+      // The paper's stereo-on-GPU failure: say which rejections caused it.
+      common::log_info("large-space eval[", result.label,
+                       "]: no prediction (",
+                       run.stage2_rejections.to_string(), ")");
+      continue;
+    }
     ++result.successes;
     stats.add(run.best_time_ms / result.baseline_ms);
   }

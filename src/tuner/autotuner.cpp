@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/log.hpp"
 
@@ -43,19 +44,28 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   for (const auto& config : samples) {
     const Measurement m = evaluator.measure(config);
     result.data_gathering_cost_ms += m.cost_ms;
+    result.measure_attempts += m.attempts;
+    result.transient_faults += m.transient_faults;
     if (m.valid) {
       result.training_data.push_back({config, m.time_ms});
     } else {
       result.invalid_training_configs.push_back(config);
+      result.stage1_rejections.note(m.status);
     }
   }
   result.stage1_valid = result.training_data.size();
   common::log_info("autotuner[", evaluator.name(), "]: stage 1 measured ",
                    result.stage1_measured, " configs, ", result.stage1_valid,
                    " valid");
+  if (!result.stage1_rejections.empty())
+    common::log_info("autotuner[", evaluator.name(),
+                     "]: stage 1 rejections: ",
+                     result.stage1_rejections.to_string());
   if (result.training_data.empty()) {
     common::log_warn("autotuner[", evaluator.name(),
-                     "]: no valid training data; giving no prediction");
+                     "]: no valid training data (",
+                     result.stage1_rejections.to_string(),
+                     "); giving no prediction");
     return result;  // success == false
   }
 
@@ -117,26 +127,67 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   double best_time = 0.0;
   bool found = false;
   Configuration best_config;
-  for (const std::uint64_t index : candidates) {
+  auto try_candidate = [&](std::uint64_t index) {
     const Configuration config = space.decode(index);
     const Measurement m = evaluator.measure(config);
     result.data_gathering_cost_ms += m.cost_ms;
+    result.measure_attempts += m.attempts;
+    result.transient_faults += m.transient_faults;
     ++result.stage2_measured;
     if (!m.valid) {
       ++result.stage2_invalid;
-      continue;
+      result.stage2_rejections.note(m.status);
+      return;
     }
     if (!found || m.time_ms < best_time) {
       found = true;
       best_time = m.time_ms;
       best_config = config;
     }
+  };
+  for (const std::uint64_t index : candidates) try_candidate(index);
+
+  if (!found && options_.stage2_stream_limit > result.stage2_measured) {
+    // Graceful degradation: every primary candidate failed, so instead of
+    // giving no prediction, walk further down the predicted ranking
+    // (unfiltered — in this situation the validity filter is as suspect as
+    // the candidates it passed) until something measures valid, the limit
+    // is reached, or the scanned range is exhausted.
+    common::log_warn("autotuner[", evaluator.name(), "]: all ",
+                     result.stage2_measured,
+                     " primary second-stage configurations invalid (",
+                     result.stage2_rejections.to_string(),
+                     "); streaming further candidates");
+    std::unordered_set<std::uint64_t> tried(candidates.begin(),
+                                            candidates.end());
+    std::uint64_t request = candidates.size();
+    while (!found && result.stage2_measured < options_.stage2_stream_limit &&
+           tried.size() < scan_end) {
+      request = std::min<std::uint64_t>(
+          scan_end, std::max<std::uint64_t>(request * 2, 16));
+      const TopMScanResult more = result.model->predict_scan_top_m(
+          0, scan_end, static_cast<std::size_t>(request));
+      for (const auto& c : more.top) {
+        if (found || result.stage2_measured >= options_.stage2_stream_limit)
+          break;
+        if (!tried.insert(c.index).second) continue;
+        ++result.stage2_streamed;
+        try_candidate(c.index);
+      }
+      if (request >= scan_end) break;  // ranking fully consumed
+    }
+    if (found)
+      common::log_info("autotuner[", evaluator.name(),
+                       "]: degradation stream recovered a prediction after ",
+                       result.stage2_streamed, " extra candidates");
   }
 
   if (!found) {
     common::log_warn("autotuner[", evaluator.name(),
                      "]: all ", result.stage2_measured,
-                     " second-stage configurations invalid; no prediction");
+                     " second-stage configurations invalid (",
+                     result.stage2_rejections.to_string(),
+                     "); no prediction");
     return result;  // success == false, model retained for inspection
   }
   result.success = true;

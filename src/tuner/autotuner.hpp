@@ -37,6 +37,16 @@ struct AutoTunerOptions {
   /// configurations from the second stage.
   bool validity_filter = false;
   ValidityModel::Options validity{};
+  /// Graceful degradation: when every one of the M second-stage candidates
+  /// fails or comes back invalid, keep streaming further candidates from
+  /// the prediction ranking (in predicted order, unfiltered) until a valid
+  /// one is found, up to this many total stage-2 measurements. 0 disables
+  /// streaming — the paper's behaviour, "no prediction" — and is the
+  /// default so results are bit-identical to the streaming-free tuner
+  /// unless a caller opts in. Set it to at least the space size to
+  /// guarantee a prediction whenever any valid configuration exists in the
+  /// scanned range.
+  std::size_t stage2_stream_limit = 0;
 };
 
 struct AutoTuneResult {
@@ -50,6 +60,19 @@ struct AutoTuneResult {
   std::size_t stage1_valid = 0;
   std::size_t stage2_measured = 0;
   std::size_t stage2_invalid = 0;
+  /// Stage-2 candidates measured beyond the initial M by the graceful
+  /// degradation stream (0 unless stage2_stream_limit kicked in).
+  std::size_t stage2_streamed = 0;
+  /// Raw evaluator attempts behind all measurements — equals
+  /// stage1_measured + stage2_measured unless a robustness decorator
+  /// (tuner/robust.hpp) repeated or retried measurements downstream.
+  std::size_t measure_attempts = 0;
+  /// Transient failures absorbed by downstream retry decorators.
+  std::size_t transient_faults = 0;
+  /// Why stage-1 / stage-2 measurements were rejected, by status — keeps
+  /// "all candidates invalid" diagnosable instead of a bare count.
+  RejectionCounts stage1_rejections;
+  RejectionCounts stage2_rejections;
   /// Simulated wall cost of all measurements (compile + run + failures).
   double data_gathering_cost_ms = 0.0;
   /// Host wall time spent training the ensemble.

@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "clsim/error.hpp"
 #include "tuner/param.hpp"
@@ -24,6 +26,37 @@ struct Measurement {
   /// Total simulated wall cost of obtaining this measurement, including
   /// compilation and failed launch attempts — what data gathering costs.
   double cost_ms = 0.0;
+  /// Raw inner measurements behind this result (> 1 when a robustness
+  /// decorator repeated or retried the measurement; see tuner/robust.hpp).
+  std::uint32_t attempts = 1;
+  /// Transient launch failures absorbed by retry while producing it.
+  std::uint32_t transient_faults = 0;
+};
+
+/// Per-status tally of rejected measurements. Call sites that skip invalid
+/// measurements record the reason here so "all candidates invalid" failures
+/// stay diagnosable (which driver rejection, how often) instead of a bare
+/// count.
+class RejectionCounts {
+ public:
+  void note(clsim::Status status);
+  void merge(const RejectionCounts& other);
+
+  [[nodiscard]] std::size_t total() const noexcept;
+  [[nodiscard]] std::size_t count(clsim::Status status) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+  /// "CL_OUT_OF_LOCAL_MEMORY x12, CL_INVALID_WORK_GROUP_SIZE x3" —
+  /// descending by count (ties broken by status value, so the string is
+  /// deterministic).
+  [[nodiscard]] std::string to_string() const;
+
+  /// (status, count) pairs in the same order as to_string().
+  [[nodiscard]] std::vector<std::pair<clsim::Status, std::size_t>> sorted()
+      const;
+
+ private:
+  std::vector<std::pair<clsim::Status, std::size_t>> counts_;
 };
 
 class Evaluator {
@@ -82,11 +115,16 @@ class CountingEvaluator final : public Evaluator {
     return invalid_;
   }
   [[nodiscard]] double total_cost_ms() const noexcept { return cost_ms_; }
+  /// Why the invalid measurements were rejected, by status.
+  [[nodiscard]] const RejectionCounts& rejections() const noexcept {
+    return rejections_;
+  }
 
   void reset() noexcept {
     total_ = 0;
     invalid_ = 0;
     cost_ms_ = 0.0;
+    rejections_ = RejectionCounts{};
   }
 
  private:
@@ -94,6 +132,7 @@ class CountingEvaluator final : public Evaluator {
   std::size_t total_ = 0;
   std::size_t invalid_ = 0;
   double cost_ms_ = 0.0;
+  RejectionCounts rejections_;
 };
 
 }  // namespace pt::tuner

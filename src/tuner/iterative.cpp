@@ -39,8 +39,11 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
     const Measurement m = evaluator.measure(config);
     ++result.measurements;
     result.data_gathering_cost_ms += m.cost_ms;
+    result.measure_attempts += m.attempts;
+    result.transient_faults += m.transient_faults;
     if (!m.valid) {
       ++result.invalid_measurements;
+      result.rejections.note(m.status);
       return;
     }
     data.push_back({config, m.time_ms});
@@ -65,8 +68,34 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
     result.incumbent_trace.push_back(have_best ? best_time : 0.0);
   }
 
+  // Graceful degradation: an all-invalid initial sample leaves nothing to
+  // train on. Instead of giving up, keep exploring at random — any valid
+  // measurement un-blocks the model-guided loop below.
+  while (options_.explore_until_valid && data.empty() &&
+         result.measurements < options_.measurement_budget &&
+         measured.size() < space.size()) {
+    for (std::size_t e = 0;
+         e < options_.batch_size &&
+         result.measurements < options_.measurement_budget;
+         ++e) {
+      measure_index(rng.below(space.size()));
+    }
+    ++result.resample_rounds;
+    ++result.rounds;
+    result.incumbent_trace.push_back(have_best ? best_time : 0.0);
+    if (data.empty())
+      common::log_warn("iterative[", evaluator.name(),
+                       "]: no valid measurement yet after ",
+                       result.measurements, " attempts (",
+                       result.rejections.to_string(), "); exploring further");
+  }
+
   std::size_t rounds_without_improvement = 0;
-  while (result.measurements < options_.measurement_budget && !data.empty()) {
+  // The measured-set guard matters when the budget exceeds the space: once
+  // every configuration is measured no round can add data, and waiting for
+  // the budget to fill would loop forever.
+  while (result.measurements < options_.measurement_budget && !data.empty() &&
+         measured.size() < space.size()) {
     const double before = have_best ? best_time : 0.0;
 
     // Train on everything measured so far.
@@ -121,6 +150,11 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   if (have_best) {
     result.best_config = std::move(best_config);
     result.best_time_ms = best_time;
+  } else {
+    common::log_warn("iterative[", evaluator.name(),
+                     "]: no valid configuration in ", result.measurements,
+                     " measurements (", result.rejections.to_string(),
+                     "); no prediction");
   }
   return result;
 }

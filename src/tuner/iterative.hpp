@@ -37,6 +37,12 @@ struct IterativeTunerOptions {
   /// Stop early after this many rounds without improving the incumbent
   /// (0 = never stop early).
   std::size_t patience_rounds = 0;
+  /// Graceful degradation: when the initial sample yields no valid
+  /// measurement (so there is nothing to train on), keep drawing fresh
+  /// random batches until one measures valid or the budget/space runs out,
+  /// instead of giving up after round 0. Off by default so results are
+  /// bit-identical to the pre-degradation tuner unless a caller opts in.
+  bool explore_until_valid = false;
   AnnPerformanceModel::Options model{};
 };
 
@@ -48,6 +54,15 @@ struct IterativeTuneResult {
   std::size_t rounds = 0;
   std::size_t measurements = 0;
   std::size_t invalid_measurements = 0;
+  /// Extra exploration-only rounds spent hunting for a first valid
+  /// measurement (only with options.explore_until_valid).
+  std::size_t resample_rounds = 0;
+  /// Raw evaluator attempts behind all measurements (see tuner/robust.hpp).
+  std::size_t measure_attempts = 0;
+  /// Transient failures absorbed by downstream retry decorators.
+  std::size_t transient_faults = 0;
+  /// Why invalid measurements were rejected, by status.
+  RejectionCounts rejections;
   double data_gathering_cost_ms = 0.0;
   /// Incumbent best time at the end of each round (convergence trace).
   std::vector<double> incumbent_trace;

@@ -54,6 +54,7 @@ ExhaustiveTable exhaustive_table(Evaluator& evaluator,
     table.result.total_cost_ms += m.cost_ms;
     if (!m.valid) {
       ++table.result.invalid;
+      table.result.rejections.note(m.status);
       continue;
     }
     table.times.emplace_back(i, m.time_ms);
@@ -79,6 +80,7 @@ SearchResult random_search(Evaluator& evaluator, std::size_t n,
     result.total_cost_ms += m.cost_ms;
     if (!m.valid) {
       ++result.invalid;
+      result.rejections.note(m.status);
       continue;
     }
     best.offer(config, m);
@@ -108,6 +110,7 @@ SearchResult hill_climb(Evaluator& evaluator, std::size_t restarts,
         break;
       }
       ++result.invalid;
+      result.rejections.note(current_m.status);
     }
     if (!started) continue;
     global_best.offer(current, current_m);
@@ -122,6 +125,7 @@ SearchResult hill_climb(Evaluator& evaluator, std::size_t restarts,
         result.total_cost_ms += m.cost_ms;
         if (!m.valid) {
           ++result.invalid;
+          result.rejections.note(m.status);
           continue;
         }
         if (m.time_ms < current_m.time_ms &&
@@ -161,6 +165,7 @@ SearchResult simulated_annealing(Evaluator& evaluator,
       result.total_cost_ms += current_m.cost_ms;
       if (!current_m.valid) {
         ++result.invalid;
+        result.rejections.note(current_m.status);
         continue;
       }
       have_current = true;
@@ -178,6 +183,7 @@ SearchResult simulated_annealing(Evaluator& evaluator,
     temperature *= options.cooling;
     if (!m.valid) {
       ++result.invalid;
+      result.rejections.note(m.status);
       continue;
     }
     best.offer(candidate, m);

@@ -22,6 +22,8 @@ struct SearchResult {
   double best_time_ms = 0.0;
   std::size_t evaluations = 0;
   std::size_t invalid = 0;
+  /// Why the invalid evaluations were rejected, by status.
+  RejectionCounts rejections;
   double total_cost_ms = 0.0;
 };
 

@@ -101,6 +101,44 @@ TEST(Stats, QuantileRejectsBadInput) {
   EXPECT_THROW((void)quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
 }
 
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{9.0, 1.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+  EXPECT_THROW((void)median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, MedianIgnoresOutliers) {
+  // The robust-aggregation use case: one straggler cannot move the median.
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0, 5.1, 4.9, 5.0, 500.0}),
+                   5.0);
+}
+
+TEST(Stats, TrimmedMeanHandComputed) {
+  const std::vector<double> xs = {10.0, 2.0, 8.0, 4.0, 100.0};
+  // Sorted {2,4,8,10,100}; floor(0.2*5)=1 cut per side: mean(4,8,10).
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 22.0 / 3.0);
+}
+
+TEST(Stats, TrimmedMeanZeroFractionIsPlainMean) {
+  const std::vector<double> xs = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.0), 3.0);
+}
+
+TEST(Stats, TrimmedMeanSmallSampleCutsNothing) {
+  // floor(0.2 * 3) == 0: nothing is trimmed, plain mean again.
+  const std::vector<double> xs = {1.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 4.0);
+}
+
+TEST(Stats, TrimmedMeanRejectsBadInput) {
+  EXPECT_THROW((void)trimmed_mean(std::vector<double>{}, 0.1),
+               std::invalid_argument);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW((void)trimmed_mean(xs, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)trimmed_mean(xs, -0.1), std::invalid_argument);
+}
+
 TEST(Stats, SummarizeConsistent) {
   const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
   const Summary s = summarize(xs);

@@ -86,6 +86,74 @@ TEST(Serialize, EnsembleRoundTripPreservesPredictions) {
   }
 }
 
+// Property-style round trips: random topologies, bit-exact reload. EXPECT_EQ
+// on doubles (not EXPECT_DOUBLE_EQ) — the text format must reproduce every
+// weight exactly, so predictions must be bit-identical, not merely close.
+
+TEST(Serialize, RandomTopologyMlpRoundTripsBitExactly) {
+  common::Rng rng(42);
+  const Activation kinds[] = {Activation::kSigmoid, Activation::kTanh,
+                              Activation::kRelu};
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t inputs = 1 + rng.below(6);
+    const std::size_t depth = 1 + rng.below(3);
+    std::vector<LayerSpec> layers;
+    for (std::size_t l = 0; l < depth; ++l)
+      layers.push_back(LayerSpec{1 + rng.below(9),
+                                 kinds[rng.below(3)]});
+    layers.push_back(LayerSpec{1, Activation::kLinear});
+    Mlp net(inputs, layers);
+    net.init_weights(rng);
+
+    std::stringstream ss;
+    save_mlp(net, ss);
+    const Mlp loaded = load_mlp(ss);
+
+    ASSERT_EQ(loaded.input_size(), inputs);
+    ASSERT_EQ(loaded.layer_count(), layers.size());
+    for (int probe = 0; probe < 8; ++probe) {
+      std::vector<double> x(inputs);
+      for (double& v : x) v = rng.uniform(-3.0, 3.0);
+      EXPECT_EQ(loaded.forward(x)[0], net.forward(x)[0])
+          << "trial " << trial << " probe " << probe;
+    }
+  }
+}
+
+TEST(Serialize, RandomTopologyEnsembleRoundTripsBitExactly) {
+  common::Rng rng(43);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t inputs = 1 + rng.below(3);
+    Dataset d;
+    d.x = Matrix(40, inputs);
+    d.y = Matrix(40, 1);
+    for (std::size_t i = 0; i < 40; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < inputs; ++j) {
+        d.x(i, j) = rng.uniform(-1.0, 1.0);
+        sum += (j % 2 ? -1.0 : 1.0) * d.x(i, j);
+      }
+      d.y(i, 0) = sum;
+    }
+    BaggingEnsemble::Options opts;
+    opts.k = 2 + rng.below(3);
+    opts.hidden_layers = {
+        LayerSpec{3 + rng.below(6), rng.bernoulli(0.5) ? Activation::kSigmoid
+                                                       : Activation::kTanh}};
+    opts.trainer.common.max_epochs = 60;
+    BaggingEnsemble e(opts);
+    e.fit(d, rng);
+
+    std::stringstream ss;
+    save_ensemble(e, ss);
+    const BaggingEnsemble loaded = load_ensemble(ss);
+    ASSERT_EQ(loaded.member_count(), e.member_count());
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_EQ(loaded.predict(d.x.row(i)), e.predict(d.x.row(i)))
+          << "trial " << trial << " row " << i;
+  }
+}
+
 TEST(Serialize, UnfittedEnsembleRefusesToSave) {
   const BaggingEnsemble e;
   std::stringstream ss;

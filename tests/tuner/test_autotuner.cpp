@@ -105,32 +105,7 @@ TEST(AutoTuner, NoValidDataGivesNoPrediction) {
   EXPECT_GT(result.data_gathering_cost_ms, 0.0);
 }
 
-/// Valid at training time but invalid everywhere the model predicts fast:
-/// mimics the paper's stereo-on-GPU failure (all of stage 2 invalid).
-class TrapEvaluator final : public Evaluator {
- public:
-  TrapEvaluator() : space_(testing::small_space()) {}
-  const ParamSpace& space() const override { return space_; }
-  std::string name() const override { return "trap"; }
-  Measurement measure(const Configuration& config) override {
-    Measurement m;
-    m.cost_ms = 0.1;
-    // The entire "fast" half (A >= 16) is invalid; valid configs are slow
-    // and nearly flat, so the model steers stage 2 into the trap.
-    if (config.values[0] >= 16) {
-      m.valid = false;
-      m.status = clsim::Status::kOutOfLocalMemory;
-      return m;
-    }
-    m.valid = true;
-    const double a = std::log2(static_cast<double>(config.values[0]));
-    m.time_ms = 100.0 - 10.0 * a;  // decreasing toward the invalid region
-    return m;
-  }
-
- private:
-  ParamSpace space_;
-};
+using testing::TrapEvaluator;
 
 TEST(AutoTuner, AllInvalidSecondStageReportsFailureButKeepsModel) {
   TrapEvaluator eval;
@@ -143,6 +118,10 @@ TEST(AutoTuner, AllInvalidSecondStageReportsFailureButKeepsModel) {
   if (!result.success) {
     EXPECT_EQ(result.stage2_invalid, result.stage2_measured);
     EXPECT_TRUE(result.model.has_value());  // retained for inspection
+    // The failure mode is diagnosable: every rejection carries its status.
+    EXPECT_EQ(result.stage2_rejections.total(), result.stage2_invalid);
+    EXPECT_EQ(result.stage2_rejections.count(clsim::Status::kOutOfLocalMemory),
+              result.stage2_invalid);
   }
   // (If the model happens to keep a valid candidate, success is legitimate;
   // both outcomes are accepted, mirroring the paper's "sometimes".)

@@ -70,6 +70,52 @@ TEST(Evaluator, MeasurementCarriesStatus) {
   EXPECT_GT(m.cost_ms, 0.0);  // failures still cost time (paper section 6)
 }
 
+TEST(CountingEvaluator, TracksRejectionReasons) {
+  BowlEvaluator inner(/*with_invalid=*/true);
+  CountingEvaluator counter(inner);
+  (void)counter.measure(Configuration{{128, 1, 0}});
+  (void)counter.measure(Configuration{{128, 2, 0}});
+  (void)counter.measure(Configuration{{8, 16, 2}});
+  EXPECT_EQ(counter.rejections().total(), 2u);
+  EXPECT_EQ(counter.rejections().count(clsim::Status::kInvalidWorkGroupSize),
+            2u);
+  counter.reset();
+  EXPECT_TRUE(counter.rejections().empty());
+}
+
+TEST(RejectionCounts, EmptyToString) {
+  const RejectionCounts counts;
+  EXPECT_TRUE(counts.empty());
+  EXPECT_EQ(counts.total(), 0u);
+  EXPECT_EQ(counts.to_string(), "none");
+}
+
+TEST(RejectionCounts, SortsByCountDescending) {
+  RejectionCounts counts;
+  counts.note(clsim::Status::kInvalidWorkGroupSize);
+  for (int i = 0; i < 3; ++i) counts.note(clsim::Status::kOutOfLocalMemory);
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_EQ(counts.to_string(),
+            "CL_OUT_OF_LOCAL_MEMORY x3, CL_INVALID_WORK_GROUP_SIZE x1");
+  const auto sorted = counts.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, clsim::Status::kOutOfLocalMemory);
+  EXPECT_EQ(sorted[0].second, 3u);
+}
+
+TEST(RejectionCounts, MergeAddsPerStatus) {
+  RejectionCounts a;
+  a.note(clsim::Status::kOutOfResources);
+  RejectionCounts b;
+  b.note(clsim::Status::kOutOfResources);
+  b.note(clsim::Status::kInvalidWorkGroupSize);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(clsim::Status::kOutOfResources), 2u);
+  EXPECT_EQ(a.count(clsim::Status::kInvalidWorkGroupSize), 1u);
+  EXPECT_EQ(a.count(clsim::Status::kOutOfLocalMemory), 0u);
+}
+
 TEST(Evaluator, DecoratorsCompose) {
   BowlEvaluator inner;
   CachingEvaluator cache(inner);

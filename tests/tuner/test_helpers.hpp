@@ -61,4 +61,34 @@ class BowlEvaluator final : public Evaluator {
   std::size_t calls_ = 0;
 };
 
+/// Valid at training time but invalid everywhere the model predicts fast:
+/// mimics the paper's stereo-on-GPU failure (all of stage 2 invalid). The
+/// entire "fast" half (A >= 16) is invalid; valid configs are slow and
+/// nearly flat, so the model steers stage 2 into the trap.
+class TrapEvaluator final : public Evaluator {
+ public:
+  TrapEvaluator() : space_(small_space()) {}
+  [[nodiscard]] const ParamSpace& space() const override { return space_; }
+  [[nodiscard]] std::string name() const override { return "trap"; }
+  [[nodiscard]] Measurement measure(const Configuration& config) override {
+    Measurement m;
+    m.cost_ms = 0.1;
+    if (config.values[0] >= 16) {
+      m.valid = false;
+      m.status = clsim::Status::kOutOfLocalMemory;
+      return m;
+    }
+    m.valid = true;
+    const double a = std::log2(static_cast<double>(config.values[0]));
+    m.time_ms = 100.0 - 10.0 * a;  // decreasing toward the invalid region
+    return m;
+  }
+
+  /// Fastest *valid* configuration: A=8 (any B/C tie at the same time).
+  [[nodiscard]] static double best_valid_time() { return 70.0; }
+
+ private:
+  ParamSpace space_;
+};
+
 }  // namespace pt::tuner::testing

@@ -36,6 +36,20 @@ TEST(IterativeTuner, ConstructionValidation) {
   EXPECT_THROW(IterativeTuner{bad}, std::invalid_argument);
 }
 
+TEST(IterativeTuner, TerminatesWhenBudgetExceedsSpace) {
+  // Regression: with a budget larger than the space, the tuner must stop
+  // once every configuration is measured instead of spinning on training
+  // rounds that can never add data.
+  BowlEvaluator eval;
+  IterativeTunerOptions opts = fast_options();
+  opts.measurement_budget = 400;  // space is 256
+  common::Rng rng(12);
+  const IterativeTuneResult result = IterativeTuner(opts).tune(eval, rng);
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.measurements, eval.space().size());
+  EXPECT_DOUBLE_EQ(result.best_time_ms, BowlEvaluator::optimum_time());
+}
+
 TEST(IterativeTuner, FindsNearOptimum) {
   BowlEvaluator eval;
   common::Rng rng(1);

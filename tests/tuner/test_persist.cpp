@@ -72,6 +72,54 @@ TEST(Persist, RangePredictionWorksAfterLoad) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
+TEST(Persist, RandomSpacesAndOptionsRoundTripBitExactly) {
+  // Property-style: random parameter spaces and model options, reloaded
+  // predictions compared with EXPECT_EQ (bit-exact, not approximately).
+  common::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    ParamSpace space;
+    const std::size_t params = 2 + rng.below(2);
+    for (std::size_t p = 0; p < params; ++p) {
+      std::vector<int> values;
+      const std::size_t count = 2 + rng.below(4);
+      const std::size_t shift = rng.below(3);  // random but distinct powers
+      for (std::size_t v = 0; v < count; ++v)
+        values.push_back(1 << (v + shift));
+      space.add("p" + std::to_string(p), values);
+    }
+
+    AnnPerformanceModel::Options opts;
+    opts.ensemble.k = 2 + rng.below(2);
+    opts.ensemble.hidden_layers = {
+        ml::LayerSpec{6 + rng.below(5), ml::Activation::kSigmoid}};
+    opts.ensemble.trainer.common.max_epochs = 80;
+    opts.log_targets = rng.bernoulli(0.5);
+    opts.encoding = rng.bernoulli(0.5) ? FeatureEncoding::kLog2
+                                       : FeatureEncoding::kRaw;
+
+    std::vector<TrainingSample> samples;
+    for (int i = 0; i < 50; ++i) {
+      const Configuration c = space.random(rng);
+      double t = 1.0;
+      for (const int v : c.values) t += 0.1 * static_cast<double>(v);
+      samples.push_back({c, t});
+    }
+    AnnPerformanceModel model(opts);
+    model.fit(space, samples, rng);
+
+    std::stringstream ss;
+    save_model(model, ss);
+    const AnnPerformanceModel loaded = load_model(ss);
+    ASSERT_EQ(loaded.space().size(), space.size());
+    EXPECT_EQ(loaded.options().log_targets, opts.log_targets);
+    EXPECT_EQ(loaded.options().encoding, opts.encoding);
+    for (std::uint64_t i = 0; i < space.size(); ++i)
+      EXPECT_EQ(loaded.predict_ms(space.decode(i)),
+                model.predict_ms(space.decode(i)))
+          << "trial " << trial << " config " << i;
+  }
+}
+
 TEST(Persist, UnfittedModelRefusesToSave) {
   const AnnPerformanceModel model;
   std::stringstream ss;
