@@ -1,0 +1,203 @@
+// Extension bench: clcheck cross-audit. Sweeps the clcheck sanitizer
+// (checked functional runs) over N randomly sampled configurations of each
+// benchmark and cross-audits three independent validity signals:
+//
+//   driver   — prepare() + validate_launch, the clsim driver's static
+//              verdict (what BenchmarkEvaluator turns into invalid
+//              measurements),
+//   clcheck  — dynamic findings (bounds, races, barrier/allocation lints)
+//              from an instrumented functional run of driver-accepted
+//              configurations, plus the max-abs-error verdict,
+//   model    — a ValidityModel trained on the driver labels of the same
+//              sample, scored back against them (confusion matrix).
+//
+// The interesting buckets:
+//   driver_ok_clcheck_fault — the driver accepted it but the sanitizer saw
+//     an out-of-bounds access, race, or divergence: a reproduction bug.
+//     Expected 0; anything else is a regression signal for the kernels.
+//   model false positives/negatives — how often the learned filter
+//     disagrees with the driver it was trained to imitate.
+//
+// Flags:
+//   --out=FILE     JSON report path (default ext_check.json)
+//   --device=D     device name (default the Nvidia K40)
+//   --configs=N    sampled configurations per benchmark (default 120)
+//   --seed=S       RNG seed (default 1)
+//   --csv          additionally print the summary table as CSV
+
+#include <array>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tuner/sampler.hpp"
+#include "tuner/validity.hpp"
+
+namespace {
+
+using namespace pt;
+
+struct BenchmarkAudit {
+  std::string name;
+  std::size_t configs = 0;
+  std::size_t driver_valid = 0;
+  std::size_t driver_invalid = 0;
+  std::size_t clcheck_clean = 0;
+  std::size_t clcheck_fault = 0;  // driver-accepted but sanitizer-flagged
+  std::size_t functional_mismatch = 0;  // max error above tolerance
+  std::array<std::size_t, clsim::check::kFindingKindCount> finding_counts{};
+  std::vector<std::string> fault_examples;  // first few finding strings
+  tuner::ValidityModel::Confusion model;
+  bool model_fitted = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
+  bench::print_banner(
+      "Extension: clcheck sanitizer cross-audit (driver vs clcheck vs "
+      "validity model)",
+      false);
+  const auto out_path = args.get("out", "ext_check.json");
+  const auto device_name =
+      args.get("device", std::string(archsim::kNvidiaK40));
+  const auto configs_per_benchmark =
+      static_cast<std::size_t>(args.get("configs", 120L));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  constexpr double kTolerance = 1e-4;
+
+  const clsim::Platform platform = archsim::default_platform();
+  const clsim::Device device = platform.device_by_name(device_name);
+
+  std::vector<BenchmarkAudit> audits;
+  for (const auto& name : benchkit::benchmark_names()) {
+    const auto benchmark = benchkit::make_benchmark_small(name);
+    BenchmarkAudit audit;
+    audit.name = name;
+
+    common::Rng rng(seed);
+    const auto sample = tuner::RandomSampler().sample(
+        benchmark->space(), configs_per_benchmark, rng);
+    audit.configs = sample.size();
+
+    std::vector<tuner::Configuration> driver_valid_configs;
+    std::vector<tuner::Configuration> driver_invalid_configs;
+
+    for (const auto& config : sample) {
+      // Driver verdict: static validation only, as the evaluator applies it.
+      bool accepted = true;
+      try {
+        const benchkit::LaunchPlan plan = benchmark->prepare(device, config);
+        if (plan.kernel.validate_launch(plan.global, plan.local) !=
+            clsim::Status::kSuccess)
+          accepted = false;
+      } catch (const clsim::ClException& e) {
+        if (!e.is_invalid_configuration()) throw;
+        accepted = false;
+      }
+      if (!accepted) {
+        ++audit.driver_invalid;
+        driver_invalid_configs.push_back(config);
+        continue;
+      }
+      ++audit.driver_valid;
+      driver_valid_configs.push_back(config);
+
+      // clcheck verdict: instrumented functional run of the accepted config.
+      const benchkit::CheckedVerification checked =
+          benchmark->verify_checked(device, config);
+      if (checked.max_abs_error > kTolerance) ++audit.functional_mismatch;
+      if (checked.clean()) {
+        ++audit.clcheck_clean;
+      } else {
+        ++audit.clcheck_fault;
+        for (std::size_t k = 0; k < clsim::check::kFindingKindCount; ++k)
+          audit.finding_counts[k] += checked.report.count(
+              static_cast<clsim::check::FindingKind>(k));
+        if (audit.fault_examples.size() < 3 &&
+            !checked.report.findings().empty())
+          audit.fault_examples.push_back(
+              checked.report.findings().front().to_string());
+      }
+    }
+
+    // Model verdict: train on the driver labels, audit the disagreement.
+    tuner::ValidityModel model;
+    common::Rng model_rng(seed + 17);
+    model.fit(benchmark->space(), driver_valid_configs,
+              driver_invalid_configs, model_rng);
+    audit.model_fitted = model.fitted();
+    audit.model = model.confusion(driver_valid_configs,
+                                  driver_invalid_configs);
+
+    std::cout << "  " << name << ": " << audit.driver_valid << "/"
+              << audit.configs << " driver-accepted, " << audit.clcheck_fault
+              << " clcheck fault(s), model accuracy "
+              << common::fmt(audit.model.accuracy(), 3) << "\n"
+              << std::flush;
+    for (const auto& example : audit.fault_examples)
+      std::cout << "    " << example << "\n";
+    audits.push_back(std::move(audit));
+  }
+
+  common::Table table({"Benchmark", "Configs", "Driver valid",
+                       "clcheck clean", "clcheck fault", "Mismatch",
+                       "Model acc", "Model FP", "Model FN"});
+  for (const auto& audit : audits) {
+    table.add_row({audit.name, std::to_string(audit.configs),
+                   std::to_string(audit.driver_valid),
+                   std::to_string(audit.clcheck_clean),
+                   std::to_string(audit.clcheck_fault),
+                   std::to_string(audit.functional_mismatch),
+                   common::fmt(audit.model.accuracy(), 3),
+                   std::to_string(audit.model.false_positive),
+                   std::to_string(audit.model.false_negative)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  if (args.get("csv", false)) table.print_csv(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"device\": \"" << device_name << "\",\n"
+      << "  \"configs_per_benchmark\": " << configs_per_benchmark << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"tolerance\": " << kTolerance << ",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < audits.size(); ++i) {
+    const auto& audit = audits[i];
+    out << "    {\"name\": \"" << audit.name << "\""
+        << ", \"configs\": " << audit.configs
+        << ", \"driver_valid\": " << audit.driver_valid
+        << ", \"driver_invalid\": " << audit.driver_invalid
+        << ", \"clcheck_clean\": " << audit.clcheck_clean
+        << ", \"driver_ok_clcheck_fault\": " << audit.clcheck_fault
+        << ", \"functional_mismatch\": " << audit.functional_mismatch
+        << ", \"findings\": {";
+    for (std::size_t k = 0; k < clsim::check::kFindingKindCount; ++k) {
+      out << "\""
+          << clsim::check::to_string(static_cast<clsim::check::FindingKind>(k))
+          << "\": " << audit.finding_counts[k]
+          << (k + 1 < clsim::check::kFindingKindCount ? ", " : "");
+    }
+    out << "}, \"model\": {\"fitted\": "
+        << (audit.model_fitted ? "true" : "false")
+        << ", \"accuracy\": " << audit.model.accuracy()
+        << ", \"tp\": " << audit.model.true_positive
+        << ", \"fp\": " << audit.model.false_positive
+        << ", \"fn\": " << audit.model.false_negative
+        << ", \"tn\": " << audit.model.true_negative << "}}"
+        << (i + 1 < audits.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "report written to " << out_path << "\n";
+
+  // Non-zero exit when the sanitizer contradicts the driver: that is a
+  // kernel reproduction bug this audit exists to catch.
+  std::size_t total_faults = 0;
+  for (const auto& audit : audits) total_faults += audit.clcheck_fault;
+  return total_faults == 0 ? 0 : 2;
+}

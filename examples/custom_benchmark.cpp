@@ -100,8 +100,8 @@ class TransposeBenchmark final : public benchkit::TunableBenchmark {
           compiled.body = [input, output, size, tile, rows, use_local,
                            pad](clsim::WorkItemCtx& ctx)
               -> clsim::WorkItemTask {
-            const auto in = input.as<const float>();
-            auto out = output.as<float>();
+            const auto src = ctx.view<const float>(input, "input");
+            auto out = ctx.view<float>(output, "output");
             const long lt = tile;
             const long stride = pad ? lt + 1 : lt;
             const long gx = static_cast<long>(ctx.group_id(0)) * lt +
@@ -109,15 +109,15 @@ class TransposeBenchmark final : public benchkit::TunableBenchmark {
             const long base_y = static_cast<long>(ctx.group_id(1)) * lt;
             const long ly = static_cast<long>(ctx.local_id(1)) * rows;
             if (use_local) {
-              auto scratch = ctx.local_alloc<float>(
-                  static_cast<std::size_t>(lt * stride));
+              auto scratch = ctx.local_view<float>(
+                  static_cast<std::size_t>(lt * stride), "scratch");
               for (long r = 0; r < rows; ++r) {
                 const long y = base_y + ly + r;
                 if (gx < static_cast<long>(size) &&
                     y < static_cast<long>(size)) {
                   scratch[static_cast<std::size_t>(
                       (ly + r) * stride + ctx.local_id(0))] =
-                      in[static_cast<std::size_t>(y * size + gx)];
+                      src[static_cast<std::size_t>(y * size + gx)];
                 }
               }
               co_await ctx.barrier();
@@ -139,7 +139,7 @@ class TransposeBenchmark final : public benchkit::TunableBenchmark {
                 if (gx < static_cast<long>(size) &&
                     y < static_cast<long>(size)) {
                   out[static_cast<std::size_t>(gx * size + y)] =
-                      in[static_cast<std::size_t>(y * size + gx)];
+                      src[static_cast<std::size_t>(y * size + gx)];
                 }
               }
             }
@@ -177,13 +177,30 @@ class TransposeBenchmark final : public benchkit::TunableBenchmark {
 
   double verify(const clsim::Device& device,
                 const tuner::Configuration& config) const override {
+    return run_functional(device, config, nullptr);
+  }
+
+  benchkit::CheckedVerification verify_checked(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const override {
+    benchkit::CheckedVerification result;
+    result.max_abs_error = run_functional(device, config, &result.report);
+    return result;
+  }
+
+ private:
+  double run_functional(const clsim::Device& device,
+                        const tuner::Configuration& config,
+                        clsim::CheckReport* report) const {
     auto plan = prepare(device, config);
     auto out = output_.as<float>();
     std::fill(out.begin(), out.end(), -1.0f);
-    clsim::CommandQueue queue(
-        device,
-        clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+    clsim::CommandQueue::Options options{clsim::ExecMode::kFunctional,
+                                         nullptr};
+    if (report != nullptr) options.check = clsim::CheckMode::kOn;
+    clsim::CommandQueue queue(device, options);
     queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+    if (report != nullptr) *report = queue.check_report();
     const auto in = input_.as<const float>();
     double max_err = 0.0;
     for (std::size_t y = 0; y < n_; ++y)

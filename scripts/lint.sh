@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run clang-tidy (the checks in .clang-tidy) over the project sources using
+# the compilation database of an existing build directory.
+#
+#   scripts/lint.sh [build-dir]
+#
+# The build dir defaults to ./build and must have been configured (the root
+# CMakeLists exports compile_commands.json unconditionally). Exits non-zero
+# if clang-tidy reports anything, so it can serve as a CI gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to lint)" >&2
+  exit 0
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: ${build_dir}/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 1
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+
+echo "lint.sh: clang-tidy over ${#sources[@]} files (this can take a while)"
+clang-tidy -p "${build_dir}" --quiet "${sources[@]}"

@@ -23,6 +23,15 @@ struct LaunchPlan {
   double build_time_ms = 0.0;
 };
 
+/// Result of a clcheck-instrumented functional run: the usual max-error
+/// verdict plus every sanitizer finding the launch produced.
+struct CheckedVerification {
+  double max_abs_error = 0.0;
+  clsim::CheckReport report;
+
+  [[nodiscard]] bool clean() const noexcept { return report.clean(); }
+};
+
 class TunableBenchmark {
  public:
   virtual ~TunableBenchmark() = default;
@@ -46,6 +55,13 @@ class TunableBenchmark {
   /// constructed with small geometries — this executes every work-item.
   [[nodiscard]] virtual double verify(const clsim::Device& device,
                                       const tuner::Configuration& config) const = 0;
+
+  /// verify() under the clcheck sanitizer: same functional run and error
+  /// metric, with every kernel memory access instrumented. Slower (checked
+  /// launches are sequential) but catches out-of-bounds accesses, races and
+  /// barrier/allocation divergence that a correct-looking output can mask.
+  [[nodiscard]] virtual CheckedVerification verify_checked(
+      const clsim::Device& device, const tuner::Configuration& config) const = 0;
 };
 
 /// Adapts (benchmark, device) to tuner::Evaluator. Measurements run on a

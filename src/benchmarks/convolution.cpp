@@ -159,17 +159,24 @@ clsim::KernelBody make_body(ConvData data, ConvConfig c) {
     const int diameter = 2 * radius + 1;
     const long pad_stride = width + 2 * radius;
 
-    const auto in = data.input.as<const float>();
-    const auto padded = data.padded.as<const float>();
-    const auto coeffs = data.filter.as<const float>();
-    auto out = data.output.as<float>();
+    const auto in = ctx.view<const float>(data.input, "input");
+    const auto padded = ctx.view<const float>(data.padded, "padded");
+    const auto coeffs = ctx.view<const float>(data.filter, "filter");
+    auto out = ctx.view<float>(data.output, "output");
 
     // Clamp-to-edge read through whichever path the configuration picked.
     auto load = [&](long x, long y) -> float {
       if (c.use_image) return data.image.sample(x, y);
-      if (c.pad)
-        return padded[static_cast<std::size_t>((y + radius) * pad_stride +
-                                               (x + radius))];
+      if (c.pad) {
+        // The apron replicates the clamped edge, so clamping to the padded
+        // extent preserves clamp-to-edge semantics; without it, groups past
+        // the image (rounded-up ND-range) read beyond the buffer while
+        // filling their local tile.
+        const long px = std::clamp<long>(x, -radius, width - 1 + radius);
+        const long py = std::clamp<long>(y, -radius, height - 1 + radius);
+        return padded[static_cast<std::size_t>((py + radius) * pad_stride +
+                                               (px + radius))];
+      }
       const long cx = std::clamp<long>(x, 0, width - 1);
       const long cy = std::clamp<long>(y, 0, height - 1);
       return in[static_cast<std::size_t>(cy * width + cx)];
@@ -186,11 +193,11 @@ clsim::KernelBody make_body(ConvData data, ConvConfig c) {
     const long tile_out_x = group_x * c.wg_x * c.ppt_x;
     const long tile_out_y = group_y * c.wg_y * c.ppt_y;
 
-    std::span<float> tile;
+    clsim::CheckedSpan<float> tile;
     const long tw = static_cast<long>(c.wg_x) * c.ppt_x + 2 * radius;
     const long th = static_cast<long>(c.wg_y) * c.ppt_y + 2 * radius;
     if (c.use_local) {
-      tile = ctx.local_alloc<float>(static_cast<std::size_t>(tw * th));
+      tile = ctx.local_view<float>(static_cast<std::size_t>(tw * th), "tile");
       for (long idx = lid; idx < tw * th; idx += group_items) {
         const long tx = idx % tw;
         const long ty = idx / tw;
@@ -358,17 +365,19 @@ LaunchPlan ConvolutionBenchmark::prepare(
   return plan;
 }
 
-double ConvolutionBenchmark::verify(const clsim::Device& device,
-                                    const tuner::Configuration& config) const {
+double ConvolutionBenchmark::run_functional(const clsim::Device& device,
+                                            const tuner::Configuration& config,
+                                            clsim::CheckReport* report) const {
   LaunchPlan plan = prepare(device, config);
   // Clear the (shared) output so stale results cannot mask failures.
   auto out = output_.as<float>();
   std::fill(out.begin(), out.end(), -1.0f);
 
-  clsim::CommandQueue queue(
-      device,
-      clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+  clsim::CommandQueue::Options options{clsim::ExecMode::kFunctional, nullptr};
+  if (report != nullptr) options.check = clsim::CheckMode::kOn;
+  clsim::CommandQueue queue(device, options);
   queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+  if (report != nullptr) *report = queue.check_report();
 
   const auto expected = reference();
   double max_err = 0.0;
@@ -376,6 +385,18 @@ double ConvolutionBenchmark::verify(const clsim::Device& device,
     max_err = std::max(max_err,
                        static_cast<double>(std::abs(out[i] - expected[i])));
   return max_err;
+}
+
+double ConvolutionBenchmark::verify(const clsim::Device& device,
+                                    const tuner::Configuration& config) const {
+  return run_functional(device, config, nullptr);
+}
+
+CheckedVerification ConvolutionBenchmark::verify_checked(
+    const clsim::Device& device, const tuner::Configuration& config) const {
+  CheckedVerification result;
+  result.max_abs_error = run_functional(device, config, &result.report);
+  return result;
 }
 
 std::vector<float> ConvolutionBenchmark::reference() const {

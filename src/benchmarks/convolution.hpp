@@ -47,6 +47,9 @@ class ConvolutionBenchmark final : public TunableBenchmark {
 
   [[nodiscard]] double verify(const clsim::Device& device,
                               const tuner::Configuration& config) const override;
+  [[nodiscard]] CheckedVerification verify_checked(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const override;
 
   /// Scalar reference result (clamp-to-edge box filter of the input).
   [[nodiscard]] std::vector<float> reference() const;
@@ -57,6 +60,9 @@ class ConvolutionBenchmark final : public TunableBenchmark {
  private:
   void build_space();
   void build_program();
+  double run_functional(const clsim::Device& device,
+                        const tuner::Configuration& config,
+                        clsim::CheckReport* report) const;
 
   std::string name_ = "convolution";
   Geometry geometry_;

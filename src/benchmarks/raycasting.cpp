@@ -142,17 +142,18 @@ clsim::KernelBody make_body(RayData data, RayConfig c) {
     const long n = static_cast<long>(data.n);
     const long width = static_cast<long>(data.width);
     const long height = static_cast<long>(data.height);
-    const auto vol = data.volume.as<const float>();
-    const auto tf_buf = data.tf.as<const float>();
-    auto out = data.output.as<float>();
+    const auto vol = ctx.view<const float>(data.volume, "volume");
+    const auto tf_buf = ctx.view<const float>(data.tf, "tf");
+    auto out = ctx.view<float>(data.output, "output");
 
     // Optionally stage the transfer function in local memory.
-    std::span<float> tf_local;
+    clsim::CheckedSpan<float> tf_local;
     if (c.local_tf) {
       const long group_items = static_cast<long>(c.wg_x) * c.wg_y;
       const long lid = static_cast<long>(ctx.local_id(1)) * c.wg_x +
                        static_cast<long>(ctx.local_id(0));
-      tf_local = ctx.local_alloc<float>(RaycastingBenchmark::kTfEntries * 2);
+      tf_local =
+          ctx.local_view<float>(RaycastingBenchmark::kTfEntries * 2, "tf_local");
       for (long i = lid;
            i < static_cast<long>(RaycastingBenchmark::kTfEntries);
            i += group_items) {
@@ -372,8 +373,9 @@ LaunchPlan RaycastingBenchmark::prepare(
                     clsim::NDRange(wg_x, wg_y), build_ms};
 }
 
-double RaycastingBenchmark::verify(const clsim::Device& device,
-                                   const tuner::Configuration& config) const {
+double RaycastingBenchmark::run_functional(const clsim::Device& device,
+                                           const tuner::Configuration& config,
+                                           clsim::CheckReport* report) const {
   if (!materialized_)
     throw std::logic_error(
         "RaycastingBenchmark::verify: timing-only instance (volume > "
@@ -382,10 +384,11 @@ double RaycastingBenchmark::verify(const clsim::Device& device,
   auto out = output_.as<float>();
   std::fill(out.begin(), out.end(), -1.0f);
 
-  clsim::CommandQueue queue(
-      device,
-      clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+  clsim::CommandQueue::Options options{clsim::ExecMode::kFunctional, nullptr};
+  if (report != nullptr) options.check = clsim::CheckMode::kOn;
+  clsim::CommandQueue queue(device, options);
   queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+  if (report != nullptr) *report = queue.check_report();
 
   const auto expected = reference();
   double max_err = 0.0;
@@ -393,6 +396,18 @@ double RaycastingBenchmark::verify(const clsim::Device& device,
     max_err = std::max(max_err,
                        static_cast<double>(std::abs(out[i] - expected[i])));
   return max_err;
+}
+
+double RaycastingBenchmark::verify(const clsim::Device& device,
+                                   const tuner::Configuration& config) const {
+  return run_functional(device, config, nullptr);
+}
+
+CheckedVerification RaycastingBenchmark::verify_checked(
+    const clsim::Device& device, const tuner::Configuration& config) const {
+  CheckedVerification result;
+  result.max_abs_error = run_functional(device, config, &result.report);
+  return result;
 }
 
 std::vector<float> RaycastingBenchmark::reference() const {

@@ -45,6 +45,9 @@ class RaycastingBenchmark final : public TunableBenchmark {
 
   [[nodiscard]] double verify(const clsim::Device& device,
                               const tuner::Configuration& config) const override;
+  [[nodiscard]] CheckedVerification verify_checked(
+      const clsim::Device& device,
+      const tuner::Configuration& config) const override;
 
   /// Scalar reference rendering.
   [[nodiscard]] std::vector<float> reference() const;
@@ -66,6 +69,9 @@ class RaycastingBenchmark final : public TunableBenchmark {
  private:
   void build_space();
   void build_program();
+  double run_functional(const clsim::Device& device,
+                        const tuner::Configuration& config,
+                        clsim::CheckReport* report) const;
 
   std::string name_ = "raycasting";
   Geometry geometry_;

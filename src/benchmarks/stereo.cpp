@@ -165,9 +165,9 @@ clsim::KernelBody make_body(StereoData data, StereoConfig c) {
     const long height = static_cast<long>(data.height);
     const int rad = data.window_radius;
     const int max_d = data.max_disparity;
-    const auto left = data.left.as<const float>();
-    const auto right = data.right.as<const float>();
-    auto out = data.output.as<float>();
+    const auto left = ctx.view<const float>(data.left, "left");
+    const auto right = ctx.view<const float>(data.right, "right");
+    auto out = ctx.view<float>(data.output, "output");
 
     const long lx = static_cast<long>(ctx.local_id(0));
     const long ly = static_cast<long>(ctx.local_id(1));
@@ -196,12 +196,12 @@ clsim::KernelBody make_body(StereoData data, StereoConfig c) {
     const long ltw = static_cast<long>(c.wg_x) * c.ppt_x + 2 * rad;
     const long rtw = ltw + max_d;
     const long th = static_cast<long>(c.wg_y) * c.ppt_y + 2 * rad;
-    std::span<float> ltile;
-    std::span<float> rtile;
+    clsim::CheckedSpan<float> ltile;
+    clsim::CheckedSpan<float> rtile;
     if (c.local_left)
-      ltile = ctx.local_alloc<float>(static_cast<std::size_t>(ltw * th));
+      ltile = ctx.local_view<float>(static_cast<std::size_t>(ltw * th), "ltile");
     if (c.local_right)
-      rtile = ctx.local_alloc<float>(static_cast<std::size_t>(rtw * th));
+      rtile = ctx.local_view<float>(static_cast<std::size_t>(rtw * th), "rtile");
     if (c.local_left) {
       for (long i = lid; i < ltw * th; i += group_items) {
         const long tx = i % ltw;
@@ -394,16 +394,18 @@ LaunchPlan StereoBenchmark::prepare(
                     clsim::NDRange(wg_x, wg_y), build_ms};
 }
 
-double StereoBenchmark::verify(const clsim::Device& device,
-                               const tuner::Configuration& config) const {
+double StereoBenchmark::run_functional(const clsim::Device& device,
+                                       const tuner::Configuration& config,
+                                       clsim::CheckReport* report) const {
   LaunchPlan plan = prepare(device, config);
   auto out = output_.as<float>();
   std::fill(out.begin(), out.end(), -1.0f);
 
-  clsim::CommandQueue queue(
-      device,
-      clsim::CommandQueue::Options{clsim::ExecMode::kFunctional, nullptr});
+  clsim::CommandQueue::Options options{clsim::ExecMode::kFunctional, nullptr};
+  if (report != nullptr) options.check = clsim::CheckMode::kOn;
+  clsim::CommandQueue queue(device, options);
   queue.enqueue_nd_range(plan.kernel, plan.global, plan.local);
+  if (report != nullptr) *report = queue.check_report();
 
   const auto expected = reference();
   double max_err = 0.0;
@@ -411,6 +413,18 @@ double StereoBenchmark::verify(const clsim::Device& device,
     max_err = std::max(max_err,
                        static_cast<double>(std::abs(out[i] - expected[i])));
   return max_err;
+}
+
+double StereoBenchmark::verify(const clsim::Device& device,
+                               const tuner::Configuration& config) const {
+  return run_functional(device, config, nullptr);
+}
+
+CheckedVerification StereoBenchmark::verify_checked(
+    const clsim::Device& device, const tuner::Configuration& config) const {
+  CheckedVerification result;
+  result.max_abs_error = run_functional(device, config, &result.report);
+  return result;
 }
 
 std::vector<float> StereoBenchmark::reference() const {

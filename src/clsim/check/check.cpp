@@ -1,0 +1,118 @@
+#include "clsim/check/check.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace pt::clsim::check {
+
+LaunchCheckState::LaunchCheckState(std::string kernel_name,
+                                   CheckReport* report)
+    : kernel_(std::move(kernel_name)), report_(report) {}
+
+std::uint32_t LaunchCheckState::intern_name(std::string_view name) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+const std::string& LaunchCheckState::resource_name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < names_.size() ? names_[id] : kUnknown;
+}
+
+LaunchCheckState::Resource LaunchCheckState::global_resource(
+    const void* key, std::size_t bytes, std::string_view name) {
+  for (auto& entry : globals_) {
+    if (entry.key == key) return {entry.shadow.get(), entry.name_id};
+  }
+  GlobalEntry entry;
+  entry.key = key;
+  entry.name_id = intern_name(name);
+  entry.shadow = std::make_unique<ShadowMemory>(ShadowKind::kGlobal, bytes);
+  globals_.push_back(std::move(entry));
+  return {globals_.back().shadow.get(), globals_.back().name_id};
+}
+
+void* LaunchCheckState::sink(std::size_t bytes) noexcept {
+  std::memset(sink_.data(), 0, std::min(bytes, sink_.size()));
+  return sink_.data();
+}
+
+void ItemChecker::add_finding(FindingKind kind, std::uint32_t resource_id,
+                              std::size_t byte_offset, std::size_t bytes,
+                              bool is_write, std::string message) {
+  Finding finding;
+  finding.kind = kind;
+  finding.kernel = launch_->kernel_name();
+  finding.resource = launch_->resource_name(resource_id);
+  finding.global_id = global_id_;
+  finding.group_linear = group_flat_;
+  finding.byte_offset = byte_offset;
+  finding.bytes = bytes;
+  finding.is_write = is_write;
+  finding.message = std::move(message);
+  launch_->report().add(std::move(finding));
+}
+
+void* ItemChecker::on_access(void* base, ShadowMemory* shadow,
+                             std::uint32_t resource_id,
+                             std::size_t base_offset, std::size_t index,
+                             std::size_t count, std::size_t elem_bytes,
+                             bool is_write) {
+  const std::size_t byte_offset = base_offset + index * elem_bytes;
+  if (index >= count) {
+    std::ostringstream ss;
+    ss << "index " << index << " out of range [0, " << count << ")";
+    add_finding(FindingKind::kOutOfBounds, resource_id, byte_offset,
+                elem_bytes, is_write, ss.str());
+    return launch_->sink(elem_bytes);
+  }
+  const Conflict conflict =
+      is_write ? shadow->on_write(byte_offset, elem_bytes, item_flat_,
+                                  group_flat_, group_->epoch)
+               : shadow->on_read(byte_offset, elem_bytes, item_flat_,
+                                 group_flat_, group_->epoch);
+  if (conflict) {
+    if (conflict.type == Conflict::Type::kUninitializedRead) {
+      add_finding(FindingKind::kUninitializedRead, resource_id, conflict.byte,
+                  elem_bytes, false,
+                  "read of a local byte no work-item has written");
+    } else {
+      std::ostringstream ss;
+      ss << "conflicts with a prior "
+         << (conflict.other_was_write ? "write" : "read") << " by work-item "
+         << conflict.other_item << " not separated by a barrier";
+      add_finding(shadow->kind() == ShadowKind::kLocal
+                      ? FindingKind::kLocalRace
+                      : FindingKind::kGlobalRace,
+                  resource_id, conflict.byte, elem_bytes, is_write, ss.str());
+    }
+  }
+  return static_cast<std::byte*>(base) + index * elem_bytes;
+}
+
+void ItemChecker::on_local_alloc(const AllocRecord& record,
+                                 std::uint32_t resource_id) {
+  auto& canonical = group_->canonical_allocs;
+  const std::size_t idx = alloc_index_++;
+  if (idx >= canonical.size()) {
+    // First item to reach this allocation index defines the sequence. An
+    // item running *extra* allocations relative to peers is caught by the
+    // executor's end-of-group count comparison.
+    canonical.push_back(record);
+    return;
+  }
+  if (!(canonical[idx] == record)) {
+    std::ostringstream ss;
+    ss << "local_alloc #" << idx << " (" << record.bytes << "B at offset "
+       << record.offset << ") diverges from the group's sequence ("
+       << canonical[idx].bytes << "B at offset " << canonical[idx].offset
+       << "); the returned spans alias other allocations";
+    add_finding(FindingKind::kDivergentLocalAlloc, resource_id, record.offset,
+                record.bytes, false, ss.str());
+  }
+}
+
+}  // namespace pt::clsim::check

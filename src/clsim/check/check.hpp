@@ -1,0 +1,156 @@
+#pragma once
+
+// clcheck — opt-in dynamic analysis ("kernel sanitizer") for the clsim
+// executor. Because clsim runs kernels on the host, a checked launch can
+// instrument every indexed access the way ASan/TSan instrument native code:
+//
+//   LaunchCheckState  — one per enqueue: resource table (name → shadow),
+//                       the finding sink, and the out-of-bounds write sink.
+//   GroupCheckState   — one per work-group: local-arena shadow, barrier
+//                       epoch, canonical local_alloc sequence.
+//   ItemChecker       — one per work-item: identity (ids) plus the access
+//                       and allocation hooks CheckedSpan/WorkItemCtx call.
+//
+// Checked launches run work-groups sequentially on the calling thread, so
+// all state here is single-threaded by construction and findings are
+// deterministic. With CheckMode::kOff nothing in this header is
+// instantiated and execution is bit-identical to an unchecked build.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clsim/check/report.hpp"
+#include "clsim/check/shadow.hpp"
+
+namespace pt::clsim::check {
+
+/// Whether a queue/executor instruments kernel bodies. Default everywhere is
+/// kOff: zero overhead, bit-identical behavior to a checker-free build.
+enum class CheckMode { kOff, kOn };
+
+/// One local_alloc call, as seen by the divergence lint.
+struct AllocRecord {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  std::size_t align = 0;
+
+  [[nodiscard]] bool operator==(const AllocRecord&) const noexcept = default;
+};
+
+/// Per-launch sanitizer state. Owns the shadow of every global buffer viewed
+/// during the launch (keyed by the buffer's storage identity) and forwards
+/// findings to the caller-owned CheckReport.
+class LaunchCheckState {
+ public:
+  LaunchCheckState(std::string kernel_name, CheckReport* report);
+
+  [[nodiscard]] const std::string& kernel_name() const noexcept {
+    return kernel_;
+  }
+  [[nodiscard]] CheckReport& report() noexcept { return *report_; }
+
+  struct Resource {
+    ShadowMemory* shadow = nullptr;
+    std::uint32_t id = 0;
+  };
+
+  /// Shadow for a global buffer, created on first view. `key` is the
+  /// buffer's storage identity (shared across handle copies), so every view
+  /// of the same buffer — from any work-item — shares one shadow.
+  Resource global_resource(const void* key, std::size_t bytes,
+                           std::string_view name);
+
+  /// Intern a resource name (local-arena allocations reuse this table).
+  std::uint32_t intern_name(std::string_view name);
+  [[nodiscard]] const std::string& resource_name(std::uint32_t id) const;
+
+  /// Scratch an out-of-bounds access is redirected to, so a faulty kernel
+  /// cannot corrupt host memory. Zeroed before each use: OOB reads observe
+  /// zeros, OOB writes vanish. Large enough for any scalar element type.
+  [[nodiscard]] void* sink(std::size_t bytes) noexcept;
+
+ private:
+  struct GlobalEntry {
+    const void* key = nullptr;
+    std::uint32_t name_id = 0;
+    std::unique_ptr<ShadowMemory> shadow;
+  };
+
+  std::string kernel_;
+  CheckReport* report_;
+  std::vector<GlobalEntry> globals_;
+  std::vector<std::string> names_;
+  alignas(std::max_align_t) std::array<std::byte, 256> sink_{};
+};
+
+/// Per-work-group sanitizer state.
+class GroupCheckState {
+ public:
+  explicit GroupCheckState(std::size_t arena_bytes)
+      : local_shadow_(ShadowKind::kLocal, arena_bytes) {}
+
+  [[nodiscard]] ShadowMemory& local_shadow() noexcept { return local_shadow_; }
+
+  /// Barrier epoch: the executor advances it once per scheduling round, so
+  /// accesses separated by a barrier never share an epoch.
+  std::uint32_t epoch = 0;
+
+  /// The group's canonical local_alloc sequence (first item to allocate
+  /// defines it; later items are compared against it).
+  std::vector<AllocRecord> canonical_allocs;
+
+ private:
+  ShadowMemory local_shadow_;
+};
+
+/// Per-work-item hook object. WorkItemCtx holds a pointer to it (null when
+/// checking is off); CheckedSpan calls on_access for every element access.
+class ItemChecker {
+ public:
+  ItemChecker() = default;
+  ItemChecker(LaunchCheckState* launch, GroupCheckState* group,
+              std::array<std::size_t, 3> global_id, std::uint32_t item_flat,
+              std::uint32_t group_flat)
+      : launch_(launch),
+        group_(group),
+        global_id_(global_id),
+        item_flat_(item_flat),
+        group_flat_(group_flat) {}
+
+  [[nodiscard]] LaunchCheckState& launch() noexcept { return *launch_; }
+  [[nodiscard]] GroupCheckState& group() noexcept { return *group_; }
+  [[nodiscard]] std::uint32_t item_flat() const noexcept { return item_flat_; }
+  [[nodiscard]] std::size_t alloc_count() const noexcept {
+    return alloc_index_;
+  }
+
+  /// Validate + record one element access through a checked view. `base` is
+  /// the view's first element; the return value is the address to actually
+  /// use: base + index*elem_bytes in bounds, the launch sink otherwise.
+  void* on_access(void* base, ShadowMemory* shadow, std::uint32_t resource_id,
+                  std::size_t base_offset, std::size_t index,
+                  std::size_t count, std::size_t elem_bytes, bool is_write);
+
+  /// Record one local_alloc and lint it against the group's canonical
+  /// sequence (divergent sequences silently alias in the shared arena).
+  void on_local_alloc(const AllocRecord& record, std::uint32_t resource_id);
+
+ private:
+  void add_finding(FindingKind kind, std::uint32_t resource_id,
+                   std::size_t byte_offset, std::size_t bytes, bool is_write,
+                   std::string message);
+
+  LaunchCheckState* launch_ = nullptr;
+  GroupCheckState* group_ = nullptr;
+  std::array<std::size_t, 3> global_id_{};
+  std::uint32_t item_flat_ = 0;
+  std::uint32_t group_flat_ = 0;
+  std::size_t alloc_index_ = 0;
+};
+
+}  // namespace pt::clsim::check

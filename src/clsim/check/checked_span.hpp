@@ -1,0 +1,123 @@
+#pragma once
+
+// CheckedSpan<T> — the checked memory view kernels index instead of a raw
+// std::span. Unchecked (checker == nullptr, the CheckMode::kOff path) it is
+// a plain span: operator[] compiles down to the same pointer arithmetic, so
+// behavior and results are bit-identical to the pre-clcheck kernels. Checked,
+// every element access is validated against bounds and recorded in the
+// resource's shadow; out-of-bounds accesses are redirected to a zeroed sink
+// so a faulty kernel cannot corrupt the host.
+//
+// Reads and writes must be distinguished for the race detector, but
+// `span[i]` yields the same T& for both. Mutable views therefore return a
+// proxy whose conversion-to-T records a read and whose assignment records a
+// write; const views return values directly.
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "clsim/check/check.hpp"
+
+namespace pt::clsim::check {
+
+template <typename T>
+class CheckedSpan {
+ public:
+  using Value = std::remove_const_t<T>;
+  static constexpr bool kReadOnly = std::is_const_v<T>;
+
+  CheckedSpan() = default;
+
+  /// Unchecked view (CheckMode::kOff): direct element access.
+  explicit CheckedSpan(std::span<T> data) : data_(data) {}
+
+  /// Checked view bound to a work-item and a shadowed resource.
+  CheckedSpan(std::span<T> data, ItemChecker* checker, ShadowMemory* shadow,
+              std::uint32_t resource_id, std::size_t base_offset)
+      : data_(data),
+        checker_(checker),
+        shadow_(shadow),
+        resource_id_(resource_id),
+        base_offset_(base_offset) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool checked() const noexcept { return checker_ != nullptr; }
+
+  /// The underlying storage, bypassing the sanitizer (host-side use only).
+  [[nodiscard]] std::span<T> raw() const noexcept { return data_; }
+
+  /// Write-capable element proxy: reads record reads, writes record writes.
+  class Ref {
+   public:
+    Ref(const CheckedSpan* span, std::size_t index)
+        : span_(span), index_(index) {}
+
+    operator Value() const {  // NOLINT(google-explicit-constructor)
+      return *static_cast<const Value*>(span_->access(index_, false));
+    }
+    Ref& operator=(Value v)
+      requires(!kReadOnly)
+    {
+      *static_cast<Value*>(span_->access(index_, true)) = v;
+      return *this;
+    }
+    /// Ref = Ref must copy the *element* (read then write), not rebind the
+    /// proxy — without this the implicit copy-assignment wins overload
+    /// resolution over operator=(Value) and `a[i] = b[j]` writes nothing.
+    Ref& operator=(const Ref& other)
+      requires(!kReadOnly)
+    {
+      return *this = static_cast<Value>(other);
+    }
+    Ref& operator+=(Value v)
+      requires(!kReadOnly)
+    {
+      const Value old =
+          *static_cast<const Value*>(span_->access(index_, false));
+      *static_cast<Value*>(span_->access(index_, true)) = old + v;
+      return *this;
+    }
+
+   private:
+    const CheckedSpan* span_;
+    std::size_t index_;
+  };
+
+  /// Element access. Const views return the value (a read); mutable views
+  /// return the read/write proxy.
+  [[nodiscard]] auto operator[](std::size_t index) const {
+    if constexpr (kReadOnly) {
+      return *static_cast<const Value*>(access(index, false));
+    } else {
+      return Ref(this, index);
+    }
+  }
+
+ private:
+  /// Resolve index -> address, consulting the checker when bound. The
+  /// address is only formed after the bounds decision, so a checked OOB
+  /// access never computes an out-of-range pointer.
+  void* access(std::size_t index, bool is_write) const {
+    if (checker_ == nullptr)
+      return const_cast<Value*>(data_.data() + index);
+    return checker_->on_access(const_cast<Value*>(data_.data()), shadow_,
+                               resource_id_, base_offset_, index,
+                               data_.size(), sizeof(T), is_write);
+  }
+
+  std::span<T> data_;
+  ItemChecker* checker_ = nullptr;
+  ShadowMemory* shadow_ = nullptr;
+  std::uint32_t resource_id_ = 0;
+  std::size_t base_offset_ = 0;
+};
+
+}  // namespace pt::clsim::check
+
+namespace pt::clsim {
+using check::CheckedSpan;
+using check::CheckMode;
+using check::CheckReport;
+}  // namespace pt::clsim

@@ -1,0 +1,69 @@
+#include "clsim/check/report.hpp"
+
+#include <sstream>
+
+namespace pt::clsim::check {
+
+const char* to_string(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kOutOfBounds:
+      return "out-of-bounds";
+    case FindingKind::kUninitializedRead:
+      return "uninitialized-read";
+    case FindingKind::kLocalRace:
+      return "local-race";
+    case FindingKind::kGlobalRace:
+      return "global-race";
+    case FindingKind::kBarrierDivergence:
+      return "barrier-divergence";
+    case FindingKind::kDivergentLocalAlloc:
+      return "divergent-local-alloc";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream ss;
+  ss << check::to_string(kind) << " in kernel '" << kernel << "': work-item ("
+     << global_id[0] << ',' << global_id[1] << ',' << global_id[2]
+     << ") of group " << group_linear;
+  if (!resource.empty()) {
+    ss << ", resource '" << resource << "' byte " << byte_offset;
+    if (bytes != 0) ss << " (" << bytes << (is_write ? "B write" : "B read") << ')';
+  }
+  if (!message.empty()) ss << ": " << message;
+  return ss.str();
+}
+
+void CheckReport::add(Finding finding) {
+  ++counts_[static_cast<std::size_t>(finding.kind)];
+  ++total_;
+  if (findings_.size() < kMaxStoredFindings)
+    findings_.push_back(std::move(finding));
+}
+
+void CheckReport::clear() {
+  findings_.clear();
+  counts_.fill(0);
+  total_ = 0;
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream ss;
+  if (clean()) {
+    ss << "clcheck: no findings\n";
+    return ss.str();
+  }
+  ss << "clcheck: " << total_ << " finding(s)";
+  for (std::size_t k = 0; k < kFindingKindCount; ++k) {
+    if (counts_[k] != 0)
+      ss << ", " << to_string(static_cast<FindingKind>(k)) << "=" << counts_[k];
+  }
+  ss << '\n';
+  for (const auto& finding : findings_) ss << "  " << finding.to_string() << '\n';
+  if (total_ > findings_.size())
+    ss << "  ... " << (total_ - findings_.size()) << " more suppressed\n";
+  return ss.str();
+}
+
+}  // namespace pt::clsim::check

@@ -1,0 +1,75 @@
+#pragma once
+
+// Findings of the clcheck kernel sanitizer. A Finding pinpoints one dynamic
+// defect (out-of-bounds access, uninitialized read, data race, barrier or
+// allocation divergence) with enough context to reproduce it: kernel name,
+// offending work-item, resource (buffer or local-arena allocation) and byte
+// offset. A CheckReport accumulates findings across one or more launches,
+// keeping per-kind counts past the storage cap so noisy kernels cannot
+// exhaust memory.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pt::clsim::check {
+
+enum class FindingKind {
+  kOutOfBounds,         // indexed access past the end of a checked view
+  kUninitializedRead,   // local-arena byte read before any item wrote it
+  kLocalRace,           // conflicting local accesses not separated by barrier
+  kGlobalRace,          // conflicting global accesses (cross-group, or
+                        // same-group same-epoch)
+  kBarrierDivergence,   // some items returned while others wait at a barrier
+  kDivergentLocalAlloc, // items of one group ran different local_alloc
+                        // sequences (their spans silently alias)
+};
+
+inline constexpr std::size_t kFindingKindCount = 6;
+
+[[nodiscard]] const char* to_string(FindingKind kind) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::kOutOfBounds;
+  std::string kernel;
+  std::string resource;  // view name ("input", "tile", ...) or arena label
+  std::array<std::size_t, 3> global_id{};  // offending work-item
+  std::size_t group_linear = 0;            // flat work-group id
+  std::size_t byte_offset = 0;             // within the resource
+  std::size_t bytes = 0;                   // access size (0 when n/a)
+  bool is_write = false;
+  std::string message;  // details: the other party of a race, stuck items, …
+
+  /// One-line human-readable rendering (diagnostic format of the report).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class CheckReport {
+ public:
+  /// Findings stored verbatim; beyond the cap only the counters advance.
+  static constexpr std::size_t kMaxStoredFindings = 64;
+
+  void add(Finding finding);
+
+  [[nodiscard]] bool clean() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(FindingKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept {
+    return findings_;
+  }
+
+  void clear();
+
+  /// Multi-line summary: per-kind counts plus every stored finding.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::array<std::size_t, kFindingKindCount> counts_{};
+  std::size_t total_ = 0;
+};
+
+}  // namespace pt::clsim::check

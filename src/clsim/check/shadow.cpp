@@ -1,0 +1,75 @@
+#include "clsim/check/shadow.hpp"
+
+namespace pt::clsim::check {
+
+ShadowMemory::ShadowMemory(ShadowKind kind, std::size_t bytes)
+    : kind_(kind), bytes_(bytes) {}
+
+void ShadowMemory::mark_initialized(std::size_t offset, std::size_t len) {
+  for (std::size_t b = offset; b < offset + len && b < bytes_.size(); ++b)
+    bytes_[b].initialized = true;
+}
+
+Conflict ShadowMemory::on_read(std::size_t offset, std::size_t len,
+                               std::uint32_t item, std::uint32_t group,
+                               std::uint32_t epoch) {
+  Conflict conflict;
+  for (std::size_t b = offset; b < offset + len && b < bytes_.size(); ++b) {
+    ByteState& s = bytes_[b];
+    if (!conflict && kind_ == ShadowKind::kLocal && !s.initialized) {
+      conflict = {Conflict::Type::kUninitializedRead, kNoAccessor, false, b};
+    }
+    if (!conflict && s.write_item != kNoAccessor && s.write_item != item) {
+      const bool racy =
+          kind_ == ShadowKind::kGlobal
+              ? (s.write_group != group || s.write_epoch == epoch)
+              : s.write_epoch == epoch;
+      if (racy)
+        conflict = {Conflict::Type::kRace, s.write_item, true, b};
+    }
+    // Record the read (first witness per epoch; later same-epoch readers
+    // only set the multi_reader flag).
+    if (s.read_item == kNoAccessor || s.read_epoch != epoch) {
+      s.read_item = item;
+      s.read_group = group;
+      s.read_epoch = epoch;
+      s.multi_reader = false;
+    } else if (s.read_item != item) {
+      s.multi_reader = true;
+    }
+  }
+  return conflict;
+}
+
+Conflict ShadowMemory::on_write(std::size_t offset, std::size_t len,
+                                std::uint32_t item, std::uint32_t group,
+                                std::uint32_t epoch) {
+  Conflict conflict;
+  for (std::size_t b = offset; b < offset + len && b < bytes_.size(); ++b) {
+    ByteState& s = bytes_[b];
+    if (!conflict && s.write_item != kNoAccessor && s.write_item != item) {
+      const bool racy =
+          kind_ == ShadowKind::kGlobal
+              ? (s.write_group != group || s.write_epoch == epoch)
+              : s.write_epoch == epoch;
+      if (racy)
+        conflict = {Conflict::Type::kRace, s.write_item, true, b};
+    }
+    if (!conflict && s.read_item != kNoAccessor &&
+        (s.read_item != item || s.multi_reader)) {
+      const bool racy =
+          kind_ == ShadowKind::kGlobal
+              ? (s.read_group != group || s.read_epoch == epoch)
+              : s.read_epoch == epoch;
+      if (racy)
+        conflict = {Conflict::Type::kRace, s.read_item, false, b};
+    }
+    s.write_item = item;
+    s.write_group = group;
+    s.write_epoch = epoch;
+    s.initialized = true;
+  }
+  return conflict;
+}
+
+}  // namespace pt::clsim::check

@@ -1,0 +1,82 @@
+#pragma once
+
+// Per-byte shadow state for the clcheck sanitizer, in the spirit of
+// ASan/TSan shadow memory: every byte of a checked resource carries its last
+// writer and last reader (work-item, work-group, barrier epoch) plus an
+// initialized bit. Race detection is happens-before over barrier epochs:
+// within a work-group, accesses in the same epoch are concurrent; across
+// work-groups nothing orders accesses, so any write/write or read-after-write
+// pair touching the same byte from two groups conflicts.
+//
+// Checked launches execute work-groups sequentially (the executor drops the
+// thread pool in check mode), so the shadow needs no host synchronization and
+// every run produces the same findings in the same order.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pt::clsim::check {
+
+/// Sentinel for "no such access yet".
+inline constexpr std::uint32_t kNoAccessor = 0xffffffffu;
+
+/// Memory-space semantics of a shadowed resource.
+enum class ShadowKind {
+  kLocal,   // one work-group's arena: epoch ordering, init tracking
+  kGlobal,  // device buffer: cross-group conflicts, assumed host-initialized
+};
+
+/// Outcome of recording one access against the shadow.
+struct Conflict {
+  enum class Type { kNone, kRace, kUninitializedRead };
+  Type type = Type::kNone;
+  std::uint32_t other_item = kNoAccessor;  // prior accessor (flat item id)
+  bool other_was_write = false;            // prior access direction
+  std::size_t byte = 0;                    // first conflicting byte
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return type != Type::kNone;
+  }
+};
+
+class ShadowMemory {
+ public:
+  ShadowMemory(ShadowKind kind, std::size_t bytes);
+
+  [[nodiscard]] ShadowKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return bytes_.size();
+  }
+
+  /// Record a read of [offset, offset+len) by `item` of `group` in barrier
+  /// epoch `epoch`. Returns the first conflict found (race against a
+  /// concurrent write, or — for local shadows — an uninitialized byte).
+  Conflict on_read(std::size_t offset, std::size_t len, std::uint32_t item,
+                   std::uint32_t group, std::uint32_t epoch);
+
+  /// Record a write; returns the first write/write or read/write conflict.
+  Conflict on_write(std::size_t offset, std::size_t len, std::uint32_t item,
+                    std::uint32_t group, std::uint32_t epoch);
+
+  /// Mark a range initialized without an owning work-item (e.g. data the
+  /// host staged before the launch). Used by tests.
+  void mark_initialized(std::size_t offset, std::size_t len);
+
+ private:
+  struct ByteState {
+    std::uint32_t write_item = kNoAccessor;
+    std::uint32_t write_group = kNoAccessor;
+    std::uint32_t write_epoch = 0;
+    std::uint32_t read_item = kNoAccessor;
+    std::uint32_t read_group = kNoAccessor;
+    std::uint32_t read_epoch = 0;
+    bool multi_reader = false;   // >1 distinct readers in read_epoch
+    bool initialized = false;    // any write so far (local shadows)
+  };
+
+  ShadowKind kind_;
+  std::vector<ByteState> bytes_;
+};
+
+}  // namespace pt::clsim::check

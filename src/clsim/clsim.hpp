@@ -2,6 +2,10 @@
 
 // Umbrella header for the simulated OpenCL runtime.
 
+#include "clsim/check/check.hpp"         // IWYU pragma: export
+#include "clsim/check/checked_span.hpp"  // IWYU pragma: export
+#include "clsim/check/report.hpp"        // IWYU pragma: export
+#include "clsim/check/shadow.hpp"        // IWYU pragma: export
 #include "clsim/device.hpp"     // IWYU pragma: export
 #include "clsim/error.hpp"      // IWYU pragma: export
 #include "clsim/executor.hpp"   // IWYU pragma: export

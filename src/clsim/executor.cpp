@@ -1,12 +1,17 @@
 #include "clsim/executor.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <sstream>
 #include <vector>
+
+#include "clsim/check/check.hpp"
 
 namespace pt::clsim {
 
 void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
-                          std::size_t local_mem_bytes,
-                          const KernelBody& body) const {
+                          std::size_t local_mem_bytes, const KernelBody& body,
+                          check::LaunchCheckState* check) const {
   const std::size_t dims = global.dimensions();
   if (dims == 0)
     throw ClException(Status::kInvalidWorkDimension, "empty global range");
@@ -33,10 +38,12 @@ void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
     const std::array<std::size_t, 3> gid = {
         flat % groups_x, (flat / groups_x) % groups_y,
         flat / (groups_x * groups_y)};
-    run_group(global, local, dims, gid, local_mem_bytes, body);
+    run_group(global, local, dims, gid, flat, local_mem_bytes, body, check);
   };
 
-  if (pool_ != nullptr && total_groups > 1) {
+  // Checked launches run sequentially: shadow state is single-threaded by
+  // construction and findings come out in a deterministic order.
+  if (check == nullptr && pool_ != nullptr && total_groups > 1) {
     pool_->parallel_for(0, total_groups, run_one);
   } else {
     for (std::size_t g = 0; g < total_groups; ++g) run_one(g);
@@ -46,27 +53,52 @@ void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
 void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
                                 std::size_t dims,
                                 std::array<std::size_t, 3> group_id,
+                                std::size_t group_flat,
                                 std::size_t local_mem_bytes,
-                                const KernelBody& body) const {
+                                const KernelBody& body,
+                                check::LaunchCheckState* check) const {
   const std::size_t items = local.total();
   WorkGroupState group_state(local_mem_bytes);
+
+  std::optional<check::GroupCheckState> group_check;
+  std::vector<check::ItemChecker> checkers;
+  if (check != nullptr) {
+    group_check.emplace(local_mem_bytes);
+    checkers.reserve(items);
+  }
 
   // Contexts must outlive the coroutines that reference them.
   std::vector<WorkItemCtx> contexts;
   contexts.reserve(items);
   for (std::size_t lz = 0; lz < local.extent(2); ++lz)
     for (std::size_t ly = 0; ly < local.extent(1); ++ly)
-      for (std::size_t lx = 0; lx < local.extent(0); ++lx)
+      for (std::size_t lx = 0; lx < local.extent(0); ++lx) {
         contexts.emplace_back(global, local, dims, group_id,
                               std::array<std::size_t, 3>{lx, ly, lz},
                               &group_state);
+        if (check != nullptr) {
+          const std::array<std::size_t, 3> gid = {
+              group_id[0] * local.extent(0) + lx,
+              group_id[1] * local.extent(1) + ly,
+              group_id[2] * local.extent(2) + lz};
+          const std::size_t item_flat =
+              gid[0] + gid[1] * global.extent(0) +
+              gid[2] * global.extent(0) * global.extent(1);
+          checkers.emplace_back(check, &*group_check, gid,
+                                static_cast<std::uint32_t>(item_flat),
+                                static_cast<std::uint32_t>(group_flat));
+          contexts.back().bind_checker(&checkers.back());
+        }
+      }
 
   std::vector<WorkItemTask> tasks;
   tasks.reserve(items);
   for (auto& ctx : contexts) tasks.push_back(body(ctx));
 
   // Round-based scheduling: resume every live item once per round; a round
-  // ends with every item either done or parked at the same barrier.
+  // ends with every item either done or parked at the same barrier. Each
+  // round therefore spans exactly one barrier interval — the clcheck
+  // "epoch" the race detector keys happens-before on.
   std::size_t done = 0;
   while (done < items) {
     std::size_t finished_this_round = 0;
@@ -84,8 +116,58 @@ void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
     if (at_barrier != 0 && done != 0 && done < items) {
       // Some items passed their last barrier and returned while others are
       // still waiting — undefined behaviour in OpenCL, an error here.
+      if (check != nullptr) {
+        // Report the full stuck set instead of throwing, then abandon the
+        // group (resuming past a divergent barrier would deadlock).
+        std::ostringstream ss;
+        ss << at_barrier << " of " << items
+           << " work-items are stuck at a barrier the rest never reach;"
+           << " stuck local linear ids:";
+        std::size_t listed = 0;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          if (tasks[i].done() || !tasks[i].at_barrier()) continue;
+          if (listed++ < 8)
+            ss << ' ' << i;
+          else
+            break;
+        }
+        if (at_barrier > 8) ss << " ...";
+        check::Finding finding;
+        finding.kind = check::FindingKind::kBarrierDivergence;
+        finding.kernel = check->kernel_name();
+        finding.resource = "barrier";
+        finding.group_linear = static_cast<std::uint32_t>(group_flat);
+        finding.message = ss.str();
+        check->report().add(std::move(finding));
+        return;
+      }
       throw ClException(Status::kInvalidOperation,
                         "barrier divergence inside a work-group");
+    }
+    if (group_check) ++group_check->epoch;
+  }
+
+  if (check != nullptr && !checkers.empty()) {
+    // Items that ran *fewer or more* local_allocs than their peers never hit
+    // the per-allocation record comparison — catch the count mismatch here.
+    std::size_t min_allocs = checkers.front().alloc_count();
+    std::size_t max_allocs = min_allocs;
+    for (const auto& checker : checkers) {
+      min_allocs = std::min(min_allocs, checker.alloc_count());
+      max_allocs = std::max(max_allocs, checker.alloc_count());
+    }
+    if (min_allocs != max_allocs) {
+      std::ostringstream ss;
+      ss << "work-items of the group ran different numbers of local "
+         << "allocations (min " << min_allocs << ", max " << max_allocs
+         << "); subsequent allocations alias across items";
+      check::Finding finding;
+      finding.kind = check::FindingKind::kDivergentLocalAlloc;
+      finding.kernel = check->kernel_name();
+      finding.resource = "local-arena";
+      finding.group_linear = static_cast<std::uint32_t>(group_flat);
+      finding.message = ss.str();
+      check->report().add(std::move(finding));
     }
   }
 }

@@ -28,13 +28,22 @@ class NDRangeExecutor {
   /// Throws ClException(kInvalidOperation) on barrier divergence (some items
   /// of a group finished while others wait at a barrier), and rethrows any
   /// exception escaping a kernel body.
+  ///
+  /// A non-null `check` enables clcheck instrumentation: work-groups run
+  /// sequentially on the calling thread (deterministic findings, no shadow
+  /// synchronization), barrier divergence becomes a recorded finding naming
+  /// the stuck items instead of an exception, and divergent local_alloc
+  /// counts are linted at the end of each group.
   void run(const NDRange& global, const NDRange& local,
-           std::size_t local_mem_bytes, const KernelBody& body) const;
+           std::size_t local_mem_bytes, const KernelBody& body,
+           check::LaunchCheckState* check = nullptr) const;
 
  private:
   void run_group(const NDRange& global, const NDRange& local,
                  std::size_t dims, std::array<std::size_t, 3> group_id,
-                 std::size_t local_mem_bytes, const KernelBody& body) const;
+                 std::size_t group_flat, std::size_t local_mem_bytes,
+                 const KernelBody& body,
+                 check::LaunchCheckState* check) const;
 
   common::ThreadPool* pool_;
 };

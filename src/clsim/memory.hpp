@@ -6,6 +6,7 @@
 // sampling semantics the raycasting benchmark relies on.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -28,13 +29,18 @@ class Buffer {
     return storage_->size();
   }
 
-  /// Typed view; the byte size must be an exact multiple of sizeof(T).
+  /// Typed view; the byte size must be an exact multiple of sizeof(T) and
+  /// the storage must satisfy alignof(T) — reinterpreting under-aligned
+  /// storage as an over-aligned T would be undefined behaviour.
   /// Constness is shallow (handle semantics, like cl_mem): pass `const T`
   /// for a read-only view.
   template <typename T>
   [[nodiscard]] std::span<T> as() const {
     if (storage_->size() % sizeof(T) != 0)
       throw std::invalid_argument("Buffer::as: size not a multiple of T");
+    if (reinterpret_cast<std::uintptr_t>(storage_->data()) % alignof(T) != 0)
+      throw std::invalid_argument(
+          "Buffer::as: storage is under-aligned for T");
     return {reinterpret_cast<T*>(storage_->data()),
             storage_->size() / sizeof(T)};
   }
@@ -44,6 +50,12 @@ class Buffer {
 
   [[nodiscard]] bool shares_storage_with(const Buffer& other) const noexcept {
     return storage_ == other.storage_;
+  }
+
+  /// Storage identity (stable across handle copies) — the clcheck resource
+  /// key, so every view of one buffer shares one shadow.
+  [[nodiscard]] const void* storage_key() const noexcept {
+    return storage_.get();
   }
 
  private:

@@ -62,9 +62,16 @@ Event CommandQueue::enqueue_nd_range(const Kernel& kernel,
       throw ClException(Status::kInvalidOperation,
                         "functional queue but kernel " + kernel.name() +
                             " has no body");
-    NDRangeExecutor executor(options_.pool);
-    executor.run(global, local, kernel.profile().local_mem_bytes_per_group,
-                 kernel.body());
+    if (options_.check == CheckMode::kOn) {
+      check::LaunchCheckState launch_check(kernel.name(), &check_report_);
+      NDRangeExecutor executor(nullptr);
+      executor.run(global, local, kernel.profile().local_mem_bytes_per_group,
+                   kernel.body(), &launch_check);
+    } else {
+      NDRangeExecutor executor(options_.pool);
+      executor.run(global, local, kernel.profile().local_mem_bytes_per_group,
+                   kernel.body());
+    }
   }
 
   const Event ev = push_event(kernel.name(), duration, wait_list);

@@ -50,6 +50,10 @@ class CommandQueue {
     /// Out-of-order: a command starts as soon as its wait list is satisfied
     /// (CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) — models parallel streams.
     bool out_of_order = false;
+    /// clcheck sanitizer mode. kOn instruments functional launches (bounds,
+    /// races, barrier/allocation lints) and accumulates findings in
+    /// check_report(); kOff (default) is bit-identical to pre-clcheck runs.
+    CheckMode check = CheckMode::kOff;
   };
 
   explicit CommandQueue(Device device) : CommandQueue(std::move(device), Options{}) {}
@@ -115,6 +119,13 @@ class CommandQueue {
     return events_;
   }
 
+  /// Findings accumulated by checked launches (empty unless Options::check
+  /// is CheckMode::kOn).
+  [[nodiscard]] const CheckReport& check_report() const noexcept {
+    return check_report_;
+  }
+  void clear_check_report() noexcept { check_report_.clear(); }
+
  private:
   Event push_event(const std::string& label, double duration_ms,
                    const WaitList& wait_list);
@@ -128,6 +139,7 @@ class CommandQueue {
   double total_transfer_ms_ = 0.0;
   double total_build_ms_ = 0.0;
   std::vector<Event> events_;
+  CheckReport check_report_;
 };
 
 }  // namespace pt::clsim

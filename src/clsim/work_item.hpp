@@ -17,9 +17,12 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "clsim/check/checked_span.hpp"
 #include "clsim/error.hpp"
+#include "clsim/memory.hpp"
 #include "clsim/types.hpp"
 
 namespace pt::clsim {
@@ -162,8 +165,44 @@ class WorkItemCtx {
     return {reinterpret_cast<T*>(group_state_->base() + offset), count};
   }
 
+  /// Checked view of a global buffer (clcheck accessor). With checking off
+  /// this is exactly `buffer.as<T>()` wrapped unchecked — zero overhead,
+  /// identical behavior; with checking on every access is bounds-validated
+  /// and recorded in the buffer's shadow under `name`.
+  template <typename T>
+  [[nodiscard]] CheckedSpan<T> view(const Buffer& buffer,
+                                    std::string_view name) {
+    auto span = buffer.template as<T>();
+    if (checker_ == nullptr) return CheckedSpan<T>(span);
+    const auto res = checker_->launch().global_resource(
+        buffer.storage_key(), buffer.size_bytes(), name);
+    return CheckedSpan<T>(span, checker_, res.shadow, res.id, 0);
+  }
+
+  /// Checked local_alloc (clcheck accessor): same allocation semantics as
+  /// local_alloc, with bounds/race/init checking and allocation-divergence
+  /// linting when checking is on.
+  template <typename T>
+  [[nodiscard]] CheckedSpan<T> local_view(std::size_t count,
+                                          std::string_view name) {
+    auto span = local_alloc<T>(count);
+    if (checker_ == nullptr) return CheckedSpan<T>(span);
+    const std::size_t offset = static_cast<std::size_t>(
+        reinterpret_cast<const std::byte*>(span.data()) -
+        group_state_->base());
+    const std::uint32_t id = checker_->launch().intern_name(name);
+    checker_->on_local_alloc({offset, count * sizeof(T), alignof(T)}, id);
+    return CheckedSpan<T>(span, checker_, &checker_->group().local_shadow(),
+                          id, offset);
+  }
+
   /// Work-group barrier; usage: `co_await ctx.barrier();`
   [[nodiscard]] BarrierTag barrier() const noexcept { return {}; }
+
+  /// Executor hook: attach the clcheck per-item state (null = unchecked).
+  void bind_checker(check::ItemChecker* checker) noexcept {
+    checker_ = checker;
+  }
 
  private:
   NDRange global_;
@@ -172,6 +211,7 @@ class WorkItemCtx {
   std::array<std::size_t, 3> group_id_;
   std::array<std::size_t, 3> local_id_;
   WorkGroupState* group_state_;
+  check::ItemChecker* checker_ = nullptr;
   std::size_t cursor_ = 0;
 };
 

@@ -21,7 +21,7 @@ namespace detail {
 template <typename... Args>
 std::string concat(const Args&... args) {
   std::ostringstream ss;
-  (ss << ... << args);
+  (void)(ss << ... << args);  // void: the fold is just `ss` for empty packs
   return ss.str();
 }
 }  // namespace detail

@@ -57,18 +57,30 @@ double ValidityModel::score(const Configuration& config) const {
   return net_->forward(features)[0];
 }
 
+ValidityModel::Confusion ValidityModel::confusion(
+    const std::vector<Configuration>& valid,
+    const std::vector<Configuration>& invalid) const {
+  Confusion c;
+  for (const auto& config : valid) {
+    if (predict_valid(config))
+      ++c.true_positive;
+    else
+      ++c.false_negative;
+  }
+  for (const auto& config : invalid) {
+    if (predict_valid(config))
+      ++c.false_positive;
+    else
+      ++c.true_negative;
+  }
+  return c;
+}
+
 double ValidityModel::accuracy(
     const ParamSpace& space, const std::vector<Configuration>& valid,
     const std::vector<Configuration>& invalid) const {
   (void)space;
-  if (valid.empty() && invalid.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (const auto& config : valid)
-    if (predict_valid(config)) ++correct;
-  for (const auto& config : invalid)
-    if (!predict_valid(config)) ++correct;
-  return static_cast<double>(correct) /
-         static_cast<double>(valid.size() + invalid.size());
+  return confusion(valid, invalid).accuracy();
 }
 
 }  // namespace pt::tuner

@@ -54,6 +54,29 @@ class ValidityModel {
     return score(config) >= options_.threshold;
   }
 
+  /// Confusion counts of a labelled set ("valid" is the positive class).
+  struct Confusion {
+    std::size_t true_positive = 0;   // valid, predicted valid
+    std::size_t false_positive = 0;  // invalid, predicted valid
+    std::size_t false_negative = 0;  // valid, predicted invalid
+    std::size_t true_negative = 0;   // invalid, predicted invalid
+
+    [[nodiscard]] std::size_t total() const noexcept {
+      return true_positive + false_positive + false_negative + true_negative;
+    }
+    [[nodiscard]] double accuracy() const noexcept {
+      const std::size_t n = total();
+      return n == 0 ? 0.0
+                    : static_cast<double>(true_positive + true_negative) /
+                          static_cast<double>(n);
+    }
+  };
+
+  /// Classify a labelled set and tally the confusion matrix.
+  [[nodiscard]] Confusion confusion(
+      const std::vector<Configuration>& valid,
+      const std::vector<Configuration>& invalid) const;
+
   /// Fraction of a labelled set classified correctly (for evaluation).
   [[nodiscard]] double accuracy(const ParamSpace& space,
                                 const std::vector<Configuration>& valid,

@@ -1,0 +1,82 @@
+// Checked-mode benchmark tests: the three paper benchmarks must run clean
+// under the clcheck sanitizer (no out-of-bounds, races, or divergence) and
+// the instrumented run must produce the same verification error as the
+// uninstrumented one — the sanitizer observes, it never perturbs.
+
+#include <gtest/gtest.h>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/convolution.hpp"
+#include "benchmarks/raycasting.hpp"
+#include "benchmarks/registry.hpp"
+#include "benchmarks/stereo.hpp"
+
+namespace pt::benchkit {
+namespace {
+
+clsim::Device gpu_device() {
+  static clsim::Platform platform = archsim::default_platform();
+  return platform.device_by_name(archsim::kNvidiaK40);
+}
+
+constexpr double kTol = 1e-5;
+
+TEST(CheckedBenchmarks, ConvolutionAllPathsClean) {
+  // Every optimization toggled on: image loads, local tile, padding,
+  // interleaving, unrolling — the configuration with the most checked
+  // accessors in play.
+  const ConvolutionBenchmark bench(ConvolutionBenchmark::Geometry{48, 32, 2});
+  const tuner::Configuration config{{4, 2, 2, 2, 1, 1, 1, 1, 1}};
+  const auto checked = bench.verify_checked(gpu_device(), config);
+  EXPECT_TRUE(checked.clean()) << checked.report.summary();
+  EXPECT_LT(checked.max_abs_error, kTol);
+  EXPECT_EQ(checked.max_abs_error, bench.verify(gpu_device(), config));
+}
+
+TEST(CheckedBenchmarks, RaycastingAllPathsClean) {
+  const RaycastingBenchmark bench(
+      RaycastingBenchmark::Geometry{16, 24, 16, 0.98f});
+  const tuner::Configuration config{{4, 2, 1, 1, 1, 1, 1, 1, 0, 2}};
+  const auto checked = bench.verify_checked(gpu_device(), config);
+  EXPECT_TRUE(checked.clean()) << checked.report.summary();
+  EXPECT_LT(checked.max_abs_error, kTol);
+  EXPECT_EQ(checked.max_abs_error, bench.verify(gpu_device(), config));
+}
+
+TEST(CheckedBenchmarks, StereoAllPathsClean) {
+  const StereoBenchmark bench(StereoBenchmark::Geometry{32, 24, 8, 2});
+  const tuner::Configuration config{{4, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1}};
+  const auto checked = bench.verify_checked(gpu_device(), config);
+  EXPECT_TRUE(checked.clean()) << checked.report.summary();
+  EXPECT_LT(checked.max_abs_error, kTol);
+  EXPECT_EQ(checked.max_abs_error, bench.verify(gpu_device(), config));
+}
+
+TEST(CheckedBenchmarks, RandomAcceptedConfigsRunClean) {
+  // Driver-accepted random configurations of every registered benchmark must
+  // be sanitizer-clean: this is the per-commit slice of the ext_check audit.
+  common::Rng rng(7);
+  for (const auto& name : benchmark_names()) {
+    const auto bench = make_benchmark_small(name);
+    int checked_ok = 0;
+    int attempts = 0;
+    while (checked_ok < 4 && attempts < 120) {
+      ++attempts;
+      const auto config = bench->space().random(rng);
+      try {
+        const auto checked = bench->verify_checked(gpu_device(), config);
+        EXPECT_TRUE(checked.clean())
+            << name << " " << bench->space().to_string(config) << "\n"
+            << checked.report.summary();
+        EXPECT_LT(checked.max_abs_error, 1e-4) << name;
+        ++checked_ok;
+      } catch (const clsim::ClException& e) {
+        ASSERT_TRUE(e.is_invalid_configuration()) << e.what();
+      }
+    }
+    EXPECT_GE(checked_ok, 4) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pt::benchkit

@@ -68,7 +68,7 @@ INSTANTIATE_TEST_SUITE_P(
         ConvCase{"wide_group", conv_config(16, 1, 1, 2, 0, 1, 0, 1, 0)},
         ConvCase{"tall_group", conv_config(1, 8, 4, 1, 0, 0, 1, 0, 1)},
         ConvCase{"single_thread_groups", conv_config(1, 1, 4, 4, 0, 0, 0, 0, 0)}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& tinfo) { return std::string(tinfo.param.label); });
 
 TEST(ConvolutionFunctional, RandomConfigSweep) {
   const ConvolutionBenchmark bench(ConvolutionBenchmark::Geometry{40, 24, 2});
@@ -138,7 +138,7 @@ INSTANTIATE_TEST_SUITE_P(
         RayCase{"all_spaces", ray_config(4, 2, 1, 1, 1, 1, 1, 1, 0, 2)},
         RayCase{"interleaved_rays", ray_config(4, 4, 2, 2, 0, 0, 0, 0, 1, 4)},
         RayCase{"deep_unroll", ray_config(2, 2, 2, 2, 1, 0, 0, 0, 0, 16)}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& tinfo) { return std::string(tinfo.param.label); });
 
 TEST(RaycastingFunctional, TimingOnlyInstanceRefusesVerify) {
   RaycastingBenchmark::Geometry g;
@@ -200,7 +200,7 @@ INSTANTIATE_TEST_SUITE_P(
                    stereo_config(4, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1)},
         StereoCase{"unrolled", stereo_config(4, 4, 1, 1, 0, 0, 0, 0, 8, 4, 4)},
         StereoCase{"ppt_blocks", stereo_config(2, 2, 2, 2, 0, 0, 1, 1, 2, 2, 2)}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& tinfo) { return std::string(tinfo.param.label); });
 
 TEST(StereoFunctional, RecoversPlantedDisparityInInterior) {
   const StereoBenchmark bench(StereoBenchmark::Geometry{48, 16, 8, 2});

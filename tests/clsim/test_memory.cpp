@@ -19,6 +19,36 @@ TEST(Buffer, TypedViewRejectsMisalignedSize) {
   EXPECT_THROW((void)b.as<double>(), std::invalid_argument);
 }
 
+struct alignas(64) OverAligned {
+  unsigned char bytes[64];
+};
+
+TEST(Buffer, TypedViewEnforcesAlignment) {
+  // Buffer storage comes from operator new (default 16B alignment), so an
+  // alignas(64) view is only legal when the allocation happens to land on a
+  // 64B boundary. The guard must uphold exactly that invariant: either throw
+  // or hand out a correctly aligned span — never an under-aligned one.
+  for (int i = 0; i < 32; ++i) {
+    Buffer b(sizeof(OverAligned));
+    try {
+      auto view = b.as<OverAligned>();
+      EXPECT_EQ(
+          reinterpret_cast<std::uintptr_t>(view.data()) % alignof(OverAligned),
+          0u);
+    } catch (const std::invalid_argument&) {
+      // Rejected as under-aligned: the guard fired, which is the point.
+    }
+  }
+}
+
+TEST(Buffer, StorageKeyStableAcrossHandleCopies) {
+  Buffer a(8);
+  Buffer b = a;
+  EXPECT_EQ(a.storage_key(), b.storage_key());
+  const Buffer c(8);
+  EXPECT_NE(a.storage_key(), c.storage_key());
+}
+
 TEST(Buffer, WriteReadRoundTrip) {
   Buffer b(4 * sizeof(float));
   const std::vector<float> src = {1.0f, 2.0f, 3.0f, 4.0f};

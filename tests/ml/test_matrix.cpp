@@ -203,7 +203,7 @@ TEST(Matrix, DotProduct) {
   const Matrix b = {{3.0, 4.0}};
   EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
   const Matrix c(2, 2);
-  EXPECT_THROW(dot(a, c), std::invalid_argument);
+  EXPECT_THROW((void)dot(a, c), std::invalid_argument);
 }
 
 }  // namespace

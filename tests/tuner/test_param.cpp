@@ -139,7 +139,9 @@ TEST_P(ParamSpaceShapeTest, RoundTripOnSampledIndices) {
   for (std::size_t d = 0; d < sizes.size(); ++d) {
     std::vector<int> values;
     for (int v = 0; v < sizes[d]; ++v) values.push_back(v * 3 + 1);
-    s.add("p" + std::to_string(d), values);
+    std::string name = "p";  // built with += : the operator+ temporary trips
+    name += std::to_string(d);  // a GCC 12 -Wrestrict false positive
+    s.add(name, values);
   }
   common::Rng rng(7);
   for (int i = 0; i < 200; ++i) {

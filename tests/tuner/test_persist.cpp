@@ -85,7 +85,9 @@ TEST(Persist, RandomSpacesAndOptionsRoundTripBitExactly) {
       const std::size_t shift = rng.below(3);  // random but distinct powers
       for (std::size_t v = 0; v < count; ++v)
         values.push_back(1 << (v + shift));
-      space.add("p" + std::to_string(p), values);
+      std::string name = "p";  // built with += : the operator+ temporary
+      name += std::to_string(p);  // trips a GCC 12 -Wrestrict false positive
+      space.add(name, values);
     }
 
     AnnPerformanceModel::Options opts;
