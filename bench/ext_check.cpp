@@ -27,12 +27,13 @@
 
 #include <array>
 #include <cstddef>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "report.hpp"
 #include "tuner/sampler.hpp"
 #include "tuner/validity.hpp"
 
@@ -162,38 +163,40 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   if (args.get("csv", false)) table.print_csv(std::cout);
 
-  std::ofstream out(out_path);
-  out << "{\n  \"device\": \"" << device_name << "\",\n"
-      << "  \"configs_per_benchmark\": " << configs_per_benchmark << ",\n"
-      << "  \"seed\": " << seed << ",\n"
-      << "  \"tolerance\": " << kTolerance << ",\n  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < audits.size(); ++i) {
-    const auto& audit = audits[i];
-    out << "    {\"name\": \"" << audit.name << "\""
-        << ", \"configs\": " << audit.configs
-        << ", \"driver_valid\": " << audit.driver_valid
-        << ", \"driver_invalid\": " << audit.driver_invalid
-        << ", \"clcheck_clean\": " << audit.clcheck_clean
-        << ", \"driver_ok_clcheck_fault\": " << audit.clcheck_fault
-        << ", \"functional_mismatch\": " << audit.functional_mismatch
-        << ", \"findings\": {";
-    for (std::size_t k = 0; k < clsim::check::kFindingKindCount; ++k) {
-      out << "\""
-          << clsim::check::to_string(static_cast<clsim::check::FindingKind>(k))
-          << "\": " << audit.finding_counts[k]
-          << (k + 1 < clsim::check::kFindingKindCount ? ", " : "");
-    }
-    out << "}, \"model\": {\"fitted\": "
-        << (audit.model_fitted ? "true" : "false")
-        << ", \"accuracy\": " << audit.model.accuracy()
-        << ", \"tp\": " << audit.model.true_positive
-        << ", \"fp\": " << audit.model.false_positive
-        << ", \"fn\": " << audit.model.false_negative
-        << ", \"tn\": " << audit.model.true_negative << "}}"
-        << (i + 1 < audits.size() ? "," : "") << "\n";
+  bench::ReportWriter report;
+  report.set("device", device_name)
+      .set("configs_per_benchmark", configs_per_benchmark)
+      .set("seed", seed)
+      .set("tolerance", kTolerance);
+  common::json::Value benchmarks = common::json::Value::array();
+  for (const auto& audit : audits) {
+    common::json::Value entry = common::json::Value::object();
+    entry.set("name", audit.name);
+    entry.set("configs", audit.configs);
+    entry.set("driver_valid", audit.driver_valid);
+    entry.set("driver_invalid", audit.driver_invalid);
+    entry.set("clcheck_clean", audit.clcheck_clean);
+    entry.set("driver_ok_clcheck_fault", audit.clcheck_fault);
+    entry.set("functional_mismatch", audit.functional_mismatch);
+    common::json::Value findings = common::json::Value::object();
+    for (std::size_t k = 0; k < clsim::check::kFindingKindCount; ++k)
+      findings.set(
+          clsim::check::to_string(static_cast<clsim::check::FindingKind>(k)),
+          audit.finding_counts[k]);
+    entry.set("findings", std::move(findings));
+    common::json::Value model_json = common::json::Value::object();
+    model_json.set("fitted", audit.model_fitted);
+    model_json.set("accuracy", audit.model.accuracy());
+    model_json.set("tp", audit.model.true_positive);
+    model_json.set("fp", audit.model.false_positive);
+    model_json.set("fn", audit.model.false_negative);
+    model_json.set("tn", audit.model.true_negative);
+    entry.set("model", std::move(model_json));
+    benchmarks.push(std::move(entry));
   }
-  out << "  ]\n}\n";
-  std::cout << "report written to " << out_path << "\n";
+  report.root().set("benchmarks", std::move(benchmarks));
+  report.attach_telemetry(nullptr);
+  report.write(out_path);
 
   // Non-zero exit when the sanitizer contradicts the driver: that is a
   // kernel reproduction bug this audit exists to catch.

@@ -8,7 +8,8 @@
 //
 //   RobustEvaluator -> FaultInjectingEvaluator -> NoisyEvaluator -> cache
 //
-// The CachingEvaluator sits *innermost* here (unlike the production stack in
+// built with the fluent EvaluatorStack (tuner/stack.hpp). The
+// CachingEvaluator sits *innermost* here (unlike the production stack in
 // DESIGN.md) so the expensive simulated measurements are paid once and the
 // injectors re-corrupt cached clean values per attempt; the exhaustive
 // ground-truth sweep shares the same cache. Tuning quality is judged on the
@@ -23,17 +24,19 @@
 //   --full        larger sweep and budgets (slower, same shape)
 //   --csv         additionally print the summary table as CSV
 
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
+#include "report.hpp"
 #include "tuner/autotuner.hpp"
 #include "tuner/robust.hpp"
 #include "tuner/search.hpp"
+#include "tuner/stack.hpp"
 
 namespace {
 
@@ -112,30 +115,29 @@ int main(int argc, char** argv) {
       cell.repeats = repeats;
       for (std::size_t r = 0; r < repeats; ++r) {
         const std::uint64_t run_seed = seed + 1000 * r;
-        tuner::NoisyEvaluator noisy(clean,
-                                    {.sigma = sigma, .seed = run_seed + 1});
-        tuner::FaultInjectingEvaluator faults(
-            noisy, {.transient_rate = profile.transient_rate,
-                    .spurious_rate = profile.spurious_rate,
-                    .outlier_rate = profile.outlier_rate,
-                    .seed = run_seed + 2});
-        tuner::RobustEvaluator robust(
-            faults, {.repeats = sigma > 0.0 || profile.outlier_rate > 0.0
-                                     ? std::size_t{3}
-                                     : std::size_t{1},
-                     .max_retries = 3});
+        auto stack =
+            tuner::EvaluatorStack::wrap(clean)
+                .noisy({.sigma = sigma, .seed = run_seed + 1})
+                .fault_injecting({.transient_rate = profile.transient_rate,
+                                  .spurious_rate = profile.spurious_rate,
+                                  .outlier_rate = profile.outlier_rate,
+                                  .seed = run_seed + 2})
+                .robust({.repeats = sigma > 0.0 || profile.outlier_rate > 0.0
+                                        ? std::size_t{3}
+                                        : std::size_t{1},
+                         .max_retries = 3});
 
         tuner::AutoTunerOptions opts;
         opts.training_samples = training;
         opts.second_stage_size = second_stage;
         opts.stage2_stream_limit = 10 * second_stage;  // graceful degradation
-        common::Rng rng(run_seed);
+        opts.run.seed = run_seed;
         const tuner::AutoTuneResult result =
-            tuner::AutoTuner(opts).tune(robust, rng);
+            tuner::AutoTuner(opts).tune(stack);
 
         cell.transient_faults += result.transient_faults;
         cell.stage2_streamed += result.stage2_streamed;
-        cell.retry_exhausted += robust.exhausted();
+        cell.retry_exhausted += stack.layer<tuner::RobustEvaluator>()->exhausted();
         cell.tuning_cost_ms += result.data_gathering_cost_ms;
         const std::size_t measured =
             result.stage1_measured + result.stage2_measured;
@@ -179,33 +181,35 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   if (args.get("csv", false)) table.print_csv(std::cout);
 
-  std::ofstream out(out_path);
-  out << "{\n  \"device\": \"" << device_name << "\",\n"
-      << "  \"benchmark\": \"convolution\",\n"
-      << "  \"clean_optimum_ms\": " << truth.best_time_ms << ",\n"
-      << "  \"training_samples\": " << training << ",\n"
-      << "  \"second_stage_size\": " << second_stage << ",\n"
-      << "  \"repeats\": " << repeats << ",\n  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto& cell = cells[i];
-    out << "    {\"sigma\": " << cell.sigma
-        << ", \"faults\": \"" << cell.profile.label << "\""
-        << ", \"transient_rate\": " << cell.profile.transient_rate
-        << ", \"spurious_rate\": " << cell.profile.spurious_rate
-        << ", \"outlier_rate\": " << cell.profile.outlier_rate
-        << ", \"successes\": " << cell.successes
-        << ", \"repeats\": " << cell.repeats
-        << ", \"mean_clean_slowdown\": "
-        << (cell.slowdown.count() ? cell.slowdown.mean() : 0.0)
-        << ", \"mean_attempts_per_measurement\": "
-        << cell.attempts_per_measurement.mean()
-        << ", \"transient_faults\": " << cell.transient_faults
-        << ", \"stage2_streamed\": " << cell.stage2_streamed
-        << ", \"retry_exhausted\": " << cell.retry_exhausted
-        << ", \"tuning_cost_ms\": " << cell.tuning_cost_ms << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+  bench::ReportWriter report;
+  report.set("device", device_name)
+      .set("benchmark", "convolution")
+      .set("clean_optimum_ms", truth.best_time_ms)
+      .set("training_samples", training)
+      .set("second_stage_size", second_stage)
+      .set("repeats", repeats);
+  common::json::Value cells_json = common::json::Value::array();
+  for (const auto& cell : cells) {
+    common::json::Value entry = common::json::Value::object();
+    entry.set("sigma", cell.sigma);
+    entry.set("faults", cell.profile.label);
+    entry.set("transient_rate", cell.profile.transient_rate);
+    entry.set("spurious_rate", cell.profile.spurious_rate);
+    entry.set("outlier_rate", cell.profile.outlier_rate);
+    entry.set("successes", cell.successes);
+    entry.set("repeats", cell.repeats);
+    entry.set("mean_clean_slowdown",
+              cell.slowdown.count() ? cell.slowdown.mean() : 0.0);
+    entry.set("mean_attempts_per_measurement",
+              cell.attempts_per_measurement.mean());
+    entry.set("transient_faults", cell.transient_faults);
+    entry.set("stage2_streamed", cell.stage2_streamed);
+    entry.set("retry_exhausted", cell.retry_exhausted);
+    entry.set("tuning_cost_ms", cell.tuning_cost_ms);
+    cells_json.push(std::move(entry));
   }
-  out << "  ]\n}\n";
-  std::cout << "report written to " << out_path << "\n";
+  report.root().set("cells", std::move(cells_json));
+  report.attach_telemetry(nullptr);
+  report.write(out_path);
   return 0;
 }

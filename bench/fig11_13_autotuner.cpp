@@ -8,10 +8,21 @@
 // measuring only ~1.7% of the space; at N=500, M=100 it is 13-30% above.
 // Some low-budget cells are *missing* because every second-stage candidate
 // was invalid — the failure mode discussed in section 7.
+//
+// Flags:
+//   --trace=PREFIX  record telemetry for the whole sweep and write
+//                   PREFIX.trace.json (Chrome trace; load in chrome://tracing
+//                   or https://ui.perfetto.dev) plus PREFIX.metrics.json
+//                   (per-stage wall/simulated time, cache hit rate,
+//                   rejections by status, per-epoch training loss).
 
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "bench_util.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "report.hpp"
 #include "tuner/search.hpp"
 
 int main(int argc, char** argv) {
@@ -35,6 +46,13 @@ int main(int argc, char** argv) {
   }
   opts.seed = static_cast<std::uint64_t>(args.get("seed", 7L));
 
+  const auto trace_prefix = args.get("trace", std::string());
+  std::optional<common::telemetry::Collector> collector;
+  if (!trace_prefix.empty()) {
+    collector.emplace();
+    opts.run.telemetry = &*collector;
+  }
+
   const clsim::Platform platform = archsim::default_platform();
   const auto bench_obj = benchkit::make_benchmark("convolution");
 
@@ -49,5 +67,15 @@ int main(int argc, char** argv) {
 
   std::cout << "\nfraction of the space measured at N=2000, M=200: "
             << common::fmt_pct(2200.0 / 131072.0) << " (paper: ~1.7%)\n";
+
+  if (collector) {
+    bench::write_chrome_trace(*collector, trace_prefix);
+    bench::ReportWriter metrics;
+    metrics.set("bench", "fig11_13_autotuner")
+        .set("seed", opts.seed)
+        .set("repeats", opts.repeats);
+    metrics.attach_telemetry(&*collector);
+    metrics.write(trace_prefix + ".metrics.json");
+  }
   return 0;
 }

@@ -13,18 +13,23 @@
 //   --m=M           top-M size (default 300)
 //   --training=N    synthetic training samples (default 300)
 //   --seed=S        RNG seed (default 1)
+//   --trace         record telemetry; metrics go into the report and a
+//                   Chrome trace next to it (<out>.trace.json)
 
 #include <chrono>
 #include <cmath>
-#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchmarks/registry.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "report.hpp"
 #include "tuner/model.hpp"
 
 namespace {
@@ -72,6 +77,14 @@ int main(int argc, char** argv) {
   const auto m = static_cast<std::size_t>(args.get("m", 300L));
   const auto training = static_cast<std::size_t>(args.get("training", 300L));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  const bool trace = args.get("trace", false);
+
+  std::optional<common::telemetry::Collector> collector;
+  std::optional<common::telemetry::ScopedCollector> scope;
+  if (trace) {
+    collector.emplace();
+    scope.emplace(&*collector);
+  }
 
   std::vector<std::size_t> thread_counts = {1, 2, 4};
   const std::size_t hw = common::default_thread_count();
@@ -142,31 +155,33 @@ int main(int argc, char** argv) {
   }
   common::set_global_pool_threads(0);  // restore the default
 
-  std::ofstream out(out_path);
-  out << "{\n  \"m\": " << m << ",\n  \"training_samples\": " << training
-      << ",\n  \"benchmarks\": [\n";
-  for (std::size_t b = 0; b < reports.size(); ++b) {
-    const auto& r = reports[b];
-    out << "    {\n      \"name\": \"" << r.name << "\",\n"
-        << "      \"space_size\": " << r.space_size << ",\n"
-        << "      \"scanned\": " << r.scanned << ",\n"
-        << "      \"fit_ms\": " << r.fit_ms << ",\n"
-        << "      \"deterministic_across_threads\": "
-        << (r.deterministic ? "true" : "false") << ",\n"
-        << "      \"runs\": [\n";
-    for (std::size_t i = 0; i < r.runs.size(); ++i) {
-      const auto& run = r.runs[i];
-      out << "        {\"threads\": " << run.threads
-          << ", \"range_ms\": " << run.range_ms
-          << ", \"top_m_ms\": " << run.top_m_ms
-          << ", \"range_speedup\": "
-          << (run.range_ms > 0.0 ? r.runs.front().range_ms / run.range_ms
-                                 : 0.0)
-          << "}" << (i + 1 < r.runs.size() ? "," : "") << "\n";
+  bench::ReportWriter report;
+  report.set("m", m).set("training_samples", training);
+  common::json::Value benchmarks = common::json::Value::array();
+  for (const auto& r : reports) {
+    common::json::Value entry = common::json::Value::object();
+    entry.set("name", r.name);
+    entry.set("space_size", r.space_size);
+    entry.set("scanned", r.scanned);
+    entry.set("fit_ms", r.fit_ms);
+    entry.set("deterministic_across_threads", r.deterministic);
+    common::json::Value runs = common::json::Value::array();
+    for (const auto& run : r.runs) {
+      common::json::Value run_json = common::json::Value::object();
+      run_json.set("threads", run.threads);
+      run_json.set("range_ms", run.range_ms);
+      run_json.set("top_m_ms", run.top_m_ms);
+      run_json.set("range_speedup",
+                   run.range_ms > 0.0 ? r.runs.front().range_ms / run.range_ms
+                                      : 0.0);
+      runs.push(std::move(run_json));
     }
-    out << "      ]\n    }" << (b + 1 < reports.size() ? "," : "") << "\n";
+    entry.set("runs", std::move(runs));
+    benchmarks.push(std::move(entry));
   }
-  out << "  ]\n}\n";
-  std::cout << "report written to " << out_path << "\n";
+  report.root().set("benchmarks", std::move(benchmarks));
+  report.attach_telemetry(collector ? &*collector : nullptr);
+  if (collector) bench::write_chrome_trace(*collector, out_path);
+  report.write(out_path);
   return 0;
 }

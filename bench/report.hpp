@@ -1,0 +1,81 @@
+#pragma once
+
+// bench::ReportWriter — the one way benches emit their JSON reports.
+//
+// Before this existed every bench hand-rolled an ofstream with manual
+// escaping and comma bookkeeping; now a bench builds an ordered json::Value
+// and the writer guarantees the shared shape: every report carries a
+// "telemetry" section ({"enabled": false} when the run was untraced, the
+// full metrics block when it was) and ends with the familiar
+// "report written to PATH" line.
+//
+//   bench::ReportWriter report;
+//   report.set("device", device_name).set("repeats", repeats);
+//   report.root().set("cells", std::move(cells_array));
+//   report.attach_telemetry(collector_or_null);
+//   report.write(out_path);
+
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/telemetry/export.hpp"
+
+namespace pt::bench {
+
+class ReportWriter {
+ public:
+  ReportWriter() : root_(common::json::Value::object()) {}
+
+  /// The underlying document, for structured sections (arrays, objects).
+  [[nodiscard]] common::json::Value& root() noexcept { return root_; }
+
+  /// Top-level scalar field (chainable).
+  ReportWriter& set(std::string key, common::json::Value value) {
+    root_.set(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Attach the uniform "telemetry" section: the metrics block of
+  /// `collector`, or {"enabled": false} when the run was untraced.
+  ReportWriter& attach_telemetry(
+      const common::telemetry::Collector* collector) {
+    root_.set("telemetry",
+              common::telemetry::metrics_json_or_disabled(collector));
+    return *this;
+  }
+
+  /// Write the report (pretty JSON + newline) and log the standard
+  /// confirmation line. False on I/O failure.
+  bool write(const std::string& path, std::ostream& log = std::cout) const {
+    if (!common::json::write_file(root_, path)) {
+      log << "FAILED to write report to " << path << "\n";
+      return false;
+    }
+    log << "report written to " << path << "\n";
+    return true;
+  }
+
+ private:
+  common::json::Value root_;
+};
+
+/// Write a Chrome trace for `collector` next to the metrics report:
+/// "<prefix>.trace.json", loadable in chrome://tracing / Perfetto. Returns
+/// the path written ("" on failure).
+inline std::string write_chrome_trace(
+    const common::telemetry::Collector& collector, const std::string& prefix,
+    std::ostream& log = std::cout) {
+  const std::string path = prefix + ".trace.json";
+  if (!common::json::write_file(common::telemetry::chrome_trace(collector),
+                                path)) {
+    log << "FAILED to write trace to " << path << "\n";
+    return "";
+  }
+  log << "trace written to " << path
+      << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  return path;
+}
+
+}  // namespace pt::bench

@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
   tuner::Configuration best_config;
   double best_time = 0.0;
   bool found = false;
+  options.run.seed = static_cast<std::uint64_t>(args.get("seed", 6L));
   for (const auto& device : platform.devices()) {
     benchkit::BenchmarkEvaluator evaluator(*benchmark, device);
-    common::Rng rng(static_cast<std::uint64_t>(args.get("seed", 6L)));
-    const auto result = tuner::AutoTuner(options).tune(evaluator, rng);
+    const auto result = tuner::AutoTuner(options).tune(evaluator);
     if (!result.success) {
       table.add_row({device.name(), "no prediction", "-", "-"});
       continue;

@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
   options.training_samples =
       static_cast<std::size_t>(args.get("training", 1000L));
   options.second_stage_size = static_cast<std::size_t>(args.get("m", 100L));
-  common::Rng rng(static_cast<std::uint64_t>(args.get("seed", 1L)));
+  options.run.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
 
   const tuner::AutoTuner autotuner(options);
-  const tuner::AutoTuneResult result = autotuner.tune(evaluator, rng);
+  const tuner::AutoTuneResult result = autotuner.tune(evaluator);
 
   // 4. Report.
   if (!result.success) {

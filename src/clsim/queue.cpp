@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/telemetry/telemetry.hpp"
+
 namespace pt::clsim {
+
+namespace tel = pt::common::telemetry;
 
 CommandQueue::CommandQueue(Device device, Options options)
     : device_(std::move(device)), options_(options) {}
@@ -44,9 +48,12 @@ Event CommandQueue::enqueue_nd_range(const Kernel& kernel,
                                      const NDRange& local,
                                      const WaitList& wait_list) {
   const Status status = kernel.validate_launch(global, local);
-  if (status != Status::kSuccess)
+  if (status != Status::kSuccess) {
+    if (tel::enabled())
+      tel::count(std::string("clsim.launch.rejected.") + to_string(status));
     throw ClException(status, "enqueue_nd_range of " + kernel.name() + " " +
                                   to_string(global) + "/" + to_string(local));
+  }
 
   LaunchDescriptor launch;
   launch.profile = &kernel.profile();
@@ -62,6 +69,8 @@ Event CommandQueue::enqueue_nd_range(const Kernel& kernel,
       throw ClException(Status::kInvalidOperation,
                         "functional queue but kernel " + kernel.name() +
                             " has no body");
+    const tel::Span exec_span(
+        tel::enabled() ? "clsim.exec." + kernel.name() : std::string());
     if (options_.check == CheckMode::kOn) {
       check::LaunchCheckState launch_check(kernel.name(), &check_report_);
       NDRangeExecutor executor(nullptr);
@@ -76,6 +85,12 @@ Event CommandQueue::enqueue_nd_range(const Kernel& kernel,
 
   const Event ev = push_event(kernel.name(), duration, wait_list);
   total_kernel_ms_ += duration;
+  if (tel::enabled()) {
+    tel::count("clsim.launches");
+    tel::count("clsim.sim_kernel_ms", duration);
+    // Per-kernel simulated-time attribution.
+    tel::count("clsim.sim_kernel_ms." + kernel.name(), duration);
+  }
   return ev;
 }
 
@@ -87,6 +102,10 @@ Event CommandQueue::enqueue_write(Buffer& dst, const void* src,
       device_.info(), bytes, TransferDirection::kHostToDevice);
   const Event ev = push_event("write", duration, wait_list);
   total_transfer_ms_ += duration;
+  if (tel::enabled()) {
+    tel::count("clsim.transfers");
+    tel::count("clsim.transfer_ms", duration);
+  }
   return ev;
 }
 
@@ -98,6 +117,10 @@ Event CommandQueue::enqueue_read(const Buffer& src, void* dst,
       device_.info(), bytes, TransferDirection::kDeviceToHost);
   const Event ev = push_event("read", duration, wait_list);
   total_transfer_ms_ += duration;
+  if (tel::enabled()) {
+    tel::count("clsim.transfers");
+    tel::count("clsim.transfer_ms", duration);
+  }
   return ev;
 }
 
@@ -119,6 +142,10 @@ Event CommandQueue::enqueue_copy(const Buffer& src, Buffer& dst,
       device_.info().launch_overhead_ms;
   const Event ev = push_event("copy", duration, wait_list);
   total_transfer_ms_ += duration;
+  if (tel::enabled()) {
+    tel::count("clsim.transfers");
+    tel::count("clsim.transfer_ms", duration);
+  }
   return ev;
 }
 
@@ -141,6 +168,10 @@ Event CommandQueue::enqueue_fill(Buffer& dst, const void* pattern,
       device_.info().launch_overhead_ms;
   const Event ev = push_event("fill", duration, wait_list);
   total_transfer_ms_ += duration;
+  if (tel::enabled()) {
+    tel::count("clsim.transfers");
+    tel::count("clsim.transfer_ms", duration);
+  }
   return ev;
 }
 
@@ -148,6 +179,10 @@ Event CommandQueue::record_build(double build_time_ms,
                                  const std::string& label) {
   const Event ev = push_event("build:" + label, build_time_ms, {});
   total_build_ms_ += build_time_ms;
+  if (tel::enabled()) {
+    tel::count("clsim.builds");
+    tel::count("clsim.sim_build_ms", build_time_ms);
+  }
   return ev;
 }
 

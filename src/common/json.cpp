@@ -1,0 +1,158 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pt::common::json {
+
+Value& Value::set(std::string key, Value value) {
+  if (type_ != Type::kObject)
+    throw std::logic_error("json::Value::set on a non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Value& Value::push(Value value) {
+  if (type_ != Type::kArray)
+    throw std::logic_error("json::Value::push on a non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Value::size() const noexcept {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values within the exactly-representable range print as
+  // integers (counts and sizes dominate our reports).
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest precision that round-trips.
+  for (int precision = 15; precision <= 17; ++precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    double back = 0.0;
+    if (std::sscanf(buf, "%lf", &back) == 1 && back == v) return buf;
+  }
+  return "0";  // unreachable: precision 17 always round-trips
+}
+
+void Value::write_at(std::ostream& os, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (type_) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (bool_ ? "true" : "false"); break;
+    case Type::kNumber: os << number_to_string(number_); break;
+    case Type::kString: os << '"' << escape(string_) << '"'; break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (indent > 0) os << pad;
+        array_[i].write_at(os, indent, depth + 1);
+        if (i + 1 < array_.size()) os << ',';
+        os << nl;
+      }
+      if (indent > 0) os << close_pad;
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (indent > 0) os << pad;
+        os << '"' << escape(object_[i].first) << '"' << colon;
+        object_[i].second.write_at(os, indent, depth + 1);
+        if (i + 1 < object_.size()) os << ',';
+        os << nl;
+      }
+      if (indent > 0) os << close_pad;
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Value::write(std::ostream& os, int indent) const {
+  write_at(os, indent, 0);
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream ss;
+  write(ss, indent);
+  return ss.str();
+}
+
+bool write_file(const Value& value, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  value.write(out);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace pt::common::json

@@ -1,0 +1,103 @@
+#pragma once
+
+// Minimal ordered JSON document builder for bench reports and telemetry
+// exports. Insertion order of object keys is preserved (reports stay
+// diffable), numbers round-trip through the shortest decimal form that
+// parses back exactly, and non-finite doubles are emitted as null (JSON has
+// no NaN/Inf). Build-only: there is deliberately no parser here.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pt::common::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() noexcept : type_(Type::kNull) {}
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}
+  Value(double v) noexcept : type_(Type::kNumber), number_(v) {}
+  Value(int v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned v) noexcept : Value(static_cast<double>(v)) {}
+  Value(long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(long long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(unsigned long long v) noexcept : Value(static_cast<double>(v)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : Value(std::string(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  /// Object: set (or replace) a key, keeping first-insertion order.
+  /// Throws std::logic_error when called on a non-object.
+  Value& set(std::string key, Value value);
+
+  /// Array: append an element. Throws std::logic_error on a non-array.
+  Value& push(Value value);
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Elements of an array / entries of an object; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const noexcept {
+    return array_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& entries()
+      const noexcept {
+    return object_;
+  }
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level;
+  /// indent == 0 emits the compact one-line form.
+  void write(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  void write_at(std::ostream& os, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Shortest decimal form of `v` that parses back to exactly `v`
+/// ("1.5", "0.1", "3"); "null" for NaN/Inf.
+[[nodiscard]] std::string number_to_string(double v);
+
+/// Write `value` to `path` (pretty, trailing newline). False on I/O failure.
+bool write_file(const Value& value, const std::string& path);
+
+}  // namespace pt::common::json

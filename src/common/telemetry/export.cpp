@@ -1,0 +1,98 @@
+#include "common/telemetry/export.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pt::common::telemetry {
+
+json::Value chrome_trace(const Collector& collector) {
+  std::vector<SpanEvent> spans = collector.spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.seq < b.seq;
+            });
+  json::Value events = json::Value::array();
+  for (const SpanEvent& s : spans) {
+    json::Value ev = json::Value::object();
+    ev.set("name", s.name);
+    ev.set("cat", "pt");
+    ev.set("ph", "X");
+    ev.set("ts", s.start_us);
+    ev.set("dur", s.dur_us);
+    ev.set("pid", 1);
+    ev.set("tid", s.tid);
+    events.push(std::move(ev));
+  }
+  json::Value root = json::Value::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  if (collector.dropped_spans() > 0)
+    root.set("droppedSpans", collector.dropped_spans());
+  return root;
+}
+
+json::Value metrics_json(const Collector& collector) {
+  json::Value root = json::Value::object();
+  root.set("enabled", true);
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, v] : collector.counters()) counters.set(name, v);
+  root.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, v] : collector.gauges()) gauges.set(name, v);
+  root.set("gauges", std::move(gauges));
+
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, h] : collector.histograms()) {
+    json::Value entry = json::Value::object();
+    entry.set("count", h.count);
+    entry.set("mean", h.mean());
+    entry.set("min", h.count ? h.min : 0.0);
+    entry.set("max", h.count ? h.max : 0.0);
+    json::Value values = json::Value::array();
+    for (const double v : h.values) values.push(v);
+    entry.set("values", std::move(values));
+    if (h.dropped_values > 0) entry.set("dropped_values", h.dropped_values);
+    histograms.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+
+  // Per-name span aggregates (host wall time).
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Agg> aggs;
+  for (const SpanEvent& s : collector.spans()) {
+    Agg& a = aggs[s.name];
+    ++a.count;
+    a.total_us += s.dur_us;
+    a.max_us = std::max(a.max_us, s.dur_us);
+  }
+  json::Value spans = json::Value::object();
+  for (const auto& [name, a] : aggs) {
+    json::Value entry = json::Value::object();
+    entry.set("count", a.count);
+    entry.set("total_ms", a.total_us / 1000.0);
+    entry.set("mean_ms",
+              a.count ? a.total_us / 1000.0 / static_cast<double>(a.count)
+                      : 0.0);
+    entry.set("max_ms", a.max_us / 1000.0);
+    spans.set(name, std::move(entry));
+  }
+  root.set("spans", std::move(spans));
+  root.set("dropped_spans", collector.dropped_spans());
+  return root;
+}
+
+json::Value metrics_json_or_disabled(const Collector* collector) {
+  if (collector != nullptr) return metrics_json(*collector);
+  json::Value root = json::Value::object();
+  root.set("enabled", false);
+  return root;
+}
+
+}  // namespace pt::common::telemetry

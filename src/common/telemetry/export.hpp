@@ -1,0 +1,31 @@
+#pragma once
+
+// Exporters for a telemetry Collector (DESIGN.md §7):
+//
+//  - chrome_trace: the Chrome trace_event JSON array format — complete
+//    ("ph":"X") events with microsecond timestamps, one trace thread per
+//    recording host thread. Load the file in chrome://tracing or
+//    https://ui.perfetto.dev to see the span hierarchy and parallelism.
+//  - metrics_json: the flat metrics block merged into bench reports — all
+//    counters/gauges, histogram summaries (with the retained raw values),
+//    and per-name span aggregates (count, total/mean/max wall ms).
+
+#include "common/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+
+namespace pt::common::telemetry {
+
+/// {"traceEvents": [...], "displayTimeUnit": "ms"} for chrome://tracing /
+/// Perfetto. Events are sorted by (start, completion order) so the output
+/// is stable for a deterministically recorded collector.
+[[nodiscard]] json::Value chrome_trace(const Collector& collector);
+
+/// Flat metrics object: {"enabled", "counters", "gauges", "histograms",
+/// "spans", "dropped_spans"}.
+[[nodiscard]] json::Value metrics_json(const Collector& collector);
+
+/// The metrics block for a possibly-absent collector: metrics_json when
+/// non-null, {"enabled": false} otherwise. What bench reports attach.
+[[nodiscard]] json::Value metrics_json_or_disabled(const Collector* collector);
+
+}  // namespace pt::common::telemetry

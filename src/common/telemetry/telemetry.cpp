@@ -1,0 +1,142 @@
+#include "common/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pt::common::telemetry {
+
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Collector::Collector(Options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+double Collector::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Collector::record_span(std::string name, double start_us, double end_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_spans_;
+    return;
+  }
+  SpanEvent ev;
+  ev.name = std::move(name);
+  ev.start_us = start_us;
+  ev.dur_us = std::max(0.0, end_us - start_us);
+  ev.tid = this_thread_id();
+  ev.seq = next_seq_++;
+  spans_.push_back(std::move(ev));
+}
+
+void Collector::add(std::string_view name, double delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Collector::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Collector::record_value(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), HistogramData{}).first;
+  HistogramData& h = it->second;
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+  if (h.values.size() < options_.histogram_sample_cap) {
+    h.values.push_back(value);
+  } else {
+    ++h.dropped_values;
+  }
+}
+
+std::vector<SpanEvent> Collector::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, double>> Collector::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Collector::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::pair<std::string, HistogramData>> Collector::histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+std::uint64_t Collector::dropped_spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_spans_;
+}
+
+double Collector::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void Collector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_spans_ = 0;
+  next_seq_ = 0;
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+std::atomic<Collector*> g_collector{nullptr};
+}  // namespace
+
+Collector* collector() noexcept {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+void set_collector(Collector* c) noexcept {
+  g_collector.store(c, std::memory_order_release);
+}
+
+void Span::finish() noexcept {
+  if (collector_ == nullptr) return;
+  Collector* c = collector_;
+  collector_ = nullptr;
+  try {
+    c->record_span(std::move(name_), start_us_, c->now_us());
+  } catch (...) {
+    // Telemetry must never take down the instrumented code (allocation
+    // failure while recording is the only throwing path).
+  }
+}
+
+}  // namespace pt::common::telemetry

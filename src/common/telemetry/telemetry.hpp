@@ -1,0 +1,175 @@
+#pragma once
+
+// Low-overhead tracing + metrics for the tuning stack (DESIGN.md §7).
+//
+// A `Collector` accumulates completed `Span`s (host wall-time intervals,
+// thread-aware) and named metrics: monotonically accumulated `counters`,
+// last-value `gauges`, and `histograms` (count/sum/min/max plus a bounded
+// sample of raw values, so per-epoch loss curves survive into reports
+// without unbounded memory).
+//
+// Enablement is a process-global collector pointer, null by default:
+//  - disabled (the default), every probe is one relaxed atomic load and all
+//    recording code is skipped — results are bit-identical to an
+//    uninstrumented build (verified by test);
+//  - enabled, recording takes the collector's mutex; probes are placed at
+//    stage/chunk/measurement granularity, never per work-item, so the
+//    overhead budget stays under ~1% of a tuning run.
+//
+// Spans are recorded at destruction with (start, duration) on a steady
+// clock, tagged with a dense per-thread id — exactly what the Chrome
+// trace_event exporter (telemetry/export.hpp) needs; RAII nesting on a
+// thread guarantees the parent interval contains its children, which is how
+// chrome://tracing / Perfetto reconstruct the hierarchy.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt::common::telemetry {
+
+/// Dense process-wide thread id (0 = first thread to ask, usually main).
+[[nodiscard]] std::uint32_t this_thread_id() noexcept;
+
+/// One completed span. Times are microseconds on the owning collector's
+/// steady-clock timeline (0 = collector construction).
+struct SpanEvent {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+  /// Completion order (total across threads) — a deterministic tie-break
+  /// for sorting events with equal timestamps.
+  std::uint64_t seq = 0;
+};
+
+/// Histogram state: exact count/sum/min/max plus the first `sample_cap` raw
+/// values in recording order (per-epoch curves for short runs, summary
+/// statistics for long ones).
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<double> values;
+  std::uint64_t dropped_values = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class Collector {
+ public:
+  struct Options {
+    /// Spans kept before further record_span calls are counted as dropped.
+    std::size_t max_spans = 1u << 20;
+    /// Raw values retained per histogram (see HistogramData::values).
+    std::size_t histogram_sample_cap = 512;
+  };
+
+  Collector() : Collector(Options{}) {}
+  explicit Collector(Options options);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Microseconds since this collector was constructed (steady clock).
+  [[nodiscard]] double now_us() const noexcept;
+
+  // --- Recording (all thread-safe). ---
+  void record_span(std::string name, double start_us, double end_us);
+  void add(std::string_view name, double delta = 1.0);        // counter
+  void set_gauge(std::string_view name, double value);        // gauge
+  void record_value(std::string_view name, double value);     // histogram
+
+  // --- Snapshots (name-sorted where keyed, so exports are deterministic
+  // given deterministic recording). ---
+  [[nodiscard]] std::vector<SpanEvent> spans() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramData>> histograms()
+      const;
+  [[nodiscard]] std::uint64_t dropped_spans() const;
+
+  /// Current value of one counter (0 when never incremented).
+  [[nodiscard]] double counter(std::string_view name) const;
+
+  /// Drop all recorded data (metric names included); the timeline epoch is
+  /// kept so spans from before and after a clear stay comparable.
+  void clear();
+
+ private:
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> spans_;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+/// The process-global collector (nullptr = telemetry disabled).
+[[nodiscard]] Collector* collector() noexcept;
+void set_collector(Collector* c) noexcept;
+[[nodiscard]] inline bool enabled() noexcept { return collector() != nullptr; }
+
+/// RAII install/restore of the global collector.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(Collector* c) noexcept : previous_(collector()) {
+    set_collector(c);
+  }
+  ~ScopedCollector() { set_collector(previous_); }
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+ private:
+  Collector* previous_;
+};
+
+/// RAII span. Captures the global collector at construction; when telemetry
+/// is disabled the constructor does not even copy the name. For names built
+/// dynamically, gate the construction: `Span s(enabled() ? "a" + b : "");`.
+class Span {
+ public:
+  explicit Span(std::string_view name) : collector_(collector()) {
+    if (collector_ != nullptr) {
+      name_ = name;
+      start_us_ = collector_->now_us();
+    }
+  }
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record the span now (idempotent; the destructor then does nothing).
+  void finish() noexcept;
+
+ private:
+  Collector* collector_;
+  std::string name_;
+  double start_us_ = 0.0;
+};
+
+// --- One-line probes: no-ops (single relaxed atomic load) when disabled. ---
+inline void count(std::string_view name, double delta = 1.0) {
+  if (Collector* c = collector()) c->add(name, delta);
+}
+inline void gauge(std::string_view name, double v) {
+  if (Collector* c = collector()) c->set_gauge(name, v);
+}
+inline void value(std::string_view name, double v) {
+  if (Collector* c = collector()) c->record_value(name, v);
+}
+
+}  // namespace pt::common::telemetry

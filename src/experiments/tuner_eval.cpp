@@ -34,6 +34,7 @@ SlowdownGrid autotuner_slowdown_grid(tuner::Evaluator& evaluator,
         topt.training_samples = n;
         topt.second_stage_size = m;
         topt.model = options.model;
+        topt.run = options.run;
         const tuner::AutoTuner tuner(topt);
         const tuner::AutoTuneResult result = tuner.tune(evaluator, rng);
         if (!result.success) continue;
@@ -73,6 +74,7 @@ LargeSpaceResult large_space_eval(tuner::Evaluator& evaluator,
     topt.training_samples = options.training_size;
     topt.second_stage_size = options.second_stage_size;
     topt.model = options.model;
+    topt.run = options.run;
     const tuner::AutoTuner tuner(topt);
     const tuner::AutoTuneResult run = tuner.tune(evaluator, rng);
     if (!run.success) {

@@ -23,6 +23,10 @@ struct SlowdownGridOptions {
   std::size_t repeats = 3;  // independent tuner runs per cell
   tuner::AnnPerformanceModel::Options model{};
   std::uint64_t seed = 7;
+  /// Observer/telemetry context forwarded to every tuner run. The grid keeps
+  /// one Rng across repeats, so `run.seed` is ignored here; `seed` above is
+  /// authoritative.
+  tuner::TunerRunContext run{};
 };
 
 struct SlowdownCell {
@@ -53,6 +57,9 @@ struct LargeSpaceOptions {
   std::size_t repeats = 3;
   tuner::AnnPerformanceModel::Options model{};
   std::uint64_t seed = 9;
+  /// Observer/telemetry context forwarded to every tuner run (seed ignored;
+  /// see SlowdownGridOptions::run).
+  tuner::TunerRunContext run{};
 };
 
 struct LargeSpaceResult {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace pt::ml {
@@ -44,12 +45,14 @@ void BaggingEnsemble::fit(const Dataset& data, common::Rng& rng) {
   for (std::size_t f = 0; f < k; ++f) member_rngs.push_back(rng.fork());
 
   std::vector<std::optional<Mlp>> trained(k);
+  train_results_.assign(k, TrainResult{});
   common::global_pool().parallel_for(0, k, [&](std::size_t f) {
+    const common::telemetry::Span span("ml.fit.member");
     Mlp net(data.features(), layers);
     net.init_weights(member_rngs[f]);
     const RpropTrainer trainer(options_.trainer);
     if (k == 1) {
-      trainer.train(net, scaled, member_rngs[f]);
+      train_results_[f] = trainer.train(net, scaled, member_rngs[f]);
     } else {
       // Member f trains on every fold except f.
       std::vector<std::size_t> idx;
@@ -59,7 +62,7 @@ void BaggingEnsemble::fit(const Dataset& data, common::Rng& rng) {
         idx.insert(idx.end(), folds[g].begin(), folds[g].end());
       }
       const Dataset member_data = scaled.subset(idx);
-      trainer.train(net, member_data, member_rngs[f]);
+      train_results_[f] = trainer.train(net, member_data, member_rngs[f]);
     }
     trained[f].emplace(std::move(net));
   });
@@ -125,6 +128,7 @@ void BaggingEnsemble::restore(Options options, StandardScaler scaler,
   options_ = std::move(options);
   scaler_ = std::move(scaler);
   members_ = std::move(members);
+  train_results_.clear();
 }
 
 double BaggingEnsemble::predictive_spread(std::span<const double> x) const {

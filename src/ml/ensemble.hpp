@@ -54,6 +54,12 @@ class BaggingEnsemble {
     return members_.size();
   }
   [[nodiscard]] const Mlp& member(std::size_t i) const { return members_[i]; }
+  /// Per-member training curves from the last fit() (member order; empty
+  /// for a restored ensemble). Lets observers replay per-epoch losses
+  /// deterministically after concurrent training finishes.
+  [[nodiscard]] const std::vector<TrainResult>& train_results() const noexcept {
+    return train_results_;
+  }
   [[nodiscard]] const StandardScaler& scaler() const noexcept {
     return scaler_;
   }
@@ -87,6 +93,7 @@ class BaggingEnsemble {
   Options options_;
   StandardScaler scaler_;
   std::vector<Mlp> members_;
+  std::vector<TrainResult> train_results_;
 };
 
 }  // namespace pt::ml

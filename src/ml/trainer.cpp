@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/telemetry/telemetry.hpp"
+
 namespace pt::ml {
 
 namespace {
@@ -70,6 +72,10 @@ TrainResult run_epochs(Mlp& net, const Dataset& data,
     result.train_loss.push_back(train_loss);
     result.monitored_loss.push_back(monitored);
     ++result.epochs;
+    if (common::telemetry::enabled()) {
+      common::telemetry::gauge("ml.train.loss", train_loss);
+      common::telemetry::value("ml.train.epoch_loss", train_loss);
+    }
 
     if (monitored < best - options.min_improvement) {
       best = monitored;

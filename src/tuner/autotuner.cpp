@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace pt::tuner {
+
+namespace tel = common::telemetry;
 
 namespace {
 
@@ -16,6 +20,14 @@ double host_ms_since(
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Per-status rejection counters ("tuner.rejections.CL_...").
+void count_rejections(const RejectionCounts& rejections) {
+  if (!tel::enabled()) return;
+  for (const auto& [status, n] : rejections.sorted())
+    tel::count(std::string("tuner.rejections.") + clsim::to_string(status),
+               static_cast<double>(n));
 }
 
 }  // namespace
@@ -27,6 +39,17 @@ AutoTuner::AutoTuner(AutoTunerOptions options) : options_(std::move(options)) {
     throw std::invalid_argument("AutoTuner: zero second-stage size");
 }
 
+AutoTuneResult AutoTuner::tune(Evaluator& evaluator) const {
+  const RandomSampler sampler;
+  return tune(evaluator, sampler);
+}
+
+AutoTuneResult AutoTuner::tune(Evaluator& evaluator,
+                               const Sampler& sampler) const {
+  common::Rng rng = options_.run.make_rng();
+  return tune(evaluator, sampler, rng);
+}
+
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator, common::Rng& rng) const {
   const RandomSampler sampler;
   return tune(evaluator, sampler, rng);
@@ -34,23 +57,87 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, common::Rng& rng) const {
 
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
                                common::Rng& rng) const {
+  const TunerRunContext& run = options_.run;
+  const ScopedRunContext scoped(run);
+  StageScope whole(run, "autotuner", "autotuner.tune");
+
   AutoTuneResult result;
   const ParamSpace& space = evaluator.space();
 
+  // Cache hit/miss deltas: snapshot any CachingEvaluator in the stack now,
+  // report the difference when the run ends.
+  CachingEvaluator* cache = find_layer<CachingEvaluator>(&evaluator);
+  const std::size_t cache_hits_before = cache != nullptr ? cache->hits() : 0;
+  const std::size_t cache_misses_before =
+      cache != nullptr ? cache->misses() : 0;
+
+  auto finalize = [&] {
+    if (cache != nullptr) {
+      result.cache_hits = cache->hits() - cache_hits_before;
+      result.cache_misses = cache->misses() - cache_misses_before;
+      const std::size_t lookups = result.cache_hits + result.cache_misses;
+      common::log_info("autotuner[", evaluator.name(), "]: cache ",
+                       result.cache_hits, " hits / ", result.cache_misses,
+                       " misses (hit rate ",
+                       lookups != 0 ? 100.0 * static_cast<double>(
+                                                  result.cache_hits) /
+                                          static_cast<double>(lookups)
+                                    : 0.0,
+                       "%)");
+      if (tel::enabled() && lookups != 0)
+        tel::gauge("tuner.cache.hit_rate",
+                   static_cast<double>(result.cache_hits) /
+                       static_cast<double>(lookups));
+    }
+    if (tel::enabled()) {
+      tel::count("tuner.stage1.measured",
+                 static_cast<double>(result.stage1_measured));
+      tel::count("tuner.stage1.valid",
+                 static_cast<double>(result.stage1_valid));
+      tel::count("tuner.stage2.measured",
+                 static_cast<double>(result.stage2_measured));
+      tel::count("tuner.stage2.invalid",
+                 static_cast<double>(result.stage2_invalid));
+      tel::count("tuner.stage2.streamed",
+                 static_cast<double>(result.stage2_streamed));
+      tel::count("tuner.stage2.filtered",
+                 static_cast<double>(result.stage2_filtered));
+      tel::count("tuner.measure.attempts",
+                 static_cast<double>(result.measure_attempts));
+      tel::count("tuner.measure.transient_faults",
+                 static_cast<double>(result.transient_faults));
+      tel::gauge("tuner.data_gathering_cost_ms",
+                 result.data_gathering_cost_ms);
+      tel::gauge("tuner.model_training_host_ms",
+                 result.model_training_host_ms);
+      tel::gauge("tuner.prediction_scan_host_ms",
+                 result.prediction_scan_host_ms);
+      count_rejections(result.stage1_rejections);
+      count_rejections(result.stage2_rejections);
+    }
+  };
+
   // --- Stage 1: sample, measure, train. ---
-  const auto samples =
-      sampler.sample(space, options_.training_samples, rng);
-  result.stage1_measured = samples.size();
-  for (const auto& config : samples) {
-    const Measurement m = evaluator.measure(config);
-    result.data_gathering_cost_ms += m.cost_ms;
-    result.measure_attempts += m.attempts;
-    result.transient_faults += m.transient_faults;
-    if (m.valid) {
-      result.training_data.push_back({config, m.time_ms});
-    } else {
-      result.invalid_training_configs.push_back(config);
-      result.stage1_rejections.note(m.status);
+  {
+    StageScope stage(run, "autotuner", "autotuner.stage1.measure");
+    const auto samples =
+        sampler.sample(space, options_.training_samples, rng);
+    result.stage1_measured = samples.size();
+    for (const auto& config : samples) {
+      const Measurement m = evaluator.measure(config);
+      result.data_gathering_cost_ms += m.cost_ms;
+      result.measure_attempts += m.attempts;
+      result.transient_faults += m.transient_faults;
+      if (m.valid) {
+        result.training_data.push_back({config, m.time_ms});
+      } else {
+        result.invalid_training_configs.push_back(config);
+        result.stage1_rejections.note(m.status);
+      }
+      if (run.observer != nullptr) {
+        run.observer->on_measurement("stage1", config, m);
+        run.observer->on_sample("stage1", config, m);
+      }
     }
   }
   result.stage1_valid = result.training_data.size();
@@ -66,20 +153,35 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
                      "]: no valid training data (",
                      result.stage1_rejections.to_string(),
                      "); giving no prediction");
+    finalize();
     return result;  // success == false
   }
 
   {
+    StageScope stage(run, "autotuner", "autotuner.model.fit");
     const auto start = std::chrono::steady_clock::now();
     AnnPerformanceModel model(options_.model);
     model.fit(space, result.training_data, rng);
     result.model_training_host_ms = host_ms_since(start);
     result.model = std::move(model);
   }
+  // Replay per-member training curves in (member, epoch) order — the
+  // members trained concurrently, but the stored curves make the observer
+  // sequence deterministic.
+  if (run.observer != nullptr) {
+    const auto& curves = result.model->ensemble().train_results();
+    for (std::size_t member = 0; member < curves.size(); ++member) {
+      const ml::TrainResult& tr = curves[member];
+      for (std::size_t epoch = 0; epoch < tr.train_loss.size(); ++epoch)
+        run.observer->on_epoch(member, epoch, tr.train_loss[epoch],
+                               tr.monitored_loss[epoch]);
+    }
+  }
 
   // Optional validity classifier (future-work extension): learn from the
   // free valid/invalid labels of stage 1.
   if (options_.validity_filter) {
+    StageScope stage(run, "autotuner", "autotuner.validity.fit");
     std::vector<Configuration> valid_configs;
     valid_configs.reserve(result.training_data.size());
     for (const auto& sample : result.training_data)
@@ -99,27 +201,32 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   if (options_.prediction_scan_limit != 0)
     scan_end = std::min<std::uint64_t>(scan_end,
                                        options_.prediction_scan_limit);
-  ScanFilter filter;
-  if (result.validity_model) {
-    const ValidityModel& validity = *result.validity_model;
-    filter = [&space, &validity](std::uint64_t index) {
-      return validity.predict_valid(space.decode(index));
-    };
-  }
-  const TopMScanResult scan = result.model->predict_scan_top_m(
-      0, scan_end, options_.second_stage_size, filter);
-  std::vector<std::uint64_t> candidates;
-  candidates.reserve(options_.second_stage_size);
-  for (const auto& c : scan.top) candidates.push_back(c.index);
-  if (result.validity_model) {
-    result.stage2_filtered = static_cast<std::size_t>(scan.rejected);
-    // If the filter was too aggressive, top up with the best remaining
-    // configurations from the unfiltered ranking.
-    for (const auto& c : scan.top_unfiltered) {
-      if (candidates.size() >= options_.second_stage_size) break;
-      if (std::find(candidates.begin(), candidates.end(), c.index) ==
-          candidates.end())
-        candidates.push_back(c.index);
+  std::vector<ScanCandidate> candidates;
+  {
+    StageScope stage(run, "autotuner", "autotuner.stage2.scan");
+    ScanFilter filter;
+    if (result.validity_model) {
+      const ValidityModel& validity = *result.validity_model;
+      filter = [&space, &validity](std::uint64_t index) {
+        return validity.predict_valid(space.decode(index));
+      };
+    }
+    const TopMScanResult scan = result.model->predict_scan_top_m(
+        0, scan_end, options_.second_stage_size, filter);
+    candidates.reserve(options_.second_stage_size);
+    for (const auto& c : scan.top) candidates.push_back(c);
+    if (result.validity_model) {
+      result.stage2_filtered = static_cast<std::size_t>(scan.rejected);
+      // If the filter was too aggressive, top up with the best remaining
+      // configurations from the unfiltered ranking.
+      for (const auto& c : scan.top_unfiltered) {
+        if (candidates.size() >= options_.second_stage_size) break;
+        if (std::find_if(candidates.begin(), candidates.end(),
+                         [&c](const ScanCandidate& have) {
+                           return have.index == c.index;
+                         }) == candidates.end())
+          candidates.push_back(c);
+      }
     }
   }
   result.prediction_scan_host_ms = host_ms_since(scan_start);
@@ -127,13 +234,17 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   double best_time = 0.0;
   bool found = false;
   Configuration best_config;
-  auto try_candidate = [&](std::uint64_t index) {
-    const Configuration config = space.decode(index);
+  auto try_candidate = [&](const ScanCandidate& candidate) {
+    if (run.observer != nullptr)
+      run.observer->on_candidate(candidate.index, candidate.predicted_ms);
+    const Configuration config = space.decode(candidate.index);
     const Measurement m = evaluator.measure(config);
     result.data_gathering_cost_ms += m.cost_ms;
     result.measure_attempts += m.attempts;
     result.transient_faults += m.transient_faults;
     ++result.stage2_measured;
+    if (run.observer != nullptr)
+      run.observer->on_measurement("stage2", config, m);
     if (!m.valid) {
       ++result.stage2_invalid;
       result.stage2_rejections.note(m.status);
@@ -145,7 +256,10 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
       best_config = config;
     }
   };
-  for (const std::uint64_t index : candidates) try_candidate(index);
+  {
+    StageScope stage(run, "autotuner", "autotuner.stage2.measure");
+    for (const ScanCandidate& candidate : candidates) try_candidate(candidate);
+  }
 
   if (!found && options_.stage2_stream_limit > result.stage2_measured) {
     // Graceful degradation: every primary candidate failed, so instead of
@@ -153,13 +267,15 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
     // (unfiltered — in this situation the validity filter is as suspect as
     // the candidates it passed) until something measures valid, the limit
     // is reached, or the scanned range is exhausted.
+    StageScope stage(run, "autotuner", "autotuner.stage2.stream");
     common::log_warn("autotuner[", evaluator.name(), "]: all ",
                      result.stage2_measured,
                      " primary second-stage configurations invalid (",
                      result.stage2_rejections.to_string(),
                      "); streaming further candidates");
-    std::unordered_set<std::uint64_t> tried(candidates.begin(),
-                                            candidates.end());
+    std::unordered_set<std::uint64_t> tried;
+    for (const ScanCandidate& candidate : candidates)
+      tried.insert(candidate.index);
     std::uint64_t request = candidates.size();
     while (!found && result.stage2_measured < options_.stage2_stream_limit &&
            tried.size() < scan_end) {
@@ -172,7 +288,7 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
           break;
         if (!tried.insert(c.index).second) continue;
         ++result.stage2_streamed;
-        try_candidate(c.index);
+        try_candidate(c);
       }
       if (request >= scan_end) break;  // ranking fully consumed
     }
@@ -188,6 +304,7 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
                      " second-stage configurations invalid (",
                      result.stage2_rejections.to_string(),
                      "); no prediction");
+    finalize();
     return result;  // success == false, model retained for inspection
   }
   result.success = true;
@@ -196,6 +313,7 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   common::log_info("autotuner[", evaluator.name(), "]: best ",
                    space.to_string(result.best_config), " = ",
                    result.best_time_ms, " ms");
+  finalize();
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
+#include "tuner/observer.hpp"
 #include "tuner/sampler.hpp"
 #include "tuner/validity.hpp"
 
@@ -47,6 +48,10 @@ struct AutoTunerOptions {
   /// guarantee a prediction whenever any valid configuration exists in the
   /// scanned range.
   std::size_t stage2_stream_limit = 0;
+  /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
+  /// tuner/observer.hpp). The default context is inert — results are
+  /// bit-identical to a context-free run.
+  TunerRunContext run{};
 };
 
 struct AutoTuneResult {
@@ -94,6 +99,10 @@ struct AutoTuneResult {
   /// chunk's bounded top-M heap are ever tested, so this is a lower bound
   /// on the number of predicted-invalid configurations in the space.
   std::size_t stage2_filtered = 0;
+  /// Cache hit/miss deltas over this run, when a CachingEvaluator is found
+  /// anywhere in the evaluator stack (see find_layer); 0/0 otherwise.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 class AutoTuner {
@@ -105,8 +114,15 @@ class AutoTuner {
     return options_;
   }
 
-  /// Run both stages against the evaluator. The sampler defaults to the
-  /// paper's uniform random sampling.
+  /// Run both stages against the evaluator, drawing the run's RNG from
+  /// options().run.seed. The sampler defaults to the paper's uniform random
+  /// sampling. This is the primary entry point; the rng-taking overloads
+  /// below are the pre-context API, kept for callers that manage their own
+  /// generator (they ignore run.seed but honour the rest of the context).
+  [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator) const;
+  [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
+                                    const Sampler& sampler) const;
+
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
                                     common::Rng& rng) const;
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator, const Sampler& sampler,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/telemetry.hpp"
+
 namespace pt::tuner {
 
 void RejectionCounts::note(clsim::Status status) {
@@ -68,9 +70,11 @@ Measurement CachingEvaluator::measure(const Configuration& config) {
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
+    common::telemetry::count("evaluator.cache.hit");
     return it->second;
   }
   ++misses_;
+  common::telemetry::count("evaluator.cache.miss");
   const Measurement m = inner_.measure(config);
   cache_.emplace(key, m);
   return m;

@@ -68,7 +68,23 @@ class Evaluator {
 
   /// Measure one configuration (compile + launch in the simulated runtime).
   [[nodiscard]] virtual Measurement measure(const Configuration& config) = 0;
+
+  /// Decorators return the evaluator they wrap, so diagnostics can walk a
+  /// stack without knowing its composition (see find_layer). Leaf
+  /// evaluators return nullptr.
+  [[nodiscard]] virtual Evaluator* inner() noexcept { return nullptr; }
 };
+
+/// Outermost layer of type T in a decorator chain, starting at `evaluator`
+/// itself and following inner() links; nullptr when absent. How tuners find
+/// the CachingEvaluator (for hit/miss reporting) inside an arbitrary stack.
+template <typename T>
+[[nodiscard]] T* find_layer(Evaluator* evaluator) noexcept {
+  for (Evaluator* e = evaluator; e != nullptr; e = e->inner()) {
+    if (T* layer = dynamic_cast<T*>(e)) return layer;
+  }
+  return nullptr;
+}
 
 /// Memoizes measurements by configuration index. Exhaustive ground-truth
 /// sweeps and repeated tuner runs share one cache.
@@ -82,6 +98,8 @@ class CachingEvaluator final : public Evaluator {
   [[nodiscard]] std::string name() const override { return inner_.name(); }
 
   [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] Evaluator* inner() noexcept override { return &inner_; }
 
   [[nodiscard]] std::size_t cache_size() const noexcept {
     return cache_.size();
@@ -107,6 +125,8 @@ class CountingEvaluator final : public Evaluator {
   [[nodiscard]] std::string name() const override { return inner_.name(); }
 
   [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] Evaluator* inner() noexcept override { return &inner_; }
 
   [[nodiscard]] std::size_t total_measurements() const noexcept {
     return total_;

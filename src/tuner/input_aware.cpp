@@ -43,9 +43,18 @@ std::vector<double> InputAwarePerformanceModel::encode(
 
 void InputAwarePerformanceModel::fit(
     const ParamSpace& space, std::vector<std::string> problem_parameter_names,
+    const std::vector<InputAwareSample>& samples) {
+  common::Rng rng = options_.run.make_rng();
+  fit(space, std::move(problem_parameter_names), samples, rng);
+}
+
+void InputAwarePerformanceModel::fit(
+    const ParamSpace& space, std::vector<std::string> problem_parameter_names,
     const std::vector<InputAwareSample>& samples, common::Rng& rng) {
   if (samples.empty())
     throw std::invalid_argument("InputAwarePerformanceModel::fit: no samples");
+  const ScopedRunContext scoped(options_.run);
+  StageScope stage(options_.run, "input_aware", "input_aware.fit");
   space_ = space;
   codec_ = FeatureCodec::build(space, options_.encoding);
   problem_names_ = std::move(problem_parameter_names);
@@ -79,6 +88,18 @@ void InputAwarePerformanceModel::fit(
 
   ensemble_ = ml::BaggingEnsemble(options_.ensemble);
   ensemble_.fit(data, rng);
+  stage.finish();
+  // Replay per-member training curves in deterministic (member, epoch)
+  // order (see tuner/observer.hpp).
+  if (options_.run.observer != nullptr) {
+    const auto& curves = ensemble_.train_results();
+    for (std::size_t member = 0; member < curves.size(); ++member) {
+      const ml::TrainResult& tr = curves[member];
+      for (std::size_t epoch = 0; epoch < tr.train_loss.size(); ++epoch)
+        options_.run.observer->on_epoch(member, epoch, tr.train_loss[epoch],
+                                        tr.monitored_loss[epoch]);
+    }
+  }
 }
 
 double InputAwarePerformanceModel::predict_ms(

@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
+#include "tuner/observer.hpp"
 #include "tuner/param.hpp"
 #include "tuner/scan.hpp"
 
@@ -42,16 +43,23 @@ class InputAwarePerformanceModel {
     FeatureEncoding encoding = FeatureEncoding::kLog2;
     /// Apply log2 to problem parameters as well (sizes are scale-natured).
     bool log2_problem_parameters = true;
+    /// Per-run wiring: observer (on_stage_*/on_epoch), telemetry, seed,
+    /// threads (see tuner/observer.hpp). The default context is inert.
+    TunerRunContext run{};
   };
 
   InputAwarePerformanceModel() : InputAwarePerformanceModel(Options{}) {}
   explicit InputAwarePerformanceModel(Options options);
 
   /// `problem_parameter_names` fixes the instance layout (and the feature
-  /// order); every sample's instance must have that many values.
+  /// order); every sample's instance must have that many values. The
+  /// rng-free overload draws the RNG from options().run.seed.
   void fit(const ParamSpace& space,
            std::vector<std::string> problem_parameter_names,
            const std::vector<InputAwareSample>& samples, common::Rng& rng);
+  void fit(const ParamSpace& space,
+           std::vector<std::string> problem_parameter_names,
+           const std::vector<InputAwareSample>& samples);
 
   [[nodiscard]] bool fitted() const noexcept { return ensemble_.fitted(); }
   [[nodiscard]] const std::vector<std::string>& problem_parameter_names()

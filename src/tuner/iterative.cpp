@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace pt::tuner {
+
+namespace tel = common::telemetry;
+
+namespace {
+
+/// Deliver the per-member training curves of a fitted model in (member,
+/// epoch) order — concurrent training, deterministic callback sequence.
+void replay_epochs(const TunerRunContext& run,
+                   const AnnPerformanceModel& model) {
+  if (run.observer == nullptr) return;
+  const auto& curves = model.ensemble().train_results();
+  for (std::size_t member = 0; member < curves.size(); ++member) {
+    const ml::TrainResult& tr = curves[member];
+    for (std::size_t epoch = 0; epoch < tr.train_loss.size(); ++epoch)
+      run.observer->on_epoch(member, epoch, tr.train_loss[epoch],
+                             tr.monitored_loss[epoch]);
+  }
+}
+
+}  // namespace
 
 IterativeTuner::IterativeTuner(IterativeTunerOptions options)
     : options_(std::move(options)) {
@@ -21,16 +44,34 @@ IterativeTuner::IterativeTuner(IterativeTunerOptions options)
     throw std::invalid_argument("IterativeTuner: bad exploration fraction");
 }
 
+IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator) const {
+  common::Rng rng = options_.run.make_rng();
+  return tune(evaluator, rng);
+}
+
 IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
                                          common::Rng& rng) const {
+  const TunerRunContext& run = options_.run;
+  const ScopedRunContext scoped(run);
+  StageScope whole(run, "iterative", "iterative.tune");
+
   const ParamSpace& space = evaluator.space();
   IterativeTuneResult result;
+
+  CachingEvaluator* cache = find_layer<CachingEvaluator>(&evaluator);
+  const std::size_t cache_hits_before = cache != nullptr ? cache->hits() : 0;
+  const std::size_t cache_misses_before =
+      cache != nullptr ? cache->misses() : 0;
 
   std::vector<TrainingSample> data;
   std::unordered_set<std::uint64_t> measured;
   bool have_best = false;
   Configuration best_config;
   double best_time = 0.0;
+
+  // What measure_index reports to the observer; updated as the tuner moves
+  // between sampling modes.
+  std::string_view measure_stage = "round0";
 
   auto measure_index = [&](std::uint64_t index) {
     if (!measured.insert(index).second) return;
@@ -41,6 +82,10 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
     result.data_gathering_cost_ms += m.cost_ms;
     result.measure_attempts += m.attempts;
     result.transient_faults += m.transient_faults;
+    if (run.observer != nullptr) {
+      run.observer->on_measurement(measure_stage, config, m);
+      run.observer->on_sample(measure_stage, config, m);
+    }
     if (!m.valid) {
       ++result.invalid_measurements;
       result.rejections.note(m.status);
@@ -56,6 +101,7 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
 
   // Round 0: random seed sample.
   {
+    StageScope stage(run, "iterative", "iterative.round0");
     const std::size_t n = std::min(options_.initial_samples,
                                    options_.measurement_budget);
     for (const std::size_t index : rng.sample_without_replacement(
@@ -71,9 +117,11 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   // Graceful degradation: an all-invalid initial sample leaves nothing to
   // train on. Instead of giving up, keep exploring at random — any valid
   // measurement un-blocks the model-guided loop below.
+  measure_stage = "resample";
   while (options_.explore_until_valid && data.empty() &&
          result.measurements < options_.measurement_budget &&
          measured.size() < space.size()) {
+    StageScope stage(run, "iterative", "iterative.resample");
     for (std::size_t e = 0;
          e < options_.batch_size &&
          result.measurements < options_.measurement_budget;
@@ -96,11 +144,16 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   // the budget to fill would loop forever.
   while (result.measurements < options_.measurement_budget && !data.empty() &&
          measured.size() < space.size()) {
+    StageScope round_stage(run, "iterative", "iterative.round");
     const double before = have_best ? best_time : 0.0;
 
     // Train on everything measured so far.
     AnnPerformanceModel model(options_.model);
-    model.fit(space, data, rng);
+    {
+      StageScope stage(run, "iterative", "iterative.model.fit");
+      model.fit(space, data, rng);
+    }
+    replay_epochs(run, model);
 
     // Exploitation: best predictions not yet measured.
     const std::size_t batch =
@@ -114,15 +167,25 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
       // Streaming top-m scan with a "not yet measured" filter: no full
       // prediction vector, and the selection is exactly the exploit best
       // unmeasured configurations.
+      StageScope stage(run, "iterative", "iterative.exploit");
+      measure_stage = "exploit";
       const auto scan = model.predict_scan_top_m(
           0, space.size(), exploit, [&measured](std::uint64_t index) {
             return measured.count(index) == 0;
           });
-      for (const auto& candidate : scan.top) measure_index(candidate.index);
+      for (const auto& candidate : scan.top) {
+        if (run.observer != nullptr)
+          run.observer->on_candidate(candidate.index, candidate.predicted_ms);
+        measure_index(candidate.index);
+      }
     }
     // Exploration: fresh random configurations.
-    for (std::size_t e = 0; e < explore; ++e) {
-      measure_index(rng.below(space.size()));
+    {
+      StageScope stage(run, "iterative", "iterative.explore");
+      measure_stage = "explore";
+      for (std::size_t e = 0; e < explore; ++e) {
+        measure_index(rng.below(space.size()));
+      }
     }
 
     ++result.rounds;
@@ -142,8 +205,11 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   }
 
   if (!data.empty()) {
+    StageScope stage(run, "iterative", "iterative.model.fit");
     AnnPerformanceModel model(options_.model);
     model.fit(space, data, rng);
+    stage.finish();
+    replay_epochs(run, model);
     result.model = std::move(model);
   }
   result.success = have_best;
@@ -155,6 +221,42 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
                      "]: no valid configuration in ", result.measurements,
                      " measurements (", result.rejections.to_string(),
                      "); no prediction");
+  }
+
+  if (cache != nullptr) {
+    result.cache_hits = cache->hits() - cache_hits_before;
+    result.cache_misses = cache->misses() - cache_misses_before;
+    const std::size_t lookups = result.cache_hits + result.cache_misses;
+    common::log_info("iterative[", evaluator.name(), "]: cache ",
+                     result.cache_hits, " hits / ", result.cache_misses,
+                     " misses (hit rate ",
+                     lookups != 0 ? 100.0 * static_cast<double>(
+                                                result.cache_hits) /
+                                        static_cast<double>(lookups)
+                                  : 0.0,
+                     "%)");
+    if (tel::enabled() && lookups != 0)
+      tel::gauge("tuner.cache.hit_rate",
+                 static_cast<double>(result.cache_hits) /
+                     static_cast<double>(lookups));
+  }
+  if (tel::enabled()) {
+    tel::count("tuner.iterative.measurements",
+               static_cast<double>(result.measurements));
+    tel::count("tuner.iterative.invalid",
+               static_cast<double>(result.invalid_measurements));
+    tel::count("tuner.iterative.rounds",
+               static_cast<double>(result.rounds));
+    tel::count("tuner.iterative.resample_rounds",
+               static_cast<double>(result.resample_rounds));
+    tel::count("tuner.measure.attempts",
+               static_cast<double>(result.measure_attempts));
+    tel::count("tuner.measure.transient_faults",
+               static_cast<double>(result.transient_faults));
+    tel::gauge("tuner.data_gathering_cost_ms", result.data_gathering_cost_ms);
+    for (const auto& [status, n] : result.rejections.sorted())
+      tel::count(std::string("tuner.rejections.") + clsim::to_string(status),
+                 static_cast<double>(n));
   }
   return result;
 }

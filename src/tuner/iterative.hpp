@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
+#include "tuner/observer.hpp"
 
 namespace pt::tuner {
 
@@ -44,6 +45,10 @@ struct IterativeTunerOptions {
   /// bit-identical to the pre-degradation tuner unless a caller opts in.
   bool explore_until_valid = false;
   AnnPerformanceModel::Options model{};
+  /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
+  /// tuner/observer.hpp). The default context is inert — results are
+  /// bit-identical to a context-free run.
+  TunerRunContext run{};
 };
 
 struct IterativeTuneResult {
@@ -68,6 +73,10 @@ struct IterativeTuneResult {
   std::vector<double> incumbent_trace;
   /// Final model, trained on every valid measurement.
   std::optional<AnnPerformanceModel> model;
+  /// Cache hit/miss deltas over this run, when a CachingEvaluator is found
+  /// anywhere in the evaluator stack (see find_layer); 0/0 otherwise.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 class IterativeTuner {
@@ -79,6 +88,10 @@ class IterativeTuner {
     return options_;
   }
 
+  /// Context-driven entry point: the run's RNG comes from
+  /// options().run.seed. The rng-taking overload is the pre-context API
+  /// (it ignores run.seed but honours the rest of the context).
+  [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator) const;
   [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator,
                                          common::Rng& rng) const;
 

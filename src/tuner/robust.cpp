@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace pt::tuner {
 
@@ -71,6 +72,7 @@ Measurement FaultInjectingEvaluator::measure(const Configuration& config) {
     // The launch fails before the kernel runs; the real evaluator is never
     // consulted, but the failed round-trip still wastes time.
     ++transient_;
+    common::telemetry::count("evaluator.fault.transient_injected");
     Measurement m;
     m.valid = false;
     m.status = clsim::Status::kOutOfResources;
@@ -85,6 +87,7 @@ Measurement FaultInjectingEvaluator::measure(const Configuration& config) {
     // The run completed but the driver misreports it as rejected, with a
     // permanent-looking status retry cannot fix.
     ++spurious_;
+    common::telemetry::count("evaluator.fault.spurious_injected");
     m.valid = false;
     m.status = clsim::Status::kInvalidWorkGroupSize;
     m.time_ms = 0.0;
@@ -92,6 +95,7 @@ Measurement FaultInjectingEvaluator::measure(const Configuration& config) {
   }
   if (outlier) {
     ++outliers_;
+    common::telemetry::count("evaluator.fault.outlier_injected");
     m.cost_ms += m.time_ms * (options_.outlier_factor - 1.0);
     m.time_ms *= options_.outlier_factor;
   }
@@ -134,6 +138,7 @@ Measurement RobustEvaluator::measure(const Configuration& config) {
       const Measurement m = inner_.measure(config);
       ++out.attempts;
       ++total_attempts_;
+      common::telemetry::count("evaluator.robust.attempts");
       out.cost_ms += m.cost_ms;
       if (m.valid) {
         times.push_back(m.time_ms);
@@ -149,17 +154,20 @@ Measurement RobustEvaluator::measure(const Configuration& config) {
       }
       ++out.transient_faults;
       ++transient_failures_;
+      common::telemetry::count("evaluator.robust.transient_failures");
       last_transient = m.status;
       if (try_no < options_.max_retries) {
         // Simulated exponential backoff before the retry.
         out.cost_ms +=
             options_.backoff_ms * static_cast<double>(1ULL << try_no);
         ++retries_;
+        common::telemetry::count("evaluator.robust.retries");
       }
     }
     if (!repeat_succeeded) {
       // Retry budget exhausted on transient failures: stop burning attempts.
       ++exhausted_;
+      common::telemetry::count("evaluator.robust.exhausted");
       break;
     }
   }

@@ -68,6 +68,8 @@ class NoisyEvaluator final : public Evaluator {
 
   [[nodiscard]] Measurement measure(const Configuration& config) override;
 
+  [[nodiscard]] Evaluator* inner() noexcept override { return &inner_; }
+
  private:
   Evaluator& inner_;
   Options options_;
@@ -108,6 +110,8 @@ class FaultInjectingEvaluator final : public Evaluator {
   [[nodiscard]] std::string name() const override { return inner_.name(); }
 
   [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] Evaluator* inner() noexcept override { return &inner_; }
 
   [[nodiscard]] std::size_t transient_injected() const noexcept {
     return transient_;
@@ -163,6 +167,8 @@ class RobustEvaluator final : public Evaluator {
   [[nodiscard]] std::string name() const override { return inner_.name(); }
 
   [[nodiscard]] Measurement measure(const Configuration& config) override;
+
+  [[nodiscard]] Evaluator* inner() noexcept override { return &inner_; }
 
   /// Raw inner measurements across all measure() calls.
   [[nodiscard]] std::size_t total_attempts() const noexcept {

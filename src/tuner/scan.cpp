@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
 
 namespace pt::tuner {
@@ -112,6 +113,7 @@ std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
   ScratchPool pool;
   common::global_pool().parallel_for(
       0, static_cast<std::size_t>(chunk_count_for(n)), [&](std::size_t c) {
+        const common::telemetry::Span span("scan.chunk");
         const std::uint64_t lo = begin + c * kScanChunkRows;
         const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
         auto scratch = pool.acquire();
@@ -145,6 +147,7 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
 
   ScratchPool pool;
   common::global_pool().parallel_for(0, chunks, [&](std::size_t c) {
+    const common::telemetry::Span span("scan.chunk");
     const std::uint64_t lo = begin + c * kScanChunkRows;
     const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
     auto scratch = pool.acquire();
@@ -177,6 +180,12 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
   result.top_unfiltered = merge_chunks(chunk_top_unfiltered, m, transform);
   result.top =
       filter ? merge_chunks(chunk_top, m, transform) : result.top_unfiltered;
+  if (common::telemetry::enabled()) {
+    common::telemetry::count("scan.candidates_scanned",
+                             static_cast<double>(result.scanned));
+    common::telemetry::count("scan.candidates_filtered",
+                             static_cast<double>(result.rejected));
+  }
   return result;
 }
 

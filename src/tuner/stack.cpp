@@ -1,0 +1,48 @@
+#include "tuner/stack.hpp"
+
+namespace pt::tuner {
+
+void EvaluatorStack::push(std::unique_ptr<Evaluator> layer,
+                          std::string label) {
+  layers_.push_back(std::move(layer));
+  labels_.push_back(std::move(label));
+}
+
+EvaluatorStack& EvaluatorStack::cached() & {
+  push(std::make_unique<CachingEvaluator>(top()), "cached");
+  return *this;
+}
+
+EvaluatorStack& EvaluatorStack::counting() & {
+  push(std::make_unique<CountingEvaluator>(top()), "counting");
+  return *this;
+}
+
+EvaluatorStack& EvaluatorStack::robust(RobustEvaluator::Options options) & {
+  push(std::make_unique<RobustEvaluator>(top(), options), "robust");
+  return *this;
+}
+
+EvaluatorStack& EvaluatorStack::noisy(NoisyEvaluator::Options options) & {
+  push(std::make_unique<NoisyEvaluator>(top(), options), "noisy");
+  return *this;
+}
+
+EvaluatorStack& EvaluatorStack::fault_injecting(
+    FaultInjectingEvaluator::Options options) & {
+  push(std::make_unique<FaultInjectingEvaluator>(top(), options),
+       "fault_injecting");
+  return *this;
+}
+
+std::string EvaluatorStack::description() const {
+  std::string out;
+  for (auto it = labels_.rbegin(); it != labels_.rend(); ++it) {
+    out += *it;
+    out += " -> ";
+  }
+  out += base_->name();
+  return out;
+}
+
+}  // namespace pt::tuner

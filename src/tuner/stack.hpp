@@ -1,0 +1,124 @@
+#pragma once
+
+// EvaluatorStack — fluent, owning builder for evaluator decorator chains.
+//
+// Hand-wiring the production stack means declaring every intermediate layer
+// in reverse order and keeping their lifetimes straight. The stack owns its
+// layers and builds the same chain in one expression, innermost first:
+//
+//   auto stack = EvaluatorStack::wrap(base)
+//                    .fault_injecting(fault_opts)
+//                    .robust(robust_opts)
+//                    .cached()
+//                    .counting();
+//   AutoTuner(options).tune(stack);
+//
+// Each call wraps the current top, so the *last*-added layer is outermost
+// (here: counting -> cache -> robust -> fault injector -> base — the
+// recommended ordering from tuner/robust.hpp). The stack is itself an
+// Evaluator forwarding to the outermost layer, and participates in inner()
+// chain walking, so find_layer<T>(&stack) sees every layer.
+//
+// Layers live on the heap (unique_ptr), so moving the stack does not
+// invalidate the references between layers; `base` must outlive the stack.
+// Typed stats access: stack.layer<CachingEvaluator>()->hits(), with
+// stack.layer<T>() returning nullptr when T was never added.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tuner/evaluator.hpp"
+#include "tuner/robust.hpp"
+
+namespace pt::tuner {
+
+class EvaluatorStack final : public Evaluator {
+ public:
+  /// Start a stack around a caller-owned base evaluator.
+  [[nodiscard]] static EvaluatorStack wrap(Evaluator& base) {
+    return EvaluatorStack(base);
+  }
+
+  EvaluatorStack(EvaluatorStack&&) noexcept = default;
+  EvaluatorStack& operator=(EvaluatorStack&&) noexcept = default;
+  EvaluatorStack(const EvaluatorStack&) = delete;
+  EvaluatorStack& operator=(const EvaluatorStack&) = delete;
+
+  // --- Fluent layer adders (each wraps the current top). The &&-qualified
+  // overloads keep the one-expression builder style moving. ---
+  EvaluatorStack& cached() &;
+  EvaluatorStack& counting() &;
+  EvaluatorStack& robust(RobustEvaluator::Options options = {}) &;
+  EvaluatorStack& noisy(NoisyEvaluator::Options options) &;
+  EvaluatorStack& fault_injecting(FaultInjectingEvaluator::Options options) &;
+
+  [[nodiscard]] EvaluatorStack&& cached() && {
+    return std::move(cached());
+  }
+  [[nodiscard]] EvaluatorStack&& counting() && {
+    return std::move(counting());
+  }
+  [[nodiscard]] EvaluatorStack&& robust(RobustEvaluator::Options options =
+                                            {}) && {
+    return std::move(robust(options));
+  }
+  [[nodiscard]] EvaluatorStack&& noisy(NoisyEvaluator::Options options) && {
+    return std::move(noisy(options));
+  }
+  [[nodiscard]] EvaluatorStack&& fault_injecting(
+      FaultInjectingEvaluator::Options options) && {
+    return std::move(fault_injecting(options));
+  }
+
+  // --- Evaluator interface: forward to the outermost layer. ---
+  [[nodiscard]] const ParamSpace& space() const override {
+    return top().space();
+  }
+  [[nodiscard]] std::string name() const override { return top().name(); }
+  [[nodiscard]] Measurement measure(const Configuration& config) override {
+    return top().measure(config);
+  }
+  [[nodiscard]] Evaluator* inner() noexcept override { return &top(); }
+
+  // --- Introspection. ---
+  /// Outermost layer of type T owned by this stack (nullptr when absent).
+  template <typename T>
+  [[nodiscard]] T* layer() noexcept {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      if (T* found = dynamic_cast<T*>(it->get())) return found;
+    }
+    return nullptr;
+  }
+  template <typename T>
+  [[nodiscard]] const T* layer() const noexcept {
+    return const_cast<EvaluatorStack*>(this)->layer<T>();
+  }
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+
+  /// "counting -> cached -> robust -> <base name>": the chain outermost
+  /// first, for logs and reports.
+  [[nodiscard]] std::string description() const;
+
+ private:
+  explicit EvaluatorStack(Evaluator& base) : base_(&base) {}
+
+  [[nodiscard]] Evaluator& top() noexcept {
+    return layers_.empty() ? *base_ : *layers_.back();
+  }
+  [[nodiscard]] const Evaluator& top() const noexcept {
+    return layers_.empty() ? *base_ : *layers_.back();
+  }
+
+  void push(std::unique_ptr<Evaluator> layer, std::string label);
+
+  Evaluator* base_;
+  std::vector<std::unique_ptr<Evaluator>> layers_;
+  std::vector<std::string> labels_;  // parallel to layers_
+};
+
+}  // namespace pt::tuner

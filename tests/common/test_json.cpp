@@ -1,0 +1,115 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace pt::common::json {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(3).dump(), "3");
+  EXPECT_EQ(Value(1.5).dump(), "1.5");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(std::string("s")).dump(), "\"s\"");
+}
+
+TEST(Json, NumbersRoundTripShortest) {
+  EXPECT_EQ(number_to_string(0.1), "0.1");
+  EXPECT_EQ(number_to_string(3.0), "3");
+  EXPECT_EQ(number_to_string(-2.5), "-2.5");
+  // Exact round-trip even for awkward values.
+  const double v = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(number_to_string(v)), v);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Value obj = Value::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, SetReplacesInPlace) {
+  Value obj = Value::object();
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 9);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.dump(0), "{\"a\":9,\"b\":2}");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_number(), 9.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, ArraysAndNesting) {
+  Value arr = Value::array();
+  arr.push(1);
+  arr.push("two");
+  Value inner = Value::object();
+  inner.set("k", true);
+  arr.push(std::move(inner));
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.dump(0), "[1,\"two\",{\"k\":true}]");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Value num(1);
+  EXPECT_THROW(num.set("k", 1), std::logic_error);
+  EXPECT_THROW(num.push(1), std::logic_error);
+  Value arr = Value::array();
+  EXPECT_THROW(arr.set("k", 1), std::logic_error);
+  Value obj = Value::object();
+  EXPECT_THROW(obj.push(1), std::logic_error);
+}
+
+TEST(Json, PrettyPrint) {
+  Value obj = Value::object();
+  obj.set("a", 1);
+  Value arr = Value::array();
+  arr.push(2);
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  // Empty containers stay on one line.
+  EXPECT_EQ(Value::object().dump(2), "{}");
+  EXPECT_EQ(Value::array().dump(2), "[]");
+}
+
+TEST(Json, WriteFile) {
+  const std::string path =
+      ::testing::TempDir() + "/pt_json_writefile_test.json";
+  Value obj = Value::object();
+  obj.set("ok", true);
+  ASSERT_TRUE(write_file(obj, path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\n  \"ok\": true\n}\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_file(obj, "/nonexistent-dir-zz/x.json"));
+}
+
+}  // namespace
+}  // namespace pt::common::json

@@ -1,0 +1,333 @@
+#include "common/telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry/export.hpp"
+
+namespace pt::common::telemetry {
+namespace {
+
+// --- Mini JSON validator (recursive descent, no values kept) so the
+// exporter tests assert syntactic validity, not just substring presence. ---
+
+class MiniJsonValidator {
+ public:
+  explicit MiniJsonValidator(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool valid_json(const std::string& text) {
+  return MiniJsonValidator(text).valid();
+}
+
+TEST(Telemetry, DisabledByDefaultAndProbesAreNoOps) {
+  ASSERT_EQ(collector(), nullptr);
+  EXPECT_FALSE(enabled());
+  // None of these may crash or install anything while disabled.
+  count("x");
+  gauge("y", 1.0);
+  value("z", 2.0);
+  { const Span span("nothing"); }
+  EXPECT_EQ(collector(), nullptr);
+}
+
+TEST(Telemetry, ScopedCollectorInstallsAndRestores) {
+  Collector a;
+  Collector b;
+  {
+    const ScopedCollector outer(&a);
+    EXPECT_EQ(collector(), &a);
+    {
+      const ScopedCollector inner(&b);
+      EXPECT_EQ(collector(), &b);
+    }
+    EXPECT_EQ(collector(), &a);
+  }
+  EXPECT_EQ(collector(), nullptr);
+}
+
+TEST(Telemetry, CountersGaugesHistograms) {
+  Collector c;
+  const ScopedCollector install(&c);
+  count("n");
+  count("n", 2.0);
+  gauge("g", 1.0);
+  gauge("g", 7.5);
+  value("h", 1.0);
+  value("h", 3.0);
+
+  EXPECT_EQ(c.counter("n"), 3.0);
+  EXPECT_EQ(c.counter("never"), 0.0);
+  const auto gauges = c.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "g");
+  EXPECT_EQ(gauges[0].second, 7.5);  // last write wins
+  const auto hists = c.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].second.count, 2u);
+  EXPECT_EQ(hists[0].second.sum, 4.0);
+  EXPECT_EQ(hists[0].second.min, 1.0);
+  EXPECT_EQ(hists[0].second.max, 3.0);
+  EXPECT_EQ(hists[0].second.mean(), 2.0);
+
+  c.clear();
+  EXPECT_EQ(c.counter("n"), 0.0);
+  EXPECT_TRUE(c.histograms().empty());
+}
+
+TEST(Telemetry, HistogramSampleCapKeepsExactSummary) {
+  Collector::Options opts;
+  opts.histogram_sample_cap = 2;
+  Collector c(opts);
+  const ScopedCollector install(&c);
+  for (int i = 1; i <= 5; ++i) value("loss", static_cast<double>(i));
+  const auto hists = c.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const HistogramData& h = hists[0].second;
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 15.0);
+  EXPECT_EQ(h.values.size(), 2u);  // first two retained
+  EXPECT_EQ(h.values[0], 1.0);
+  EXPECT_EQ(h.dropped_values, 3u);
+}
+
+TEST(Telemetry, SpanCapCountsDrops) {
+  Collector::Options opts;
+  opts.max_spans = 2;
+  Collector c(opts);
+  const ScopedCollector install(&c);
+  for (int i = 0; i < 5; ++i) { const Span span("s"); }
+  EXPECT_EQ(c.spans().size(), 2u);
+  EXPECT_EQ(c.dropped_spans(), 3u);
+}
+
+TEST(Telemetry, SpansNestOnOneThread) {
+  Collector c;
+  const ScopedCollector install(&c);
+  {
+    const Span outer("outer");
+    { const Span inner("inner"); }
+  }
+  const auto spans = c.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Recorded at destruction: inner completes first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_LT(spans[0].seq, spans[1].seq);
+  // Exact containment on the shared timeline.
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+  EXPECT_LE(spans[0].start_us + spans[0].dur_us,
+            spans[1].start_us + spans[1].dur_us);
+  EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+TEST(Telemetry, SpanFinishIsIdempotent) {
+  Collector c;
+  const ScopedCollector install(&c);
+  {
+    Span span("once");
+    span.finish();
+    span.finish();
+  }
+  EXPECT_EQ(c.spans().size(), 1u);
+}
+
+TEST(Telemetry, ConcurrentSpansStayProperlyNestedPerThread) {
+  Collector c;
+  const ScopedCollector install(&c);
+  constexpr int kThreads = 4;
+  constexpr int kOuterPerThread = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kOuterPerThread; ++i) {
+        const Span outer("outer");
+        const Span mid("mid");
+        { const Span leaf("leaf"); }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto spans = c.spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kOuterPerThread * 3);
+
+  // Per thread, any two spans are either disjoint or one contains the
+  // other — RAII nesting must never produce partial overlap.
+  std::vector<std::vector<SpanEvent>> by_tid;
+  for (const auto& s : spans) {
+    if (s.tid >= by_tid.size()) by_tid.resize(s.tid + 1);
+    by_tid[s.tid].push_back(s);
+  }
+  for (const auto& events : by_tid) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        const auto& a = events[i];
+        const auto& b = events[j];
+        const double a_end = a.start_us + a.dur_us;
+        const double b_end = b.start_us + b.dur_us;
+        const bool disjoint = a_end <= b.start_us || b_end <= a.start_us;
+        const bool a_in_b = a.start_us >= b.start_us && a_end <= b_end;
+        const bool b_in_a = b.start_us >= a.start_us && b_end <= a_end;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << a.name << " [" << a.start_us << "," << a_end << ") vs "
+            << b.name << " [" << b.start_us << "," << b_end << ")";
+      }
+    }
+  }
+}
+
+TEST(TelemetryExport, ChromeTraceIsValidAndOrdered) {
+  Collector c;
+  {
+    const ScopedCollector install(&c);
+    const Span outer("outer");
+    { const Span inner("inner"); }
+    count("clicks", 2.0);
+  }
+  const auto trace = chrome_trace(c);
+  EXPECT_TRUE(valid_json(trace.dump()));
+  const auto* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  // Sorted by start time: the outer span opens first.
+  EXPECT_EQ(events->items()[0].find("name")->as_string(), "outer");
+  EXPECT_EQ(events->items()[0].find("ph")->as_string(), "X");
+  EXPECT_EQ(events->items()[0].find("pid")->as_number(), 1.0);
+  double prev_ts = -1.0;
+  for (const auto& e : events->items()) {
+    EXPECT_GE(e.find("ts")->as_number(), prev_ts);
+    prev_ts = e.find("ts")->as_number();
+    EXPECT_GE(e.find("dur")->as_number(), 0.0);
+  }
+}
+
+TEST(TelemetryExport, MetricsJsonShapes) {
+  Collector c;
+  {
+    const ScopedCollector install(&c);
+    count("hits", 3.0);
+    gauge("rate", 0.5);
+    value("loss", 1.0);
+    { const Span span("work"); }
+  }
+  const auto metrics = metrics_json(c);
+  EXPECT_TRUE(valid_json(metrics.dump()));
+  ASSERT_NE(metrics.find("enabled"), nullptr);
+  ASSERT_NE(metrics.find("counters"), nullptr);
+  EXPECT_EQ(metrics.find("counters")->find("hits")->as_number(), 3.0);
+  EXPECT_EQ(metrics.find("gauges")->find("rate")->as_number(), 0.5);
+  const auto* loss = metrics.find("histograms")->find("loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(loss->find("count")->as_number(), 1.0);
+  const auto* work = metrics.find("spans")->find("work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->find("count")->as_number(), 1.0);
+
+  const auto disabled = metrics_json_or_disabled(nullptr);
+  EXPECT_TRUE(valid_json(disabled.dump()));
+  EXPECT_EQ(disabled.dump(0), "{\"enabled\":false}");
+}
+
+}  // namespace
+}  // namespace pt::common::telemetry

@@ -1,0 +1,142 @@
+#include "tuner/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "tuner/robust.hpp"
+
+namespace pt::tuner {
+namespace {
+
+using testing::BowlEvaluator;
+
+std::vector<Configuration> probe_sequence() {
+  // Repeats included, so the caches have hits to report.
+  return {Configuration{{8, 16, 2}}, Configuration{{1, 1, 0}},
+          Configuration{{8, 16, 2}}, Configuration{{64, 2, 3}},
+          Configuration{{1, 1, 0}}, Configuration{{8, 16, 2}}};
+}
+
+TEST(EvaluatorStack, BareWrapForwardsToBase) {
+  BowlEvaluator base;
+  auto stack = EvaluatorStack::wrap(base);
+  EXPECT_EQ(stack.layer_count(), 0u);
+  EXPECT_EQ(stack.name(), base.name());
+  EXPECT_EQ(&stack.space(), &base.space());
+  const Measurement m = stack.measure(BowlEvaluator::optimum());
+  EXPECT_TRUE(m.valid);
+  EXPECT_EQ(m.time_ms, BowlEvaluator::optimum_time());
+  EXPECT_EQ(base.calls(), 1u);
+  EXPECT_EQ(stack.description(), "bowl");
+}
+
+TEST(EvaluatorStack, CachedCountingMatchesHandWiredDecorators) {
+  BowlEvaluator stack_base;
+  auto stack = EvaluatorStack::wrap(stack_base).cached().counting();
+
+  BowlEvaluator hand_base;
+  CachingEvaluator hand_cache(hand_base);
+  CountingEvaluator hand_counting(hand_cache);
+
+  for (const auto& config : probe_sequence()) {
+    const Measurement via_stack = stack.measure(config);
+    const Measurement via_hand = hand_counting.measure(config);
+    EXPECT_EQ(via_stack.valid, via_hand.valid);
+    EXPECT_EQ(via_stack.time_ms, via_hand.time_ms);
+  }
+
+  auto* stack_cache = stack.layer<CachingEvaluator>();
+  auto* stack_counting = stack.layer<CountingEvaluator>();
+  ASSERT_NE(stack_cache, nullptr);
+  ASSERT_NE(stack_counting, nullptr);
+  EXPECT_EQ(stack_cache->hits(), hand_cache.hits());
+  EXPECT_EQ(stack_cache->misses(), hand_cache.misses());
+  EXPECT_EQ(stack_counting->total_measurements(),
+            hand_counting.total_measurements());
+  EXPECT_EQ(stack_counting->invalid_measurements(),
+            hand_counting.invalid_measurements());
+  EXPECT_EQ(stack_base.calls(), hand_base.calls());
+  EXPECT_GT(stack_cache->hits(), 0u);  // the sequence has repeats
+
+  EXPECT_EQ(stack.layer_count(), 2u);
+  EXPECT_EQ(stack.description(), "counting -> cached -> bowl");
+}
+
+TEST(EvaluatorStack, RobustNoisyFaultChainMatchesHandWired) {
+  const NoisyEvaluator::Options noise{/*sigma=*/0.2, /*seed=*/42};
+  FaultInjectingEvaluator::Options faults;
+  faults.transient_rate = 0.2;
+  faults.outlier_rate = 0.1;
+  faults.seed = 43;
+  RobustEvaluator::Options robust;
+  robust.repeats = 3;
+  robust.max_retries = 2;
+
+  BowlEvaluator stack_base;
+  auto stack = EvaluatorStack::wrap(stack_base)
+                   .noisy(noise)
+                   .fault_injecting(faults)
+                   .robust(robust);
+
+  BowlEvaluator hand_base;
+  NoisyEvaluator hand_noisy(hand_base, noise);
+  FaultInjectingEvaluator hand_faulty(hand_noisy, faults);
+  RobustEvaluator hand_robust(hand_faulty, robust);
+
+  for (const auto& config : probe_sequence()) {
+    const Measurement via_stack = stack.measure(config);
+    const Measurement via_hand = hand_robust.measure(config);
+    EXPECT_EQ(via_stack.valid, via_hand.valid);
+    EXPECT_EQ(via_stack.time_ms, via_hand.time_ms);  // same streams: exact
+    EXPECT_EQ(via_stack.attempts, via_hand.attempts);
+  }
+
+  auto* stack_robust = stack.layer<RobustEvaluator>();
+  auto* stack_faulty = stack.layer<FaultInjectingEvaluator>();
+  ASSERT_NE(stack_robust, nullptr);
+  ASSERT_NE(stack_faulty, nullptr);
+  EXPECT_EQ(stack_robust->total_attempts(), hand_robust.total_attempts());
+  EXPECT_EQ(stack_robust->transient_failures(),
+            hand_robust.transient_failures());
+  EXPECT_EQ(stack_robust->retries(), hand_robust.retries());
+  EXPECT_EQ(stack_robust->exhausted(), hand_robust.exhausted());
+  EXPECT_EQ(stack_faulty->transient_injected(),
+            hand_faulty.transient_injected());
+  EXPECT_EQ(stack_base.calls(), hand_base.calls());
+}
+
+TEST(EvaluatorStack, FindLayerSeesThroughTheStack) {
+  BowlEvaluator base;
+  auto stack = EvaluatorStack::wrap(base).cached().counting();
+  // External chain walk (what the tuners use) finds the owned cache layer.
+  EXPECT_EQ(find_layer<CachingEvaluator>(&stack),
+            stack.layer<CachingEvaluator>());
+  EXPECT_NE(find_layer<CachingEvaluator>(&stack), nullptr);
+  EXPECT_EQ(stack.layer<RobustEvaluator>(), nullptr);
+  EXPECT_EQ(find_layer<RobustEvaluator>(&stack), nullptr);
+}
+
+TEST(EvaluatorStack, LvalueBuildingAndMovesKeepLayersIntact) {
+  BowlEvaluator base;
+  auto stack = EvaluatorStack::wrap(base);
+  stack.cached();  // lvalue-style building
+  stack.counting();
+  EXPECT_EQ(stack.layer_count(), 2u);
+
+  const Measurement before = stack.measure(BowlEvaluator::optimum());
+  EXPECT_TRUE(before.valid);
+
+  // Layers are heap-allocated: moving the stack must not break the chain.
+  EvaluatorStack moved = std::move(stack);
+  const Measurement after = moved.measure(BowlEvaluator::optimum());
+  EXPECT_TRUE(after.valid);
+  EXPECT_EQ(after.time_ms, before.time_ms);
+  EXPECT_EQ(moved.layer<CachingEvaluator>()->hits(), 1u);  // cached earlier
+  EXPECT_EQ(base.calls(), 1u);
+}
+
+}  // namespace
+}  // namespace pt::tuner
