@@ -1,0 +1,360 @@
+// Launch-throughput microbenchmark for the clsim execution engine: times
+// repeated functional launches of the paper's three benchmarks in
+// barrier-free and barrier-heavy configurations, once with the barrier-free
+// direct-dispatch fast path enabled and once with the round scheduler
+// forced, and reports launches/sec plus work-items/sec for each cell.
+//
+// Correctness checks ride along: a synthetic output-writing kernel is run
+// byte-for-byte across both engines (and a pooled variant), and every
+// benchmark configuration is verified against its scalar reference, so a
+// throughput win can never hide a wrong result.
+//
+// Flags:
+//   --out=FILE     JSON report path (default BENCH_exec.json)
+//   --repeats=N    timed launches per cell (default 400)
+//   --threads=T    executor thread-pool size; 0 = sequential (default 0,
+//                  keeping the measurement a pure per-launch overhead probe)
+//   --seed=S       RNG seed for the synthetic identity kernel (default 1)
+//   --smoke        tiny repeat count + assertions only; used by ctest
+//   --trace        record telemetry into the report and a Chrome trace
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/registry.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "common/thread_pool.hpp"
+#include "report.hpp"
+#include "tuner/param.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A benchmark configuration with every toggle off and a fixed work-group
+/// shape, optionally with one named local-memory toggle switched on (the
+/// barrier-heavy variant: local staging implies barriers).
+pt::tuner::Configuration
+make_config(const pt::tuner::ParamSpace& space,
+            const std::string& local_toggle = std::string()) {
+  pt::tuner::Configuration config = space.decode(0);
+  auto set = [&](const std::string& name, int value) {
+    config.values[space.index_of(name)] = value;
+  };
+  set("WG_X", 16);
+  set("WG_Y", 8);
+  if (!local_toggle.empty()) set(local_toggle, 1);
+  return config;
+}
+
+struct Cell {
+  std::string engine;  // "direct", "round" or "baseline"
+  double wall_ms = 0.0;
+  double launches_per_sec = 0.0;
+  double items_per_sec = 0.0;
+};
+
+/// Restores the frame-pool routing of the calling thread on scope exit.
+class BypassGuard {
+ public:
+  explicit BypassGuard(bool bypass) {
+    pt::clsim::FramePool::set_thread_bypass(bypass);
+  }
+  ~BypassGuard() { pt::clsim::FramePool::set_thread_bypass(false); }
+  BypassGuard(const BypassGuard&) = delete;
+  BypassGuard& operator=(const BypassGuard&) = delete;
+};
+
+struct ConfigReport {
+  std::string variant;  // "barrier_free" or "barrier_heavy"
+  std::string config;
+  std::uint64_t items_per_launch = 0;
+  double verify_max_abs_error = 0.0;
+  std::vector<Cell> cells;
+  double direct_speedup = 0.0;  // round wall / direct wall
+};
+
+/// One engine measurement: `repeats` launches driven straight through
+/// NDRangeExecutor (no queue, no timing oracle — this times the execution
+/// engine itself). Engines:
+///   direct    fast path on, pooled frames        (this PR's engine)
+///   round     fast path off, pooled frames       (round scheduler + pool)
+///   baseline  fast path off, heap frames         (the pre-PR executor)
+/// The baseline's frame-pool bypass is thread-local, so it is only faithful
+/// when the executor runs sequentially (pool == nullptr).
+Cell run_cell(const std::string& engine, bool fast_path, bool bypass_pool,
+              pt::common::ThreadPool* pool,
+              const pt::benchkit::LaunchPlan& plan, std::size_t repeats) {
+  namespace clsim = pt::clsim;
+  const BypassGuard guard(bypass_pool);
+  const clsim::NDRangeExecutor executor(pool, {.enable_fast_path = fast_path});
+  const clsim::KernelProfile& profile = plan.kernel.profile();
+  auto launch = [&] {
+    executor.run(plan.global, plan.local, profile.local_mem_bytes_per_group,
+                 plan.kernel.body(), nullptr, &profile);
+  };
+  launch();  // warm-up: first touch of buffers and frame freelists
+
+  Cell cell;
+  cell.engine = engine;
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) launch();
+  cell.wall_ms = ms_since(start);
+  const double secs = cell.wall_ms / 1e3;
+  if (secs > 0.0) {
+    cell.launches_per_sec = static_cast<double>(repeats) / secs;
+    cell.items_per_sec =
+        static_cast<double>(repeats * plan.global.total()) / secs;
+  }
+  return cell;
+}
+
+/// Launch-overhead probe kernel: an empty barrier-free body, so a launch
+/// costs exactly what the execution engine charges per work-item (frame
+/// allocation, context setup, scheduling) and nothing else. This is the
+/// purest launches/sec comparison between the engines.
+pt::benchkit::LaunchPlan make_overhead_plan(const pt::clsim::Device& device,
+                                            const pt::clsim::NDRange& global,
+                                            const pt::clsim::NDRange& local) {
+  namespace clsim = pt::clsim;
+  clsim::CompiledKernel ck;
+  ck.name = "empty";
+  ck.profile.kernel_name = "empty";
+  ck.profile.barriers_per_item = 0.0;
+  ck.body = [](clsim::WorkItemCtx&) -> clsim::WorkItemTask { co_return; };
+  return {clsim::Kernel(device, std::move(ck)), global, local, 0.0};
+}
+
+/// Byte-identity probe: a synthetic kernel with data-dependent arithmetic
+/// and local scratch writes its result into a buffer; all engines must
+/// produce the same bytes. Returns false on any mismatch.
+bool identity_probe(const pt::clsim::Device& device, std::uint64_t seed) {
+  namespace clsim = pt::clsim;
+  using pt::clsim::WorkItemCtx;
+  using pt::clsim::WorkItemTask;
+
+  constexpr std::size_t kGlobal = 256;
+  constexpr std::size_t kLocal = 16;
+  const auto salt = static_cast<std::uint32_t>(seed * 2654435761u + 1u);
+
+  auto make_kernel = [&](clsim::Buffer& out) {
+    clsim::CompiledKernel ck;
+    ck.name = "identity_probe";
+    ck.profile.kernel_name = "identity_probe";
+    ck.profile.barriers_per_item = 0.0;
+    ck.profile.local_mem_bytes_per_group = 64;
+    ck.body = [&out, salt](WorkItemCtx& ctx) -> WorkItemTask {
+      auto scratch = ctx.local_alloc<std::uint32_t>(2);
+      const auto gid = static_cast<std::uint32_t>(ctx.global_id(0));
+      scratch[0] = gid * 2246822519u + salt;
+      scratch[1] = scratch[0] ^ (scratch[0] >> 15);
+      out.as<std::uint32_t>()[gid] =
+          scratch[1] * 31u + static_cast<std::uint32_t>(ctx.local_id(0));
+      co_return;
+    };
+    return clsim::Kernel(device, std::move(ck));
+  };
+
+  auto run_engine = [&](bool fast_path,
+                        pt::common::ThreadPool* pool) -> std::vector<std::uint32_t> {
+    clsim::Buffer out(kGlobal * sizeof(std::uint32_t));
+    const clsim::Kernel kernel = make_kernel(out);
+    clsim::CommandQueue queue(
+        device, clsim::CommandQueue::Options{
+                    .mode = clsim::ExecMode::kFunctional,
+                    .pool = pool,
+                    .executor = {.enable_fast_path = fast_path}});
+    queue.enqueue_nd_range(kernel, clsim::NDRange(kGlobal),
+                           clsim::NDRange(kLocal));
+    const auto view = out.as<const std::uint32_t>();
+    return {view.begin(), view.end()};
+  };
+
+  pt::common::ThreadPool pool(4);
+  const auto direct = run_engine(true, nullptr);
+  const auto round = run_engine(false, nullptr);
+  const auto pooled = run_engine(true, &pool);
+  return direct == round && direct == pooled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pt;
+  const common::CliArgs args(argc, argv);
+  const bool smoke = args.get("smoke", false);
+  const auto out_path = args.get("out", "BENCH_exec.json");
+  const auto repeats =
+      static_cast<std::size_t>(args.get("repeats", smoke ? 20L : 400L));
+  const auto threads = static_cast<std::size_t>(args.get("threads", 0L));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  const bool trace = args.get("trace", false);
+
+  std::optional<common::telemetry::Collector> collector;
+  std::optional<common::telemetry::ScopedCollector> scope;
+  if (trace) {
+    collector.emplace();
+    scope.emplace(&*collector);
+  }
+
+  std::optional<common::ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+
+  const clsim::Platform platform = archsim::default_platform();
+  const clsim::Device device = platform.device_by_name(archsim::kNvidiaK40);
+
+  if (!identity_probe(device, seed)) {
+    std::cerr << "FAIL: engines disagree on the identity probe\n";
+    return 1;
+  }
+
+  // (benchmark, local-memory toggle that makes its kernel barrier heavy)
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"convolution", "USE_LOCAL"},
+      {"raycasting", "LOCAL_TF"},
+      {"stereo", "LOCAL_LEFT"},
+  };
+
+  bool speedup_ok = true;
+  bench::ReportWriter report;
+  report.set("repeats", repeats)
+      .set("threads", threads)
+      .set("device", device.info().name)
+      .set("smoke", smoke);
+  common::json::Value benchmarks = common::json::Value::array();
+
+  for (const auto& [name, heavy_toggle] : variants) {
+    const auto bench_obj = benchkit::make_benchmark_small(name);
+    const tuner::ParamSpace& space = bench_obj->space();
+
+    common::json::Value entry = common::json::Value::object();
+    entry.set("name", name);
+    common::json::Value configs = common::json::Value::array();
+
+    for (const bool heavy : {false, true}) {
+      ConfigReport cr;
+      cr.variant = heavy ? "barrier_heavy" : "barrier_free";
+      const tuner::Configuration config =
+          make_config(space, heavy ? heavy_toggle : std::string());
+      cr.config = space.to_string(config);
+      cr.verify_max_abs_error = bench_obj->verify(device, config);
+
+      const benchkit::LaunchPlan plan = bench_obj->prepare(device, config);
+      cr.items_per_launch = plan.global.total();
+      common::ThreadPool* p = pool ? &*pool : nullptr;
+      cr.cells.push_back(run_cell("direct", true, false, p, plan, repeats));
+      cr.cells.push_back(run_cell("round", false, false, p, plan, repeats));
+      cr.cells.push_back(run_cell("baseline", false, true, p, plan, repeats));
+      if (cr.cells[0].wall_ms > 0.0)
+        cr.direct_speedup = cr.cells[2].wall_ms / cr.cells[0].wall_ms;
+
+      std::cout << name << " " << cr.variant
+                << " direct=" << cr.cells[0].launches_per_sec
+                << "/s round=" << cr.cells[1].launches_per_sec
+                << "/s baseline=" << cr.cells[2].launches_per_sec
+                << "/s speedup=" << cr.direct_speedup
+                << " max_err=" << cr.verify_max_abs_error << "\n"
+                << std::flush;
+
+      common::json::Value cj = common::json::Value::object();
+      cj.set("variant", cr.variant);
+      cj.set("config", cr.config);
+      cj.set("items_per_launch", cr.items_per_launch);
+      cj.set("verify_max_abs_error", cr.verify_max_abs_error);
+      cj.set("direct_speedup", cr.direct_speedup);
+      common::json::Value cells = common::json::Value::array();
+      for (const Cell& cell : cr.cells) {
+        common::json::Value cell_json = common::json::Value::object();
+        cell_json.set("engine", cell.engine);
+        cell_json.set("wall_ms", cell.wall_ms);
+        cell_json.set("launches_per_sec", cell.launches_per_sec);
+        cell_json.set("items_per_sec", cell.items_per_sec);
+        cells.push(std::move(cell_json));
+      }
+      cj.set("engines", std::move(cells));
+      configs.push(std::move(cj));
+    }
+    entry.set("configs", std::move(configs));
+    benchmarks.push(std::move(entry));
+  }
+
+  report.root().set("benchmarks", std::move(benchmarks));
+
+  // Pure launch-overhead cells: the acceptance metric for the engine. Each
+  // shape is a barrier-free launch with an empty body, so launches/sec is
+  // the per-launch engine overhead and nothing else.
+  struct Shape {
+    const char* label;
+    clsim::NDRange global;
+    clsim::NDRange local;
+  };
+  const std::vector<Shape> shapes = {
+      {"1d_256x32", clsim::NDRange(256), clsim::NDRange(32)},
+      {"2d_64x64_wg16x8", clsim::NDRange(64, 64), clsim::NDRange(16, 8)},
+      {"2d_tiny_groups_wg4x4", clsim::NDRange(64, 64), clsim::NDRange(4, 4)},
+  };
+  const std::size_t overhead_repeats = repeats * 4;
+  common::json::Value overhead = common::json::Value::array();
+  for (const Shape& shape : shapes) {
+    const benchkit::LaunchPlan plan =
+        make_overhead_plan(device, shape.global, shape.local);
+    common::ThreadPool* p = pool ? &*pool : nullptr;
+    std::vector<Cell> cells;
+    cells.push_back(run_cell("direct", true, false, p, plan, overhead_repeats));
+    cells.push_back(run_cell("round", false, false, p, plan, overhead_repeats));
+    cells.push_back(
+        run_cell("baseline", false, true, p, plan, overhead_repeats));
+    const double speedup =
+        cells[0].wall_ms > 0.0 ? cells[2].wall_ms / cells[0].wall_ms : 0.0;
+    std::cout << "overhead " << shape.label
+              << " direct=" << cells[0].launches_per_sec
+              << "/s round=" << cells[1].launches_per_sec
+              << "/s baseline=" << cells[2].launches_per_sec
+              << "/s speedup=" << speedup << "\n"
+              << std::flush;
+    // The acceptance bar: on barrier-free launches the engine must be at
+    // least 2x faster than the pre-PR executor. Smoke runs skip the gate —
+    // their repeat counts are too small for stable timing.
+    if (!smoke && speedup < 2.0) speedup_ok = false;
+
+    common::json::Value sj = common::json::Value::object();
+    sj.set("shape", shape.label);
+    sj.set("items_per_launch", plan.global.total());
+    sj.set("direct_speedup", speedup);
+    common::json::Value cell_array = common::json::Value::array();
+    for (const Cell& cell : cells) {
+      common::json::Value cell_json = common::json::Value::object();
+      cell_json.set("engine", cell.engine);
+      cell_json.set("wall_ms", cell.wall_ms);
+      cell_json.set("launches_per_sec", cell.launches_per_sec);
+      cell_json.set("items_per_sec", cell.items_per_sec);
+      cell_array.push(std::move(cell_json));
+    }
+    sj.set("engines", std::move(cell_array));
+    overhead.push(std::move(sj));
+  }
+  report.root().set("launch_overhead", std::move(overhead));
+  report.set("identity_probe", "pass");
+  report.attach_telemetry(collector ? &*collector : nullptr);
+  if (collector) bench::write_chrome_trace(*collector, out_path);
+  if (!report.write(out_path)) return 1;
+  if (!speedup_ok) {
+    std::cerr << "FAIL: direct dispatch below 2x on a barrier-free config\n";
+    return 1;
+  }
+  return 0;
+}

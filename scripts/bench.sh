@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_exec.json — the launch-throughput record of the clsim
+# execution engine (bench/micro_exec) — reproducibly: fixed seed, pinned
+# --threads=0 (sequential executor, so the frame-pool-bypass baseline is
+# faithful and numbers don't depend on host core count).
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench/micro_exec" ]]; then
+  echo "building micro_exec in $build_dir ..."
+  cmake --build "$build_dir" --target micro_exec -j
+fi
+
+"$build_dir/bench/micro_exec" \
+  --repeats=400 \
+  --threads=0 \
+  --seed=1 \
+  --out="$repo_root/BENCH_exec.json"

@@ -6,8 +6,13 @@ BenchmarkEvaluator::BenchmarkEvaluator(const TunableBenchmark& benchmark,
                                        clsim::Device device)
     : benchmark_(&benchmark),
       device_(device),
+      // Tuning sweeps enqueue one launch per evaluated configuration; a
+      // bounded event history keeps long sweeps' memory flat while the
+      // aggregate cost counters still cover every command.
       queue_(device, clsim::CommandQueue::Options{
-                         clsim::ExecMode::kTimingOnly, nullptr}) {}
+                         .mode = clsim::ExecMode::kTimingOnly,
+                         .pool = nullptr,
+                         .event_retention = 256}) {}
 
 std::string BenchmarkEvaluator::name() const {
   return benchmark_->name() + "@" + device_.name();

@@ -6,12 +6,16 @@
 #include <vector>
 
 #include "clsim/check/check.hpp"
+#include "common/telemetry/telemetry.hpp"
 
 namespace pt::clsim {
 
+namespace tel = pt::common::telemetry;
+
 void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
                           std::size_t local_mem_bytes, const KernelBody& body,
-                          check::LaunchCheckState* check) const {
+                          check::LaunchCheckState* check,
+                          const KernelProfile* profile) const {
   const std::size_t dims = global.dimensions();
   if (dims == 0)
     throw ClException(Status::kInvalidWorkDimension, "empty global range");
@@ -34,19 +38,97 @@ void NDRangeExecutor::run(const NDRange& global, const NDRange& local,
   const std::size_t groups_z = global.extent(2) / local.extent(2);
   const std::size_t total_groups = groups_x * groups_y * groups_z;
 
+  // Barrier-free direct dispatch: only when the profile vouches for zero
+  // barriers and no clcheck instrumentation is attached (checked launches
+  // key their happens-before epochs on the round structure).
+  const bool direct = options_.enable_fast_path && check == nullptr &&
+                      profile != nullptr && profile->barriers_per_item == 0.0;
+  if (tel::enabled())
+    tel::count(direct ? "clsim.exec.fast_path" : "clsim.exec.round_path");
+
   auto run_one = [&](std::size_t flat) {
     const std::array<std::size_t, 3> gid = {
         flat % groups_x, (flat / groups_x) % groups_y,
         flat / (groups_x * groups_y)};
-    run_group(global, local, dims, gid, flat, local_mem_bytes, body, check);
+    if (direct)
+      run_group_direct(global, local, dims, gid, flat, local_mem_bytes, body);
+    else
+      run_group(global, local, dims, gid, flat, local_mem_bytes, body, check);
   };
 
   // Checked launches run sequentially: shadow state is single-threaded by
   // construction and findings come out in a deterministic order.
   if (check == nullptr && pool_ != nullptr && total_groups > 1) {
-    pool_->parallel_for(0, total_groups, run_one);
+    // Batch several tiny work-groups per pool task, but never below the
+    // chunk count the pool would pick on its own — small launches keep
+    // their parallelism, large launches of small groups stop paying one
+    // task per group.
+    const std::size_t items_per_group = local.total();
+    const std::size_t want =
+        std::max<std::size_t>(1, kTargetItemsPerTask / items_per_group);
+    const std::size_t keep_chunks = std::max<std::size_t>(
+        1, total_groups / (4 * std::max<std::size_t>(1, pool_->size())));
+    pool_->parallel_for(0, total_groups, std::min(want, keep_chunks), run_one);
   } else {
     for (std::size_t g = 0; g < total_groups; ++g) run_one(g);
+  }
+}
+
+void NDRangeExecutor::run_group_direct(const NDRange& global,
+                                       const NDRange& local, std::size_t dims,
+                                       std::array<std::size_t, 3> group_id,
+                                       std::size_t group_flat,
+                                       std::size_t local_mem_bytes,
+                                       const KernelBody& body) const {
+  const std::size_t items = local.total();
+  WorkGroupState group_state(local_mem_bytes);
+  // One context serves every item of the group in turn: the direct path
+  // destroys each coroutine before the next is created, so no two frames
+  // ever observe the context simultaneously.
+  WorkItemCtx ctx(global, local, dims, group_id, {0, 0, 0}, &group_state);
+
+  std::size_t flat = 0;
+  for (std::size_t lz = 0; lz < local.extent(2); ++lz) {
+    for (std::size_t ly = 0; ly < local.extent(1); ++ly) {
+      for (std::size_t lx = 0; lx < local.extent(0); ++lx, ++flat) {
+        ctx.reset_item({lx, ly, lz});
+        WorkItemTask task = body(ctx);
+        task.resume();
+        if (task.done()) continue;
+        // The profile declared the kernel barrier-free, yet this item
+        // suspended at a barrier.
+        if (flat != 0) {
+          // Earlier items already ran to completion without reaching any
+          // barrier — the round scheduler diagnoses exactly this state, on
+          // its first round, as divergence.
+          throw ClException(Status::kInvalidOperation,
+                            "barrier divergence inside a work-group");
+        }
+        // Item 0 parked at its first barrier before any other item ran:
+        // hand the whole group to the round scheduler. Item 0 keeps its
+        // coroutine (and this context, which stays alive in this frame);
+        // the remaining items get the usual one-context-per-item setup.
+        if (tel::enabled()) tel::count("clsim.exec.fallback");
+        std::vector<WorkItemCtx> contexts;
+        contexts.reserve(items - 1);
+        std::vector<WorkItemTask> tasks;
+        tasks.reserve(items);
+        tasks.push_back(std::move(task));
+        std::size_t rest = 0;
+        for (std::size_t rz = 0; rz < local.extent(2); ++rz)
+          for (std::size_t ry = 0; ry < local.extent(1); ++ry)
+            for (std::size_t rx = 0; rx < local.extent(0); ++rx) {
+              if (rest++ == 0) continue;  // item 0 is already running
+              contexts.emplace_back(global, local, dims, group_id,
+                                    std::array<std::size_t, 3>{rx, ry, rz},
+                                    &group_state);
+              tasks.push_back(body(contexts.back()));
+            }
+        run_rounds(tasks, items, /*first_round_resumed=*/1, nullptr, nullptr,
+                   group_flat);
+        return;
+      }
+    }
   }
 }
 
@@ -95,16 +177,60 @@ void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
   tasks.reserve(items);
   for (auto& ctx : contexts) tasks.push_back(body(ctx));
 
+  const bool completed =
+      run_rounds(tasks, items, /*first_round_resumed=*/0, check,
+                 group_check ? &*group_check : nullptr, group_flat);
+  if (!completed) return;  // group abandoned after a divergence finding
+
+  if (check != nullptr && !checkers.empty()) {
+    // Items that ran *fewer or more* local_allocs than their peers never hit
+    // the per-allocation record comparison — catch the count mismatch here.
+    std::size_t min_allocs = checkers.front().alloc_count();
+    std::size_t max_allocs = min_allocs;
+    for (const auto& checker : checkers) {
+      min_allocs = std::min(min_allocs, checker.alloc_count());
+      max_allocs = std::max(max_allocs, checker.alloc_count());
+    }
+    if (min_allocs != max_allocs) {
+      std::ostringstream ss;
+      ss << "work-items of the group ran different numbers of local "
+         << "allocations (min " << min_allocs << ", max " << max_allocs
+         << "); subsequent allocations alias across items";
+      check::Finding finding;
+      finding.kind = check::FindingKind::kDivergentLocalAlloc;
+      finding.kernel = check->kernel_name();
+      finding.resource = "local-arena";
+      finding.group_linear = static_cast<std::uint32_t>(group_flat);
+      finding.message = ss.str();
+      check->report().add(std::move(finding));
+    }
+  }
+}
+
+bool NDRangeExecutor::run_rounds(std::vector<WorkItemTask>& tasks,
+                                 std::size_t items,
+                                 std::size_t first_round_resumed,
+                                 check::LaunchCheckState* check,
+                                 check::GroupCheckState* group_check,
+                                 std::size_t group_flat) const {
   // Round-based scheduling: resume every live item once per round; a round
   // ends with every item either done or parked at the same barrier. Each
   // round therefore spans exactly one barrier interval — the clcheck
   // "epoch" the race detector keys happens-before on.
   std::size_t done = 0;
+  std::size_t skip = first_round_resumed;
   while (done < items) {
     std::size_t finished_this_round = 0;
     std::size_t at_barrier = 0;
-    for (auto& task : tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      WorkItemTask& task = tasks[i];
       if (task.done()) continue;
+      if (i < skip) {
+        // Already resumed this round by the direct-dispatch guard; it is
+        // parked at the barrier that triggered the fallback.
+        ++at_barrier;
+        continue;
+      }
       task.resume();
       if (task.done()) {
         ++finished_this_round;
@@ -112,6 +238,7 @@ void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
         ++at_barrier;
       }
     }
+    skip = 0;
     done += finished_this_round;
     if (at_barrier != 0 && done != 0 && done < items) {
       // Some items passed their last barrier and returned while others are
@@ -139,37 +266,14 @@ void NDRangeExecutor::run_group(const NDRange& global, const NDRange& local,
         finding.group_linear = static_cast<std::uint32_t>(group_flat);
         finding.message = ss.str();
         check->report().add(std::move(finding));
-        return;
+        return false;
       }
       throw ClException(Status::kInvalidOperation,
                         "barrier divergence inside a work-group");
     }
-    if (group_check) ++group_check->epoch;
+    if (group_check != nullptr) ++group_check->epoch;
   }
-
-  if (check != nullptr && !checkers.empty()) {
-    // Items that ran *fewer or more* local_allocs than their peers never hit
-    // the per-allocation record comparison — catch the count mismatch here.
-    std::size_t min_allocs = checkers.front().alloc_count();
-    std::size_t max_allocs = min_allocs;
-    for (const auto& checker : checkers) {
-      min_allocs = std::min(min_allocs, checker.alloc_count());
-      max_allocs = std::max(max_allocs, checker.alloc_count());
-    }
-    if (min_allocs != max_allocs) {
-      std::ostringstream ss;
-      ss << "work-items of the group ran different numbers of local "
-         << "allocations (min " << min_allocs << ", max " << max_allocs
-         << "); subsequent allocations alias across items";
-      check::Finding finding;
-      finding.kind = check::FindingKind::kDivergentLocalAlloc;
-      finding.kernel = check->kernel_name();
-      finding.resource = "local-arena";
-      finding.group_linear = static_cast<std::uint32_t>(group_flat);
-      finding.message = ss.str();
-      check->report().add(std::move(finding));
-    }
-  }
+  return true;
 }
 
 }  // namespace pt::clsim

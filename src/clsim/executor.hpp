@@ -4,9 +4,23 @@
 // an ND-range with OpenCL semantics (work-groups, local memory, barriers).
 // Used for correctness; timing comes from the device's oracle, not from
 // host wall-clock.
+//
+// Two execution paths (DESIGN.md §3, "execution paths"):
+//  - the general *round* scheduler: one coroutine, context and task slot
+//    per work-item, resumed in rounds between barriers;
+//  - a *direct-dispatch* fast path, taken when the launched kernel's
+//    profile declares zero barriers: each work-item coroutine is created,
+//    resumed to completion and destroyed immediately, reusing a single
+//    per-group context. A runtime guard catches kernels whose profile lied
+//    — an unexpected barrier suspension on the group's first item falls
+//    back to the round scheduler for that group, so results are always
+//    identical to the round path.
 
+#include <array>
 #include <cstddef>
+#include <vector>
 
+#include "clsim/kernel_profile.hpp"
 #include "clsim/types.hpp"
 #include "clsim/work_item.hpp"
 #include "common/thread_pool.hpp"
@@ -15,10 +29,21 @@ namespace pt::clsim {
 
 class NDRangeExecutor {
  public:
+  struct Options {
+    /// Allow barrier-free direct dispatch when the launch carries a profile
+    /// with barriers_per_item == 0. Off forces the round scheduler for
+    /// every group (the pre-fast-path behavior; used by benchmarks and
+    /// parity tests).
+    bool enable_fast_path = true;
+  };
+
   /// pool == nullptr executes work-groups sequentially on the calling
   /// thread; otherwise groups are distributed across the pool (they are
   /// independent by construction, like on a real device).
-  explicit NDRangeExecutor(common::ThreadPool* pool = nullptr) : pool_(pool) {}
+  explicit NDRangeExecutor(common::ThreadPool* pool = nullptr)
+      : pool_(pool) {}
+  NDRangeExecutor(common::ThreadPool* pool, Options options)
+      : pool_(pool), options_(options) {}
 
   /// Execute `body` for every work-item. `local_mem_bytes` sizes each
   /// group's local arena. The local range must evenly divide the global
@@ -33,19 +58,47 @@ class NDRangeExecutor {
   /// sequentially on the calling thread (deterministic findings, no shadow
   /// synchronization), barrier divergence becomes a recorded finding naming
   /// the stuck items instead of an exception, and divergent local_alloc
-  /// counts are linted at the end of each group.
+  /// counts are linted at the end of each group. Checked launches always
+  /// use the round scheduler.
+  ///
+  /// A non-null `profile` describes the compiled kernel being launched;
+  /// when it declares zero barriers the barrier-free direct-dispatch path
+  /// runs the group without round scheduling. Without a profile every
+  /// group takes the round path.
   void run(const NDRange& global, const NDRange& local,
            std::size_t local_mem_bytes, const KernelBody& body,
-           check::LaunchCheckState* check = nullptr) const;
+           check::LaunchCheckState* check = nullptr,
+           const KernelProfile* profile = nullptr) const;
 
  private:
+  /// Work-items a single pool task should receive at minimum; launches
+  /// whose groups are smaller get several groups batched per task.
+  static constexpr std::size_t kTargetItemsPerTask = 1024;
+
   void run_group(const NDRange& global, const NDRange& local,
                  std::size_t dims, std::array<std::size_t, 3> group_id,
                  std::size_t group_flat, std::size_t local_mem_bytes,
                  const KernelBody& body,
                  check::LaunchCheckState* check) const;
 
+  void run_group_direct(const NDRange& global, const NDRange& local,
+                        std::size_t dims, std::array<std::size_t, 3> group_id,
+                        std::size_t group_flat, std::size_t local_mem_bytes,
+                        const KernelBody& body) const;
+
+  /// Round-based scheduling over an existing task set. The first
+  /// `first_round_resumed` tasks have already been resumed once this round
+  /// (direct-path fallback hands over item 0 parked at its first barrier).
+  /// Returns false when the group was abandoned after recording a
+  /// barrier-divergence finding (check mode only).
+  bool run_rounds(std::vector<WorkItemTask>& tasks, std::size_t items,
+                  std::size_t first_round_resumed,
+                  check::LaunchCheckState* check,
+                  check::GroupCheckState* group_check,
+                  std::size_t group_flat) const;
+
   common::ThreadPool* pool_;
+  Options options_;
 };
 
 }  // namespace pt::clsim

@@ -27,7 +27,18 @@ Event CommandQueue::push_event(const std::string& label, double duration_ms,
   if (!options_.out_of_order) tail_ms_ = ev.end_ms;
   now_ms_ = std::max(now_ms_, ev.end_ms);
   events_.push_back(ev);
+  trim_events();
   return ev;
+}
+
+void CommandQueue::trim_events() {
+  const std::size_t cap = options_.event_retention;
+  if (cap == 0 || events_.size() <= cap) return;
+  // Aggregate counters already absorbed every event; only the per-event
+  // records age out, oldest first.
+  events_.erase(events_.begin(),
+                events_.begin() +
+                    static_cast<std::ptrdiff_t>(events_.size() - cap));
 }
 
 Event CommandQueue::enqueue_marker() {
@@ -40,6 +51,7 @@ Event CommandQueue::enqueue_marker() {
   ev.end_ms = now_ms_;
   ev.duration = 0.0;
   events_.push_back(ev);
+  trim_events();
   return ev;
 }
 
@@ -77,9 +89,9 @@ Event CommandQueue::enqueue_nd_range(const Kernel& kernel,
       executor.run(global, local, kernel.profile().local_mem_bytes_per_group,
                    kernel.body(), &launch_check);
     } else {
-      NDRangeExecutor executor(options_.pool);
+      NDRangeExecutor executor(options_.pool, options_.executor);
       executor.run(global, local, kernel.profile().local_mem_bytes_per_group,
-                   kernel.body());
+                   kernel.body(), nullptr, &kernel.profile());
     }
   }
 

@@ -54,6 +54,15 @@ class CommandQueue {
     /// races, barrier/allocation lints) and accumulates findings in
     /// check_report(); kOff (default) is bit-identical to pre-clcheck runs.
     CheckMode check = CheckMode::kOff;
+    /// Keep at most this many Event records in events(). 0 (default) keeps
+    /// every event, the historic behavior. Long-lived queues — tuner
+    /// evaluators enqueue tens of thousands of launches per sweep — set a
+    /// bound so memory stays flat; the aggregate counters (now_ms,
+    /// total_kernel_ms, total_transfer_ms, total_build_ms) are unaffected
+    /// by trimming, only the oldest per-event records are dropped.
+    std::size_t event_retention = 0;
+    /// Executor tuning knobs for functional launches (fast-path toggle).
+    NDRangeExecutor::Options executor = {};
   };
 
   explicit CommandQueue(Device device) : CommandQueue(std::move(device), Options{}) {}
@@ -129,6 +138,8 @@ class CommandQueue {
  private:
   Event push_event(const std::string& label, double duration_ms,
                    const WaitList& wait_list);
+  /// Drop the oldest events when Options::event_retention is exceeded.
+  void trim_events();
 
   Device device_;
   Options options_;

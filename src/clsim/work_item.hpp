@@ -22,6 +22,7 @@
 
 #include "clsim/check/checked_span.hpp"
 #include "clsim/error.hpp"
+#include "clsim/frame_pool.hpp"
 #include "clsim/memory.hpp"
 #include "clsim/types.hpp"
 
@@ -36,6 +37,16 @@ class WorkItemTask {
   struct promise_type {
     std::exception_ptr exception;
     bool at_barrier = false;
+
+    /// Coroutine frames come from the thread-local FramePool instead of
+    /// the global heap: a tuning run creates one frame per work-item, and
+    /// the freelist turns that steady-state cost into a pointer pop.
+    static void* operator new(std::size_t size) {
+      return FramePool::allocate(size);
+    }
+    static void operator delete(void* ptr) noexcept {
+      FramePool::deallocate(ptr);
+    }
 
     WorkItemTask get_return_object() {
       return WorkItemTask(
@@ -202,6 +213,15 @@ class WorkItemCtx {
   /// Executor hook: attach the clcheck per-item state (null = unchecked).
   void bind_checker(check::ItemChecker* checker) noexcept {
     checker_ = checker;
+  }
+
+  /// Executor hook (direct-dispatch path): retarget this context at another
+  /// work-item of the same group, resetting the local-allocation cursor.
+  /// Only legal between work-item runs — the direct path destroys each
+  /// coroutine before the next one observes the context.
+  void reset_item(std::array<std::size_t, 3> local_id) noexcept {
+    local_id_ = local_id;
+    cursor_ = 0;
   }
 
  private:

@@ -39,11 +39,13 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()) * 4);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  const std::size_t chunk_size =
+      std::max((n + chunks - 1) / chunks, std::max<std::size_t>(1, grain));
 
   auto state = std::make_shared<ForState>();
 

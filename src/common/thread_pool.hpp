@@ -52,6 +52,16 @@ class ThreadPool {
   /// The caller helps execute queued tasks while waiting, so nested calls
   /// from pool workers make progress instead of blocking the pool.
   void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn) {
+    parallel_for(begin, end, 1, fn);
+  }
+
+  /// Grain-size overload: every task receives at least `grain` consecutive
+  /// indices (0 behaves like 1), so callers with many tiny iterations —
+  /// executor work-groups, scan chunks — batch enough work per task to
+  /// amortize the queue round-trip. grain == 1 is bit-identical to the
+  /// two-argument overload.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,234 @@
+// Tests for the barrier-free direct-dispatch executor path and the pooled
+// coroutine-frame allocator: byte-identical results against the round
+// scheduler, exception propagation, fallback when a profile under-declares
+// barriers, and frame reuse across launches.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "clsim/executor.hpp"
+#include "clsim/frame_pool.hpp"
+#include "clsim/kernel_profile.hpp"
+#include "clsim/memory.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pt::clsim {
+namespace {
+
+namespace tel = pt::common::telemetry;
+
+KernelProfile barrier_free_profile() {
+  KernelProfile profile;
+  profile.kernel_name = "fastpath-test";
+  profile.barriers_per_item = 0.0;
+  return profile;
+}
+
+/// Runs `body` once per executor variant (direct fast path, round scheduler,
+/// round scheduler on a 4-thread pool) into fresh copies of `out` and
+/// expects byte-identical results.
+void expect_all_paths_identical(const NDRange& global, const NDRange& local,
+                                std::size_t local_mem_bytes,
+                                const std::function<KernelBody(Buffer&)>& make,
+                                std::size_t out_bytes) {
+  const KernelProfile profile = barrier_free_profile();
+
+  Buffer direct_out(out_bytes);
+  {
+    NDRangeExecutor exec(nullptr, {.enable_fast_path = true});
+    const KernelBody body = make(direct_out);
+    exec.run(global, local, local_mem_bytes, body, nullptr, &profile);
+  }
+
+  Buffer round_out(out_bytes);
+  {
+    NDRangeExecutor exec(nullptr, {.enable_fast_path = false});
+    const KernelBody body = make(round_out);
+    exec.run(global, local, local_mem_bytes, body, nullptr, &profile);
+  }
+
+  Buffer pooled_out(out_bytes);
+  {
+    common::ThreadPool pool(4);
+    NDRangeExecutor exec(&pool, {.enable_fast_path = true});
+    const KernelBody body = make(pooled_out);
+    exec.run(global, local, local_mem_bytes, body, nullptr, &profile);
+  }
+
+  EXPECT_EQ(std::memcmp(direct_out.as<const std::byte>().data(), round_out.as<const std::byte>().data(), out_bytes), 0);
+  EXPECT_EQ(std::memcmp(direct_out.as<const std::byte>().data(), pooled_out.as<const std::byte>().data(), out_bytes), 0);
+}
+
+TEST(ExecutorFastPath, RandomizedBarrierFreeKernelsMatchRoundScheduler) {
+  // Randomized geometry and per-item arithmetic; every kernel is barrier
+  // free, so the direct path must reproduce the round path byte for byte.
+  std::mt19937 rng(20260805u);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t lx = 1u << (rng() % 4);  // 1..8
+    const std::size_t ly = 1u << (rng() % 3);  // 1..4
+    const std::size_t gx = lx * (1 + rng() % 6);
+    const std::size_t gy = ly * (1 + rng() % 4);
+    const std::uint32_t salt = rng();
+    const NDRange global(gx, gy);
+    const NDRange local(lx, ly);
+    const std::size_t n = gx * gy;
+
+    auto make = [salt, gx](Buffer& out) -> KernelBody {
+      return [&out, salt, gx](WorkItemCtx& ctx) -> WorkItemTask {
+        // Per-item scratch from the local arena exercises the cursor reset
+        // of the reused direct-path context.
+        auto scratch = ctx.local_alloc<std::uint32_t>(4);
+        const std::size_t x = ctx.global_id(0);
+        const std::size_t y = ctx.global_id(1);
+        scratch[0] = static_cast<std::uint32_t>(x) * 2654435761u;
+        scratch[1] = static_cast<std::uint32_t>(y) ^ salt;
+        scratch[2] = scratch[0] + scratch[1];
+        scratch[3] = static_cast<std::uint32_t>(ctx.local_id(0) +
+                                                ctx.local_id(1) * 17);
+        out.as<std::uint32_t>()[y * gx + x] =
+            scratch[2] * 31u + scratch[3];
+        co_return;
+      };
+    };
+    expect_all_paths_identical(global, local, 64, make,
+                               n * sizeof(std::uint32_t));
+  }
+}
+
+TEST(ExecutorFastPath, ExceptionPropagatesFromDirectPath) {
+  const KernelProfile profile = barrier_free_profile();
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    if (ctx.global_id(0) == 5)
+      throw ClException(Status::kInvalidValue, "poisoned item");
+    co_return;
+  };
+  NDRangeExecutor exec;
+  try {
+    exec.run(NDRange(16), NDRange(4), 0, body, nullptr, &profile);
+    FAIL() << "expected ClException";
+  } catch (const ClException& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidValue);
+  }
+}
+
+TEST(ExecutorFastPath, FallsBackWhenProfileUnderDeclaresBarriers) {
+  // The kernel barriers uniformly but its profile claims it never does: the
+  // direct path must detect the suspension on the group's first item, fall
+  // back to round scheduling, and still produce the correct two-phase
+  // result for every group.
+  const KernelProfile lying_profile = barrier_free_profile();
+  constexpr std::size_t kItems = 32;
+  constexpr std::size_t kLocal = 8;
+
+  auto make_body = [](Buffer& out) -> KernelBody {
+    return [&out](WorkItemCtx& ctx) -> WorkItemTask {
+      auto stage = ctx.local_alloc<int>(ctx.local_size(0));
+      stage[ctx.local_id(0)] = static_cast<int>(ctx.global_id(0));
+      co_await ctx.barrier();
+      // Read a neighbour's slot — only correct if the barrier held.
+      const std::size_t peer = (ctx.local_id(0) + 1) % ctx.local_size(0);
+      out.as<int>()[ctx.global_id(0)] = stage[peer];
+      co_return;
+    };
+  };
+
+  tel::Collector collector;
+  Buffer fast_out(kItems * sizeof(int));
+  {
+    const tel::ScopedCollector scoped(&collector);
+    NDRangeExecutor exec(nullptr, {.enable_fast_path = true});
+    const KernelBody body = make_body(fast_out);
+    exec.run(NDRange(kItems), NDRange(kLocal), kLocal * sizeof(int), body,
+             nullptr, &lying_profile);
+  }
+  // The launch took the fast path, then every group fell back.
+  EXPECT_EQ(collector.counter("clsim.exec.fast_path"), 1.0);
+  EXPECT_EQ(collector.counter("clsim.exec.fallback"),
+            static_cast<double>(kItems / kLocal));
+
+  Buffer round_out(kItems * sizeof(int));
+  {
+    NDRangeExecutor exec(nullptr, {.enable_fast_path = false});
+    const KernelBody body = make_body(round_out);
+    exec.run(NDRange(kItems), NDRange(kLocal), kLocal * sizeof(int), body,
+             nullptr, &lying_profile);
+  }
+  EXPECT_EQ(std::memcmp(fast_out.as<const std::byte>().data(), round_out.as<const std::byte>().data(),
+                        kItems * sizeof(int)),
+            0);
+}
+
+TEST(ExecutorFastPath, DivergentBarrierUnderLyingProfileStillThrows) {
+  // Item 0 finishes without a barrier, a later item suspends: the round
+  // scheduler calls this divergence, so the direct path must too.
+  const KernelProfile lying_profile = barrier_free_profile();
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    if (ctx.local_id(0) == 3) co_await ctx.barrier();
+    co_return;
+  };
+  NDRangeExecutor exec;
+  try {
+    exec.run(NDRange(8), NDRange(8), 0, body, nullptr, &lying_profile);
+    FAIL() << "expected ClException";
+  } catch (const ClException& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidOperation);
+  }
+}
+
+TEST(ExecutorFastPath, TelemetryDistinguishesFastAndRoundLaunches) {
+  const KernelProfile profile = barrier_free_profile();
+  auto body = [](WorkItemCtx&) -> WorkItemTask { co_return; };
+  tel::Collector collector;
+  const tel::ScopedCollector scoped(&collector);
+
+  NDRangeExecutor exec;
+  exec.run(NDRange(8), NDRange(4), 0, body, nullptr, &profile);  // fast
+  exec.run(NDRange(8), NDRange(4), 0, body);              // no profile: round
+  KernelProfile barriered = profile;
+  barriered.barriers_per_item = 1.0;
+  exec.run(NDRange(8), NDRange(4), 0, body, nullptr, &barriered);  // round
+
+  EXPECT_EQ(collector.counter("clsim.exec.fast_path"), 1.0);
+  EXPECT_EQ(collector.counter("clsim.exec.round_path"), 2.0);
+  EXPECT_EQ(collector.counter("clsim.exec.fallback"), 0.0);
+}
+
+TEST(ExecutorFastPath, FramePoolReusesFramesAcrossLaunches) {
+  // All work happens on the calling thread (no pool), so the thread-local
+  // pool statistics observe every coroutine frame of these launches.
+  const KernelProfile profile = barrier_free_profile();
+  auto body = [](WorkItemCtx& ctx) -> WorkItemTask {
+    (void)ctx.global_id(0);
+    co_return;
+  };
+  NDRangeExecutor exec;
+  exec.run(NDRange(64), NDRange(8), 0, body, nullptr, &profile);  // warm up
+
+  FramePool::reset_thread_stats();
+  for (int i = 0; i < 4; ++i)
+    exec.run(NDRange(64), NDRange(8), 0, body, nullptr, &profile);
+  const FramePool::Stats stats = FramePool::thread_stats();
+  // The warm-up launch seeded the freelist, and the direct path frees each
+  // frame before the next item allocates — every frame is a reuse.
+  EXPECT_GT(stats.allocations, 0u);
+  EXPECT_EQ(stats.reuses, stats.allocations);
+  EXPECT_EQ(stats.oversized, 0u);
+}
+
+TEST(ExecutorFastPath, DisablingFastPathForcesRoundScheduler) {
+  const KernelProfile profile = barrier_free_profile();
+  auto body = [](WorkItemCtx&) -> WorkItemTask { co_return; };
+  tel::Collector collector;
+  const tel::ScopedCollector scoped(&collector);
+  NDRangeExecutor exec(nullptr, {.enable_fast_path = false});
+  exec.run(NDRange(8), NDRange(4), 0, body, nullptr, &profile);
+  EXPECT_EQ(collector.counter("clsim.exec.fast_path"), 0.0);
+  EXPECT_EQ(collector.counter("clsim.exec.round_path"), 1.0);
+}
+
+}  // namespace
+}  // namespace pt::clsim

@@ -253,5 +253,39 @@ TEST(Queue, EventIdsAreSequential) {
   EXPECT_EQ(b.id, a.id + 1);
 }
 
+TEST(Queue, EventRetentionBoundsHistory) {
+  const Device dev = make_test_device();
+  CommandQueue::Options opts;
+  opts.mode = ExecMode::kTimingOnly;
+  opts.event_retention = 3;
+  CommandQueue q(dev, opts);
+  Buffer buf(4 * sizeof(int));
+  const Kernel k = counting_kernel(dev, buf);
+  for (int i = 0; i < 10; ++i) q.enqueue_nd_range(k, NDRange(4), NDRange(2));
+
+  // Only the newest 3 events survive, ids intact...
+  ASSERT_EQ(q.events().size(), 3u);
+  EXPECT_EQ(q.events().front().id, 7u);
+  EXPECT_EQ(q.events().back().id, 9u);
+  // ...while the aggregates still cover all 10 launches (stub oracle: 1 ms
+  // per kernel) and the timeline kept advancing.
+  EXPECT_DOUBLE_EQ(q.total_kernel_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(q.now_ms(), 10.0);
+
+  // Markers are events too and respect the cap.
+  q.enqueue_marker();
+  ASSERT_EQ(q.events().size(), 3u);
+  EXPECT_EQ(q.events().back().label, "marker");
+}
+
+TEST(Queue, DefaultRetentionKeepsEverything) {
+  const Device dev = make_test_device();
+  CommandQueue q(dev, {ExecMode::kTimingOnly, nullptr});
+  Buffer buf(4 * sizeof(int));
+  const Kernel k = counting_kernel(dev, buf);
+  for (int i = 0; i < 50; ++i) q.enqueue_nd_range(k, NDRange(4), NDRange(2));
+  EXPECT_EQ(q.events().size(), 50u);
+}
+
 }  // namespace
 }  // namespace pt::clsim

@@ -49,6 +49,50 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForGrainCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{64},
+                                  std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, grain,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelForGrainBatchesConsecutiveIndices) {
+  // With grain 100 over 1000 indices the chunk size is exactly 100, so each
+  // aligned block of 100 indices is one task: a single thread visits its
+  // indices in increasing order.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::thread::id> owner(1000);
+  std::vector<std::size_t> order(1000);
+  std::size_t seq = 0;
+  pool.parallel_for(0, 1000, 100, [&](std::size_t i) {
+    const std::lock_guard<std::mutex> lock(mu);
+    owner[i] = std::this_thread::get_id();
+    order[i] = seq++;
+  });
+  for (std::size_t block = 0; block < 1000; block += 100) {
+    for (std::size_t i = block + 1; i < block + 100; ++i) {
+      EXPECT_EQ(owner[i], owner[block]) << "index " << i;
+      EXPECT_GT(order[i], order[i - 1]) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForGrainOneMatchesTwoArgOverload) {
+  ThreadPool pool(3);
+  std::vector<int> a(257, 0);
+  std::vector<int> b(257, 0);
+  pool.parallel_for(0, 257, [&](std::size_t i) { a[i] = static_cast<int>(i); });
+  pool.parallel_for(0, 257, 1,
+                    [&](std::size_t i) { b[i] = static_cast<int>(i); });
+  EXPECT_EQ(a, b);
+}
+
 TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
   ThreadPool pool(2);
   int calls = 0;
