@@ -5,7 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
 #include "ml/mlp.hpp"
 #include "ml/trainer.hpp"
@@ -112,6 +119,107 @@ void BM_EnsemblePredictBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EnsemblePredictBatch)->Arg(65536);
 
+// --- fp32 SIMD substrate ---------------------------------------------------
+
+std::vector<float> random_floats(std::size_t n, common::Rng& rng) {
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-8.0, 8.0));
+  return x;
+}
+
+void BM_SimdExp(benchmark::State& state) {
+  common::Rng rng(6);
+  const auto x = random_floats(65536, rng);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); i += common::simd::kWidth) {
+      common::simd::exp(common::simd::VecF::load(x.data() + i))
+          .store(y.data() + i);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_SimdExp);
+
+void BM_StdExpBaseline(benchmark::State& state) {
+  common::Rng rng(6);
+  const auto x = random_floats(65536, rng);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::exp(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_StdExpBaseline);
+
+void BM_BatchedMlpForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(7);
+  ml::Mlp net(9, {ml::LayerSpec{30, ml::Activation::kSigmoid},
+                  ml::LayerSpec{1, ml::Activation::kLinear}});
+  net.init_weights(rng);
+  const ml::BatchedMlp batched(net);
+  const auto x = random_floats(batch * 9, rng);
+  std::vector<float> out(batch);
+  ml::BatchedMlp::Scratch scratch;
+  for (auto _ : state) {
+    batched.forward_column0(x.data(), batch, out.data(), scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchedMlpForward)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BatchedEnsemblePredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(8);
+  ml::Dataset data;
+  data.x = random_matrix(400, 9, rng);
+  data.y = random_matrix(400, 1, rng);
+  ml::BaggingEnsemble::Options opts;
+  opts.k = 11;  // paper's ensemble size
+  opts.trainer.common.max_epochs = 30;
+  ml::BaggingEnsemble ensemble(opts);
+  ensemble.fit(data, rng);
+  const ml::BatchedEnsemble batched(ensemble);
+  const auto x = random_floats(n * 9, rng);
+  std::vector<float> out;
+  ml::BatchedEnsemble::Scratch scratch;
+  for (auto _ : state) {
+    batched.predict_batch_into(x.data(), n, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchedEnsemblePredict)->Arg(65536);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects unknown
+// flags, so translate our ctest-facing `--smoke` into a tiny min-time run.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

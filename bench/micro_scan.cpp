@@ -1,11 +1,18 @@
-// Microbenchmark for the parallel prediction-scan engine: times the dense
-// range scan (predict_range_ms) and the streaming top-M scan
-// (predict_scan_top_m) over the full Table-2 spaces at several thread
-// counts, checks that the selected configurations are identical at every
-// thread count, and writes a small JSON report.
+// Microbenchmark for the parallel prediction-scan engine: a configs/sec
+// trajectory over the Table-2 spaces. For every space and thread count it
+// times the dense range scan (predict_range_ms) and the streaming top-M scan
+// (predict_scan_top_m) on BOTH inference paths — the scalar fp64 reference
+// and the batched SIMD fp32 engine — checks that the fp32 selection is
+// identical to the fp64 one (indices and values), checks determinism across
+// thread counts, and writes BENCH_scan.json.
 //
 // The model is trained on synthetic (strictly positive) times so the bench
 // exercises exactly the prediction path — no device simulation involved.
+//
+// Gate (skipped under --smoke): at threads=1 the batched fp32 path must
+// sustain >= 2x the configs/sec of the fp64 baseline on every space, for
+// both the range scan and the top-M scan, with the top-M selection
+// unchanged. Exit code 1 on any violation.
 //
 // Flags:
 //   --out=FILE      JSON report path (default micro_scan.json)
@@ -15,6 +22,7 @@
 //   --seed=S        RNG seed (default 1)
 //   --trace         record telemetry; metrics go into the report and a
 //                   Chrome trace next to it (<out>.trace.json)
+//   --smoke         small limits + assertions only; used by ctest
 
 #include <chrono>
 #include <cmath>
@@ -27,6 +35,7 @@
 #include "benchmarks/registry.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "report.hpp"
@@ -41,6 +50,10 @@ double ms_since(const Clock::time_point& start) {
       .count();
 }
 
+double configs_per_sec(std::uint64_t n, double ms) {
+  return ms > 0.0 ? static_cast<double>(n) / (ms / 1000.0) : 0.0;
+}
+
 /// Deterministic, strictly positive pseudo-time for a configuration.
 double synthetic_time_ms(const pt::tuner::Configuration& config) {
   double t = 5.0;
@@ -52,10 +65,26 @@ double synthetic_time_ms(const pt::tuner::Configuration& config) {
   return t;
 }
 
+/// One inference path at one thread count.
+struct PathRun {
+  std::string inference;  // "fp64" | "fp32"
+  double range_ms = 0.0;
+  double range_configs_per_sec = 0.0;
+  double top_m_ms = 0.0;
+  double top_m_configs_per_sec = 0.0;
+  std::uint64_t fp64_reranked = 0;
+  std::uint64_t near_ties = 0;
+  std::vector<std::uint64_t> top_indices;
+  std::vector<double> top_values;
+};
+
 struct Run {
   std::size_t threads = 0;
-  double range_ms = 0.0;
-  double top_m_ms = 0.0;
+  PathRun fp64;
+  PathRun fp32;
+  double range_speedup = 0.0;
+  double top_m_speedup = 0.0;
+  bool top_m_match = true;
 };
 
 struct SpaceReport {
@@ -65,17 +94,49 @@ struct SpaceReport {
   double fit_ms = 0.0;
   std::vector<Run> runs;
   bool deterministic = true;
+  bool top_m_match = true;
+  bool gate_pass = true;
 };
+
+PathRun run_path(const pt::tuner::AnnPerformanceModel& model,
+                 std::uint64_t scanned, std::size_t m, bool fp32) {
+  PathRun run;
+  run.inference = fp32 ? "fp32" : "fp64";
+  {
+    const auto start = Clock::now();
+    const auto preds = model.predict_range_ms(0, scanned);
+    run.range_ms = ms_since(start);
+    run.range_configs_per_sec = configs_per_sec(scanned, run.range_ms);
+    if (preds.size() != scanned) std::exit(1);  // defensive
+  }
+  {
+    const auto start = Clock::now();
+    const auto scan = model.predict_scan_top_m(0, scanned, m);
+    run.top_m_ms = ms_since(start);
+    run.top_m_configs_per_sec = configs_per_sec(scanned, run.top_m_ms);
+    run.fp64_reranked = scan.fp64_reranked;
+    run.near_ties = scan.near_ties;
+    run.top_indices.reserve(scan.top.size());
+    for (const auto& c : scan.top) {
+      run.top_indices.push_back(c.index);
+      run.top_values.push_back(c.predicted_ms);
+    }
+  }
+  return run;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pt;
   const common::CliArgs args(argc, argv);
+  const bool smoke = args.get("smoke", false);
   const auto out_path = args.get("out", "micro_scan.json");
-  const auto limit = static_cast<std::uint64_t>(args.get("limit", 0L));
-  const auto m = static_cast<std::size_t>(args.get("m", 300L));
-  const auto training = static_cast<std::size_t>(args.get("training", 300L));
+  const auto limit =
+      static_cast<std::uint64_t>(args.get("limit", smoke ? 20000L : 0L));
+  const auto m = static_cast<std::size_t>(args.get("m", smoke ? 50L : 300L));
+  const auto training =
+      static_cast<std::size_t>(args.get("training", smoke ? 120L : 300L));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
   const bool trace = args.get("trace", false);
 
@@ -89,7 +150,10 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> thread_counts = {1, 2, 4};
   const std::size_t hw = common::default_thread_count();
   if (hw > 4) thread_counts.push_back(hw);
+  if (smoke) thread_counts = {1, 4};
 
+  bool all_match = true;
+  bool all_gates = true;
   std::vector<SpaceReport> reports;
   for (const auto& name : benchkit::benchmark_names()) {
     const auto bench = benchkit::make_benchmark(name);
@@ -110,7 +174,7 @@ int main(int argc, char** argv) {
       samples.push_back({config, synthetic_time_ms(config)});
     }
     tuner::AnnPerformanceModel::Options model_opts;
-    model_opts.ensemble.trainer.common.max_epochs = 150;
+    model_opts.ensemble.trainer.common.max_epochs = smoke ? 60 : 150;
     tuner::AnnPerformanceModel model(model_opts);
     {
       const auto start = Clock::now();
@@ -118,45 +182,75 @@ int main(int argc, char** argv) {
       report.fit_ms = ms_since(start);
     }
 
-    std::vector<std::uint64_t> reference_top;
+    tuner::ScanOptions batched;
+    batched.inference = tuner::ScanInference::kBatchedFp32;
+
     for (const std::size_t threads : thread_counts) {
       common::set_global_pool_threads(threads);
       Run run;
       run.threads = threads;
-      {
-        const auto start = Clock::now();
-        const auto preds = model.predict_range_ms(0, report.scanned);
-        run.range_ms = ms_since(start);
-        if (preds.size() != report.scanned) return 1;  // defensive
+      model.set_scan_options(tuner::ScanOptions{});
+      run.fp64 = run_path(model, report.scanned, m, false);
+      model.set_scan_options(batched);
+      run.fp32 = run_path(model, report.scanned, m, true);
+      run.range_speedup = run.fp64.range_ms / run.fp32.range_ms;
+      run.top_m_speedup = run.fp64.top_m_ms / run.fp32.top_m_ms;
+
+      // The accuracy gate: the batched path must select exactly the fp64
+      // top-M — same indices, same predicted values.
+      run.top_m_match = run.fp32.top_indices == run.fp64.top_indices &&
+                        run.fp32.top_values == run.fp64.top_values;
+      if (!run.top_m_match) report.top_m_match = false;
+
+      // Determinism: every path and thread count selects the same top-M.
+      if (!report.runs.empty() &&
+          (run.fp64.top_indices != report.runs.front().fp64.top_indices ||
+           run.fp32.top_indices != report.runs.front().fp32.top_indices)) {
+        report.deterministic = false;
       }
-      {
-        const auto start = Clock::now();
-        const auto scan = model.predict_scan_top_m(0, report.scanned, m);
-        run.top_m_ms = ms_since(start);
-        std::vector<std::uint64_t> top;
-        top.reserve(scan.top.size());
-        for (const auto& c : scan.top) top.push_back(c.index);
-        if (reference_top.empty()) {
-          reference_top = std::move(top);
-        } else if (top != reference_top) {
-          report.deterministic = false;
-        }
-      }
-      report.runs.push_back(run);
-      std::cout << name << " threads=" << threads
-                << " range=" << run.range_ms << "ms"
-                << " top_m=" << run.top_m_ms << "ms\n"
+
+      std::cout << name << " threads=" << threads << " fp64="
+                << static_cast<std::uint64_t>(run.fp64.top_m_configs_per_sec)
+                << " cfg/s fp32="
+                << static_cast<std::uint64_t>(run.fp32.top_m_configs_per_sec)
+                << " cfg/s (top-m x" << run.top_m_speedup << ", range x"
+                << run.range_speedup << ", match=" << run.top_m_match << ")\n"
                 << std::flush;
+      report.runs.push_back(std::move(run));
     }
-    if (!report.deterministic)
-      std::cout << "WARNING: " << name
+
+    // >= 2x configs/sec gate at threads=1, both entry points.
+    if (!smoke && !report.runs.empty()) {
+      const Run& single = report.runs.front();
+      if (single.range_speedup < 2.0 || single.top_m_speedup < 2.0)
+        report.gate_pass = false;
+    }
+    if (!report.top_m_match) {
+      std::cout << "FAIL: " << name << ": fp32 top-M differs from fp64\n";
+      all_match = false;
+    }
+    if (!report.deterministic) {
+      std::cout << "FAIL: " << name
                 << ": top-M selection differs across thread counts\n";
+      all_match = false;
+    }
+    if (!report.gate_pass) {
+      std::cout << "FAIL: " << name
+                << ": batched path below the 2x configs/sec gate\n";
+      all_gates = false;
+    }
     reports.push_back(std::move(report));
   }
   common::set_global_pool_threads(0);  // restore the default
 
   bench::ReportWriter report;
-  report.set("m", m).set("training_samples", training);
+  report.set("m", m)
+      .set("training_samples", training)
+      .set("smoke", smoke)
+      .set("simd_backend", std::string(common::simd::backend_name()))
+      .set("gate_required_speedup", 2.0)
+      .set("gate_pass", all_gates)
+      .set("top_m_match", all_match);
   common::json::Value benchmarks = common::json::Value::array();
   for (const auto& r : reports) {
     common::json::Value entry = common::json::Value::object();
@@ -165,15 +259,28 @@ int main(int argc, char** argv) {
     entry.set("scanned", r.scanned);
     entry.set("fit_ms", r.fit_ms);
     entry.set("deterministic_across_threads", r.deterministic);
+    entry.set("top_m_match", r.top_m_match);
+    entry.set("gate_pass", r.gate_pass);
     common::json::Value runs = common::json::Value::array();
     for (const auto& run : r.runs) {
       common::json::Value run_json = common::json::Value::object();
       run_json.set("threads", run.threads);
-      run_json.set("range_ms", run.range_ms);
-      run_json.set("top_m_ms", run.top_m_ms);
-      run_json.set("range_speedup",
-                   run.range_ms > 0.0 ? r.runs.front().range_ms / run.range_ms
-                                      : 0.0);
+      common::json::Value paths = common::json::Value::array();
+      for (const PathRun* p : {&run.fp64, &run.fp32}) {
+        common::json::Value path_json = common::json::Value::object();
+        path_json.set("inference", p->inference);
+        path_json.set("range_ms", p->range_ms);
+        path_json.set("range_configs_per_sec", p->range_configs_per_sec);
+        path_json.set("top_m_ms", p->top_m_ms);
+        path_json.set("top_m_configs_per_sec", p->top_m_configs_per_sec);
+        path_json.set("fp64_reranked", p->fp64_reranked);
+        path_json.set("near_ties", p->near_ties);
+        paths.push(std::move(path_json));
+      }
+      run_json.set("paths", std::move(paths));
+      run_json.set("range_speedup", run.range_speedup);
+      run_json.set("top_m_speedup", run.top_m_speedup);
+      run_json.set("top_m_match", run.top_m_match);
       runs.push(std::move(run_json));
     }
     entry.set("runs", std::move(runs));
@@ -183,5 +290,7 @@ int main(int argc, char** argv) {
   report.attach_telemetry(collector ? &*collector : nullptr);
   if (collector) bench::write_chrome_trace(*collector, out_path);
   report.write(out_path);
+  if (!all_match) return 1;
+  if (!smoke && !all_gates) return 1;
   return 0;
 }

@@ -20,3 +20,15 @@ fi
   --threads=0 \
   --seed=1 \
   --out="$repo_root/BENCH_exec.json"
+
+# BENCH_scan.json — the prediction-scan configs/sec trajectory
+# (bench/micro_scan): fp64 reference vs batched SIMD fp32 path, with the
+# >=2x speedup gate and fp32-vs-fp64 top-M equality enforced by the binary.
+if [[ ! -x "$build_dir/bench/micro_scan" ]]; then
+  echo "building micro_scan in $build_dir ..."
+  cmake --build "$build_dir" --target micro_scan -j
+fi
+
+"$build_dir/bench/micro_scan" \
+  --seed=1 \
+  --out="$repo_root/BENCH_scan.json"

@@ -1,0 +1,358 @@
+#pragma once
+
+// Portable fp32 SIMD layer for the batched inference engine (ml/batched.hpp).
+//
+// One backend is selected at configure time (CMake option PT_SIMD, default
+// "auto"): AVX2+FMA on x86, NEON on arm64, or a portable scalar fallback.
+// `VecF` is a fixed-width vector of kWidth floats with the handful of
+// operations batched inference needs: arithmetic, fused multiply-add,
+// horizontal reduction, and vectorized exp/sigmoid/tanh approximations.
+//
+// Accuracy contract (see DESIGN.md "Inference paths"):
+//  - exp:     same Cephes-style polynomial on every backend; relative error
+//             vs std::exp (double) at most 4 ULP of the fp32 result over the
+//             clamped domain [-87.34, 88.38] (inputs outside are clamped,
+//             matching the saturation behaviour batched activations need).
+//  - sigmoid: 1/(1+exp(-x)); at most 8 ULP relative error.
+//  - tanh:    2*sigmoid(2x)-1; at most 16 ULP relative error for |x| >= 2^-3
+//             and at most 2^-21 absolute error everywhere (the subtraction
+//             cancels for tiny x, where the absolute bound is what matters).
+//
+// Every backend is *runtime-verified* against the scalar reference
+// implementations (exp_ref/sigmoid_ref/tanh_ref, which spell out the same
+// algorithm with std::fma): self_test() requires bit-equality lane by lane,
+// and ensure_verified() runs it once per process before the first batched
+// scan, so a miscompiled or mismatched backend fails loudly instead of
+// skewing predictions.
+
+#include <cstddef>
+#include <cstdint>
+#include <cmath>
+#include <bit>
+#include <new>
+#include <string>
+#include <vector>
+
+#if !defined(PT_SIMD_DISABLE) && defined(__AVX2__) && defined(__FMA__)
+#define PT_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(PT_SIMD_DISABLE) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__))
+#define PT_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define PT_SIMD_SCALAR 1
+#endif
+
+namespace pt::common::simd {
+
+#if defined(PT_SIMD_AVX2)
+inline constexpr std::size_t kWidth = 8;
+#elif defined(PT_SIMD_NEON)
+inline constexpr std::size_t kWidth = 4;
+#else
+inline constexpr std::size_t kWidth = 4;
+#endif
+
+// ---------------------------------------------------------------------------
+// VecF: kWidth packed floats.
+// ---------------------------------------------------------------------------
+
+#if defined(PT_SIMD_AVX2)
+
+struct VecF {
+  __m256 v;
+
+  [[nodiscard]] static VecF load(const float* p) noexcept {
+    return {_mm256_loadu_ps(p)};
+  }
+  [[nodiscard]] static VecF broadcast(float x) noexcept {
+    return {_mm256_set1_ps(x)};
+  }
+  [[nodiscard]] static VecF zero() noexcept { return {_mm256_setzero_ps()}; }
+  void store(float* p) const noexcept { _mm256_storeu_ps(p, v); }
+};
+
+[[nodiscard]] inline VecF add(VecF a, VecF b) noexcept {
+  return {_mm256_add_ps(a.v, b.v)};
+}
+[[nodiscard]] inline VecF sub(VecF a, VecF b) noexcept {
+  return {_mm256_sub_ps(a.v, b.v)};
+}
+[[nodiscard]] inline VecF mul(VecF a, VecF b) noexcept {
+  return {_mm256_mul_ps(a.v, b.v)};
+}
+[[nodiscard]] inline VecF div(VecF a, VecF b) noexcept {
+  return {_mm256_div_ps(a.v, b.v)};
+}
+[[nodiscard]] inline VecF min(VecF a, VecF b) noexcept {
+  return {_mm256_min_ps(a.v, b.v)};
+}
+[[nodiscard]] inline VecF max(VecF a, VecF b) noexcept {
+  return {_mm256_max_ps(a.v, b.v)};
+}
+/// a*b + c, single rounding.
+[[nodiscard]] inline VecF fmadd(VecF a, VecF b, VecF c) noexcept {
+  return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+}
+/// c - a*b, single rounding.
+[[nodiscard]] inline VecF fnmadd(VecF a, VecF b, VecF c) noexcept {
+  return {_mm256_fnmadd_ps(a.v, b.v, c.v)};
+}
+[[nodiscard]] inline VecF floor(VecF a) noexcept {
+  return {_mm256_floor_ps(a.v)};
+}
+/// 2^n for integral-valued lanes of n in [-126, 127].
+[[nodiscard]] inline VecF pow2i(VecF n) noexcept {
+  const __m256i i = _mm256_cvttps_epi32(n.v);
+  const __m256i e =
+      _mm256_slli_epi32(_mm256_add_epi32(i, _mm256_set1_epi32(127)), 23);
+  return {_mm256_castsi256_ps(e)};
+}
+/// Pairwise horizontal sum of the lanes.
+[[nodiscard]] inline float hsum(VecF a) noexcept {
+  const __m128 lo = _mm256_castps256_ps128(a.v);
+  const __m128 hi = _mm256_extractf128_ps(a.v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+#elif defined(PT_SIMD_NEON)
+
+struct VecF {
+  float32x4_t v;
+
+  [[nodiscard]] static VecF load(const float* p) noexcept {
+    return {vld1q_f32(p)};
+  }
+  [[nodiscard]] static VecF broadcast(float x) noexcept {
+    return {vdupq_n_f32(x)};
+  }
+  [[nodiscard]] static VecF zero() noexcept { return {vdupq_n_f32(0.0f)}; }
+  void store(float* p) const noexcept { vst1q_f32(p, v); }
+};
+
+[[nodiscard]] inline VecF add(VecF a, VecF b) noexcept {
+  return {vaddq_f32(a.v, b.v)};
+}
+[[nodiscard]] inline VecF sub(VecF a, VecF b) noexcept {
+  return {vsubq_f32(a.v, b.v)};
+}
+[[nodiscard]] inline VecF mul(VecF a, VecF b) noexcept {
+  return {vmulq_f32(a.v, b.v)};
+}
+[[nodiscard]] inline VecF div(VecF a, VecF b) noexcept {
+  return {vdivq_f32(a.v, b.v)};
+}
+[[nodiscard]] inline VecF min(VecF a, VecF b) noexcept {
+  return {vminq_f32(a.v, b.v)};
+}
+[[nodiscard]] inline VecF max(VecF a, VecF b) noexcept {
+  return {vmaxq_f32(a.v, b.v)};
+}
+/// a*b + c, single rounding.
+[[nodiscard]] inline VecF fmadd(VecF a, VecF b, VecF c) noexcept {
+  return {vfmaq_f32(c.v, a.v, b.v)};
+}
+/// c - a*b, single rounding.
+[[nodiscard]] inline VecF fnmadd(VecF a, VecF b, VecF c) noexcept {
+  return {vfmsq_f32(c.v, a.v, b.v)};
+}
+[[nodiscard]] inline VecF floor(VecF a) noexcept { return {vrndmq_f32(a.v)}; }
+/// 2^n for integral-valued lanes of n in [-126, 127].
+[[nodiscard]] inline VecF pow2i(VecF n) noexcept {
+  const int32x4_t i = vcvtq_s32_f32(n.v);
+  const int32x4_t e = vshlq_n_s32(vaddq_s32(i, vdupq_n_s32(127)), 23);
+  return {vreinterpretq_f32_s32(e)};
+}
+/// Pairwise horizontal sum of the lanes.
+[[nodiscard]] inline float hsum(VecF a) noexcept { return vaddvq_f32(a.v); }
+
+#else  // PT_SIMD_SCALAR
+
+struct VecF {
+  float v[kWidth];
+
+  [[nodiscard]] static VecF load(const float* p) noexcept {
+    VecF r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = p[i];
+    return r;
+  }
+  [[nodiscard]] static VecF broadcast(float x) noexcept {
+    VecF r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = x;
+    return r;
+  }
+  [[nodiscard]] static VecF zero() noexcept { return broadcast(0.0f); }
+  void store(float* p) const noexcept {
+    for (std::size_t i = 0; i < kWidth; ++i) p[i] = v[i];
+  }
+};
+
+[[nodiscard]] inline VecF add(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) a.v[i] += b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecF sub(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) a.v[i] -= b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecF mul(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) a.v[i] *= b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecF div(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) a.v[i] /= b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecF min(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i)
+    a.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecF max(VecF a, VecF b) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i)
+    a.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return a;
+}
+/// a*b + c, single rounding (std::fma matches hardware FMA semantics).
+[[nodiscard]] inline VecF fmadd(VecF a, VecF b, VecF c) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i)
+    c.v[i] = std::fma(a.v[i], b.v[i], c.v[i]);
+  return c;
+}
+/// c - a*b, single rounding.
+[[nodiscard]] inline VecF fnmadd(VecF a, VecF b, VecF c) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i)
+    c.v[i] = std::fma(-a.v[i], b.v[i], c.v[i]);
+  return c;
+}
+[[nodiscard]] inline VecF floor(VecF a) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) a.v[i] = std::floor(a.v[i]);
+  return a;
+}
+/// 2^n for integral-valued lanes of n in [-126, 127].
+[[nodiscard]] inline VecF pow2i(VecF n) noexcept {
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    const auto e = static_cast<std::int32_t>(n.v[i]) + 127;
+    n.v[i] = std::bit_cast<float>(e << 23);
+  }
+  return n;
+}
+/// Pairwise horizontal sum of the lanes.
+[[nodiscard]] inline float hsum(VecF a) noexcept {
+  return (a.v[0] + a.v[2]) + (a.v[1] + a.v[3]);
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Vectorized transcendental approximations (backend-independent algorithm;
+// the scalar references in simd.cpp spell out the identical operation
+// sequence with std::fma, which is what self_test compares against).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+// High clamp is log(2^127): keeps n = floor(x*log2e + 0.5) <= 127 so the
+// 2^n bit-build never produces an exponent-255 (inf) pattern — exp saturates
+// to ~1.7e38 instead of overflowing.
+inline constexpr float kExpHi = 88.02969193111305f;
+inline constexpr float kExpLo = -87.3365478515625f;
+inline constexpr float kLog2e = 1.44269504088896341f;
+inline constexpr float kExpC1 = 0.693359375f;
+inline constexpr float kExpC2 = -2.12194440e-4f;
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+}  // namespace detail
+
+/// Cephes-style exp approximation (clamped to the finite fp32 domain).
+[[nodiscard]] inline VecF exp(VecF x) noexcept {
+  using namespace detail;
+  x = min(x, VecF::broadcast(kExpHi));
+  x = max(x, VecF::broadcast(kExpLo));
+  // n = floor(x * log2(e) + 0.5); r = x - n*ln(2) in two parts.
+  VecF fx = fmadd(x, VecF::broadcast(kLog2e), VecF::broadcast(0.5f));
+  fx = floor(fx);
+  x = fnmadd(fx, VecF::broadcast(kExpC1), x);
+  x = fnmadd(fx, VecF::broadcast(kExpC2), x);
+  VecF y = VecF::broadcast(kExpP0);
+  y = fmadd(y, x, VecF::broadcast(kExpP1));
+  y = fmadd(y, x, VecF::broadcast(kExpP2));
+  y = fmadd(y, x, VecF::broadcast(kExpP3));
+  y = fmadd(y, x, VecF::broadcast(kExpP4));
+  y = fmadd(y, x, VecF::broadcast(kExpP5));
+  const VecF z = mul(x, x);
+  y = fmadd(y, z, x);
+  y = add(y, VecF::broadcast(1.0f));
+  return mul(y, pow2i(fx));
+}
+
+/// 1 / (1 + exp(-x)).
+[[nodiscard]] inline VecF sigmoid(VecF x) noexcept {
+  const VecF one = VecF::broadcast(1.0f);
+  const VecF e = exp(sub(VecF::zero(), x));
+  return div(one, add(one, e));
+}
+
+/// 2*sigmoid(2x) - 1.
+[[nodiscard]] inline VecF tanh(VecF x) noexcept {
+  const VecF s = sigmoid(add(x, x));
+  return sub(add(s, s), VecF::broadcast(1.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations (simd.cpp): operation-for-operation the
+// same algorithm as the vector versions, so a correct backend matches them
+// bit for bit lane by lane.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] float exp_ref(float x) noexcept;
+[[nodiscard]] float sigmoid_ref(float x) noexcept;
+[[nodiscard]] float tanh_ref(float x) noexcept;
+
+/// The configure-time backend ("avx2", "neon" or "scalar").
+[[nodiscard]] const char* backend_name() noexcept;
+
+/// Verify the active backend against the scalar references on a
+/// deterministic input sweep (bit-equality for exp/sigmoid/tanh/fmadd,
+/// tolerance for the horizontal sum). False on mismatch, with a diagnostic
+/// in *error when given.
+[[nodiscard]] bool self_test(std::string* error = nullptr);
+
+/// Run self_test() once per process; throws std::runtime_error on failure.
+/// Called by ml::BatchedEnsemble before the first batched scan.
+void ensure_verified();
+
+// ---------------------------------------------------------------------------
+// 64-byte-aligned float storage for packed weights and activation panels.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+using AlignedVectorF = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace pt::common::simd

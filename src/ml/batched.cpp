@@ -1,0 +1,229 @@
+#include "ml/batched.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pt::ml {
+
+namespace simd = common::simd;
+
+namespace {
+
+std::size_t round_up(std::size_t n) {
+  return (n + simd::kWidth - 1) / simd::kWidth * simd::kWidth;
+}
+
+float activate_f32(Activation act, float y) {
+  switch (act) {
+    case Activation::kLinear:
+      return y;
+    case Activation::kSigmoid:
+      return simd::sigmoid_ref(y);
+    case Activation::kTanh:
+      return simd::tanh_ref(y);
+    case Activation::kRelu:
+      return y > 0.0f ? y : 0.0f;
+  }
+  return y;
+}
+
+}  // namespace
+
+BatchedMlp::BatchedMlp(const Mlp& mlp, const StandardScaler* scaler)
+    : inputs_(mlp.input_size()) {
+  if (scaler && scaler->width() != inputs_)
+    throw std::invalid_argument(
+        "BatchedMlp: scaler width does not match network input width");
+  layers_.reserve(mlp.layer_count());
+  for (std::size_t l = 0; l < mlp.layer_count(); ++l) {
+    const Matrix& w = mlp.weights(l);
+    const std::vector<double>& b = mlp.biases(l);
+    Layer layer;
+    layer.in = w.rows();
+    layer.units = w.cols();
+    layer.padded = round_up(layer.units);
+    layer.act = mlp.layers()[l].activation;
+    layer.w.assign(layer.in * layer.padded, 0.0f);
+    layer.bias.assign(layer.padded, 0.0f);
+    // Fold the standardization (x - mean) / stddev into layer 0:
+    //   W'[i][j] = W[i][j] / s[i];  b'[j] = b[j] - sum_i m[i]*W[i][j]/s[i].
+    // Kept in double until the final cast, so the fold adds no fp32 rounding
+    // beyond the unavoidable weight quantization.
+    const bool fold = l == 0 && scaler;
+    const std::vector<double>* m = fold ? &scaler->means() : nullptr;
+    const std::vector<double>* s = fold ? &scaler->stddevs() : nullptr;
+    for (std::size_t j = 0; j < layer.units; ++j) {
+      double bias = b[j];
+      if (fold) {
+        double shift = 0.0;
+        for (std::size_t i = 0; i < layer.in; ++i)
+          shift += (*m)[i] * w(i, j) / (*s)[i];
+        bias -= shift;
+      }
+      layer.bias[j] = static_cast<float>(bias);
+    }
+    for (std::size_t i = 0; i < layer.in; ++i) {
+      const double scale = fold ? 1.0 / (*s)[i] : 1.0;
+      for (std::size_t j = 0; j < layer.units; ++j)
+        layer.w[i * layer.padded + j] = static_cast<float>(w(i, j) * scale);
+    }
+    // Single-output layer fed by a padded activation panel: repack the one
+    // weight column contiguously (pads zero) so the forward pass can run it
+    // as a vector dot + horizontal sum. The previous layer's pad lanes hold
+    // act(0) — harmless, their wcol entries are zero.
+    if (layer.units == 1 && l > 0) {
+      const std::size_t prev_padded = layers_[l - 1].padded;
+      layer.wcol.assign(prev_padded, 0.0f);
+      for (std::size_t i = 0; i < layer.in; ++i)
+        layer.wcol[i] = layer.w[i * layer.padded];
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+namespace {
+
+// One row through one layer: out[0..padded) = act(x · W + b). The padded
+// unit panel is covered by up to kTile vector accumulators at a time, each
+// seeded from the bias; every input then broadcasts into them via FMA.
+void forward_row(const float* x, std::size_t in, std::size_t padded,
+                 Activation act, const float* w, const float* bias,
+                 float* out) {
+  using simd::VecF;
+  constexpr std::size_t kTile = 4;
+  for (std::size_t j0 = 0; j0 < padded; j0 += kTile * simd::kWidth) {
+    const std::size_t lanes_left = (padded - j0) / simd::kWidth;
+    const std::size_t tiles = lanes_left < kTile ? lanes_left : kTile;
+    VecF acc[kTile];
+    for (std::size_t t = 0; t < tiles; ++t)
+      acc[t] = VecF::load(bias + j0 + t * simd::kWidth);
+    for (std::size_t i = 0; i < in; ++i) {
+      const VecF xi = VecF::broadcast(x[i]);
+      const float* wrow = w + i * padded + j0;
+      for (std::size_t t = 0; t < tiles; ++t)
+        acc[t] = simd::fmadd(xi, VecF::load(wrow + t * simd::kWidth), acc[t]);
+    }
+    switch (act) {
+      case Activation::kLinear:
+        break;
+      case Activation::kSigmoid:
+        for (std::size_t t = 0; t < tiles; ++t) acc[t] = simd::sigmoid(acc[t]);
+        break;
+      case Activation::kTanh:
+        for (std::size_t t = 0; t < tiles; ++t) acc[t] = simd::tanh(acc[t]);
+        break;
+      case Activation::kRelu:
+        for (std::size_t t = 0; t < tiles; ++t)
+          acc[t] = simd::max(acc[t], VecF::zero());
+        break;
+    }
+    for (std::size_t t = 0; t < tiles; ++t)
+      acc[t].store(out + j0 + t * simd::kWidth);
+  }
+}
+
+}  // namespace
+
+void BatchedMlp::forward_column0(const float* x, std::size_t rows, float* out,
+                                 Scratch& scratch) const {
+  assert(output_size() == 1 &&
+         "forward_column0 requires a single-output network");
+  std::size_t max_panel = 0;
+  for (const Layer& layer : layers_)
+    if (layer.padded > max_panel) max_panel = layer.padded;
+  if (scratch.a.size() < max_panel) scratch.a.assign(max_panel, 0.0f);
+  if (scratch.b.size() < max_panel) scratch.b.assign(max_panel, 0.0f);
+
+  const std::size_t nl = layers_.size();
+  const Layer& last = layers_.back();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* cur = x + r * inputs_;
+    float* ping = scratch.a.data();
+    float* pong = scratch.b.data();
+    for (std::size_t l = 0; l + 1 < nl; ++l) {
+      const Layer& layer = layers_[l];
+      forward_row(cur, layer.in, layer.padded, layer.act, layer.w.data(),
+                  layer.bias.data(), ping);
+      cur = ping;
+      std::swap(ping, pong);
+    }
+    if (!last.wcol.empty()) {
+      // Hidden activations are a kWidth-multiple panel: vector dot + hsum.
+      using simd::VecF;
+      const std::size_t prev_padded = layers_[nl - 2].padded;
+      VecF acc = VecF::zero();
+      for (std::size_t i = 0; i < prev_padded; i += simd::kWidth)
+        acc = simd::fmadd(VecF::load(cur + i), VecF::load(last.wcol.data() + i),
+                          acc);
+      out[r] = activate_f32(last.act, last.bias[0] + simd::hsum(acc));
+    } else if (last.units == 1) {
+      // Degenerate single-layer network: the raw input row has arbitrary
+      // width and stride, so stay scalar (std::fma keeps lane semantics).
+      float sum = last.bias[0];
+      for (std::size_t i = 0; i < last.in; ++i)
+        sum = std::fma(cur[i], last.w[i * last.padded], sum);
+      out[r] = activate_f32(last.act, sum);
+    } else {
+      forward_row(cur, last.in, last.padded, last.act, last.w.data(),
+                  last.bias.data(), ping);
+      out[r] = ping[0];
+    }
+  }
+}
+
+BatchedEnsemble::BatchedEnsemble(const BaggingEnsemble& ensemble) {
+  if (!ensemble.fitted())
+    throw std::invalid_argument("BatchedEnsemble: ensemble is not fitted");
+  simd::ensure_verified();
+  inputs_ = ensemble.member(0).input_size();
+  inv_k_ = 1.0f / static_cast<float>(ensemble.member_count());
+  members_.reserve(ensemble.member_count());
+  const StandardScaler* scaler =
+      ensemble.scaler().fitted() ? &ensemble.scaler() : nullptr;
+  for (std::size_t i = 0; i < ensemble.member_count(); ++i)
+    members_.emplace_back(ensemble.member(i), scaler);
+}
+
+void BatchedEnsemble::predict_batch_into(const float* x, std::size_t rows,
+                                         std::vector<float>& out,
+                                         Scratch& scratch) const {
+  // Accumulate member sums directly in `out`, in fixed member order, so the
+  // result is deterministic and chunking-independent.
+  out.assign(rows, 0.0f);
+  if (scratch.member.size() < rows) scratch.member.resize(rows);
+  for (const BatchedMlp& member : members_) {
+    member.forward_column0(x, rows, scratch.member.data(), scratch);
+    for (std::size_t r = 0; r < rows; ++r) out[r] += scratch.member[r];
+  }
+  for (std::size_t r = 0; r < rows; ++r) out[r] *= inv_k_;
+}
+
+BatchedEnsembleCache::BatchedEnsembleCache(
+    BatchedEnsembleCache&& other) noexcept {
+  const std::scoped_lock lock(other.mutex_);
+  engine_ = std::move(other.engine_);
+}
+
+BatchedEnsembleCache& BatchedEnsembleCache::operator=(
+    BatchedEnsembleCache&& other) noexcept {
+  if (this != &other) {
+    const std::scoped_lock lock(mutex_, other.mutex_);
+    engine_ = std::move(other.engine_);
+  }
+  return *this;
+}
+
+std::shared_ptr<const BatchedEnsemble> BatchedEnsembleCache::get(
+    const BaggingEnsemble& ensemble) const {
+  const std::scoped_lock lock(mutex_);
+  if (!engine_) engine_ = std::make_shared<const BatchedEnsemble>(ensemble);
+  return engine_;
+}
+
+void BatchedEnsembleCache::reset() noexcept {
+  const std::scoped_lock lock(mutex_);
+  engine_ = nullptr;
+}
+
+}  // namespace pt::ml

@@ -5,9 +5,11 @@
 // log2(value) for dimensions that span a wide positive power-of-two-style
 // range (work-group sizes 1..128 are exponent-natured knobs).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "ml/matrix.hpp"
 #include "tuner/param.hpp"
 
 namespace pt::tuner {
@@ -36,6 +38,48 @@ class FeatureCodec {
 
  private:
   std::vector<bool> use_log2_;
+};
+
+/// Bulk feature encoding for contiguous index ranges of a ParamSpace — the
+/// prediction-scan hot path. Precomputes the per-dimension encoded value
+/// tables (log2 evaluated once per distinct parameter value, not once per
+/// candidate) and walks the range with an incremental mixed-radix digit
+/// counter, so filling a chunk does no decode() allocation and no
+/// transcendental math.
+///
+/// fill() is bit-identical to the naive per-row decode() + encode_into()
+/// loop: the tables hold the very doubles std::log2 would produce.
+/// fill_f32() emits the same values cast to float (each table entry is cast
+/// once at construction), for the batched fp32 inference engine.
+class RangeEncoder {
+ public:
+  RangeEncoder() = default;
+  RangeEncoder(const FeatureCodec& codec, const ParamSpace& space);
+
+  [[nodiscard]] bool valid() const noexcept { return !dims_.empty(); }
+  /// Features per row: space dimensions plus the fixed tail width.
+  [[nodiscard]] std::size_t width(std::size_t tail_width = 0) const noexcept {
+    return dims_.size() + tail_width;
+  }
+
+  /// Encode configurations [lo, hi) into the rows of x (reshaped in place to
+  /// (hi - lo, width(tail.size()))). Every row ends with a copy of `tail`
+  /// (instance features for input-aware models; empty otherwise).
+  void fill(std::uint64_t lo, std::uint64_t hi, ml::Matrix& x,
+            std::span<const double> tail = {}) const;
+
+  /// fp32 variant: rows are written back to back into `out` (resized to
+  /// (hi - lo) * width(tail.size())).
+  void fill_f32(std::uint64_t lo, std::uint64_t hi, std::vector<float>& out,
+                std::span<const float> tail = {}) const;
+
+ private:
+  struct Dim {
+    std::vector<double> encoded;    // encoded feature per value index
+    std::vector<float> encoded_f;   // the same, cast to float
+  };
+  std::vector<Dim> dims_;
+  std::uint64_t space_size_ = 0;
 };
 
 }  // namespace pt::tuner

@@ -57,10 +57,12 @@ void InputAwarePerformanceModel::fit(
   StageScope stage(options_.run, "input_aware", "input_aware.fit");
   space_ = space;
   codec_ = FeatureCodec::build(space, options_.encoding);
+  range_encoder_ = RangeEncoder(codec_, space_);
+  batched_.reset();
   problem_names_ = std::move(problem_parameter_names);
 
-  const std::size_t width =
-      space.dimension_count() + problem_names_.size();
+  const std::size_t dims = space.dimension_count();
+  const std::size_t width = dims + problem_names_.size();
   ml::Dataset data;
   data.x = ml::Matrix(samples.size(), width);
   data.y = ml::Matrix(samples.size(), 1);
@@ -68,9 +70,10 @@ void InputAwarePerformanceModel::fit(
     if (samples[i].time_ms <= 0.0)
       throw std::invalid_argument(
           "InputAwarePerformanceModel::fit: non-positive time");
-    const auto features = encode(samples[i].config, samples[i].instance);
-    auto row = data.x.row(i);
-    std::copy(features.begin(), features.end(), row.begin());
+    const auto row = data.x.row(i);
+    codec_.encode_into(samples[i].config, row.subspan(0, dims));
+    const auto inst = instance_features(samples[i].instance);
+    std::copy(inst.begin(), inst.end(), row.begin() + dims);
     data.y(i, 0) = options_.log_targets
                        ? ml::LogTargetTransform::forward(samples[i].time_ms)
                        : samples[i].time_ms;
@@ -118,13 +121,13 @@ std::vector<double> InputAwarePerformanceModel::predict_many_ms(
   if (!fitted())
     throw std::logic_error("InputAwarePerformanceModel: predict before fit");
   if (configs.empty()) return {};
-  const std::size_t width =
-      space_.dimension_count() + problem_names_.size();
-  ml::Matrix x(configs.size(), width);
+  const std::size_t dims = space_.dimension_count();
+  const auto inst = instance_features(instance);
+  ml::Matrix x(configs.size(), dims + inst.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto features = encode(configs[i], instance);
-    auto row = x.row(i);
-    std::copy(features.begin(), features.end(), row.begin());
+    const auto row = x.row(i);
+    codec_.encode_into(configs[i], row.subspan(0, dims));
+    std::copy(inst.begin(), inst.end(), row.begin() + dims);
   }
   auto preds = ensemble_.predict_batch(x);
   for (auto& p : preds) {
@@ -142,16 +145,20 @@ OutputTransform InputAwarePerformanceModel::output_transform()
 ScanRowFiller InputAwarePerformanceModel::row_filler(
     const ProblemInstance& instance) const {
   // The instance features are fixed across the scan: validate and transform
-  // them once, then copy into every row.
+  // them once, then the range encoder copies them into every row tail.
   return [this, inst = instance_features(instance)](
              std::uint64_t lo, std::uint64_t hi, ml::Matrix& x) {
-    const std::size_t dims = space_.dimension_count();
-    x.reshape(static_cast<std::size_t>(hi - lo), dims + inst.size());
-    for (std::uint64_t idx = lo; idx < hi; ++idx) {
-      auto row = x.row(static_cast<std::size_t>(idx - lo));
-      codec_.encode_into(space_.decode(idx), row.subspan(0, dims));
-      std::copy(inst.begin(), inst.end(), row.begin() + dims);
-    }
+    range_encoder_.fill(lo, hi, x, inst);
+  };
+}
+
+ScanRowFillerF32 InputAwarePerformanceModel::row_filler_f32(
+    const ProblemInstance& instance) const {
+  const auto inst = instance_features(instance);
+  std::vector<float> inst_f(inst.begin(), inst.end());
+  return [this, inst_f = std::move(inst_f)](
+             std::uint64_t lo, std::uint64_t hi, std::vector<float>& rows) {
+    range_encoder_.fill_f32(lo, hi, rows, inst_f);
   };
 }
 
@@ -160,6 +167,12 @@ std::vector<double> InputAwarePerformanceModel::predict_range_ms(
     const ProblemInstance& instance) const {
   if (!fitted())
     throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    const auto engine = batched_.get(ensemble_);
+    const BatchedScan batched{engine.get(), row_filler_f32(instance)};
+    return scan_predict_range(ensemble_, row_filler(instance), begin, end,
+                              output_transform(), options_.scan, &batched);
+  }
   return scan_predict_range(ensemble_, row_filler(instance), begin, end,
                             output_transform());
 }
@@ -169,6 +182,12 @@ TopMScanResult InputAwarePerformanceModel::predict_scan_top_m(
     const ProblemInstance& instance, const ScanFilter& filter) const {
   if (!fitted())
     throw std::logic_error("InputAwarePerformanceModel: predict before fit");
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    const auto engine = batched_.get(ensemble_);
+    const BatchedScan batched{engine.get(), row_filler_f32(instance)};
+    return scan_top_m(ensemble_, row_filler(instance), begin, end, m,
+                      output_transform(), filter, options_.scan, &batched);
+  }
   return scan_top_m(ensemble_, row_filler(instance), begin, end, m,
                     output_transform(), filter);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
 #include "tuner/observer.hpp"
@@ -43,6 +44,8 @@ class InputAwarePerformanceModel {
     FeatureEncoding encoding = FeatureEncoding::kLog2;
     /// Apply log2 to problem parameters as well (sizes are scale-natured).
     bool log2_problem_parameters = true;
+    /// Scan engine knobs (see AnnPerformanceModel::Options::scan).
+    ScanOptions scan{};
     /// Per-run wiring: observer (on_stage_*/on_epoch), telemetry, seed,
     /// threads (see tuner/observer.hpp). The default context is inert.
     TunerRunContext run{};
@@ -62,6 +65,13 @@ class InputAwarePerformanceModel {
            const std::vector<InputAwareSample>& samples);
 
   [[nodiscard]] bool fitted() const noexcept { return ensemble_.fitted(); }
+  /// Switch scan inference paths on a fitted model.
+  void set_scan_options(const ScanOptions& scan) noexcept {
+    options_.scan = scan;
+  }
+  [[nodiscard]] const ScanOptions& scan_options() const noexcept {
+    return options_.scan;
+  }
   [[nodiscard]] const std::vector<std::string>& problem_parameter_names()
       const noexcept {
     return problem_names_;
@@ -99,14 +109,18 @@ class InputAwarePerformanceModel {
   /// Scan-engine adapters (see AnnPerformanceModel).
   [[nodiscard]] OutputTransform output_transform() const noexcept;
   [[nodiscard]] ScanRowFiller row_filler(const ProblemInstance& instance) const;
+  [[nodiscard]] ScanRowFillerF32 row_filler_f32(
+      const ProblemInstance& instance) const;
 
   Options options_;
   ParamSpace space_;
   FeatureCodec codec_;
+  RangeEncoder range_encoder_;
   std::vector<std::string> problem_names_;
   double target_mean_ = 0.0;
   double target_scale_ = 1.0;
   ml::BaggingEnsemble ensemble_;
+  ml::BatchedEnsembleCache batched_;
 };
 
 }  // namespace pt::tuner

@@ -24,6 +24,8 @@ void AnnPerformanceModel::fit(const ParamSpace& space,
     throw std::invalid_argument("AnnPerformanceModel::fit: no samples");
   space_ = space;
   codec_ = FeatureCodec::build(space, options_.encoding);
+  range_encoder_ = RangeEncoder(codec_, space_);
+  batched_.reset();
 
   ml::Dataset data;
   data.x = ml::Matrix(samples.size(), space.dimension_count());
@@ -32,9 +34,7 @@ void AnnPerformanceModel::fit(const ParamSpace& space,
     if (samples[i].time_ms <= 0.0)
       throw std::invalid_argument(
           "AnnPerformanceModel::fit: non-positive time");
-    const auto features = encode_features(samples[i].config);
-    auto row = data.x.row(i);
-    std::copy(features.begin(), features.end(), row.begin());
+    codec_.encode_into(samples[i].config, data.x.row(i));
     data.y(i, 0) = options_.log_targets
                        ? ml::LogTargetTransform::forward(samples[i].time_ms)
                        : samples[i].time_ms;
@@ -66,10 +66,12 @@ AnnPerformanceModel AnnPerformanceModel::restore(
         "AnnPerformanceModel::restore: space/ensemble width mismatch");
   AnnPerformanceModel model(std::move(options));
   model.codec_ = FeatureCodec::build(space, model.options_.encoding);
+  model.range_encoder_ = RangeEncoder(model.codec_, space);
   model.space_ = std::move(space);
   model.target_mean_ = target_mean;
   model.target_scale_ = target_scale;
   model.ensemble_ = std::move(ensemble);
+  model.batched_.reset();
   return model;
 }
 
@@ -90,11 +92,13 @@ OutputTransform AnnPerformanceModel::output_transform() const noexcept {
 
 ScanRowFiller AnnPerformanceModel::row_filler() const {
   return [this](std::uint64_t lo, std::uint64_t hi, ml::Matrix& x) {
-    x.reshape(static_cast<std::size_t>(hi - lo), space_.dimension_count());
-    for (std::uint64_t idx = lo; idx < hi; ++idx) {
-      codec_.encode_into(space_.decode(idx),
-                         x.row(static_cast<std::size_t>(idx - lo)));
-    }
+    range_encoder_.fill(lo, hi, x);
+  };
+}
+
+ScanRowFillerF32 AnnPerformanceModel::row_filler_f32() const {
+  return [this](std::uint64_t lo, std::uint64_t hi, std::vector<float>& rows) {
+    range_encoder_.fill_f32(lo, hi, rows);
   };
 }
 
@@ -102,6 +106,12 @@ std::vector<double> AnnPerformanceModel::predict_range_ms(
     std::uint64_t begin, std::uint64_t end) const {
   if (!fitted())
     throw std::logic_error("AnnPerformanceModel: predict before fit");
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    const auto engine = batched_.get(ensemble_);
+    const BatchedScan batched{engine.get(), row_filler_f32()};
+    return scan_predict_range(ensemble_, row_filler(), begin, end,
+                              output_transform(), options_.scan, &batched);
+  }
   return scan_predict_range(ensemble_, row_filler(), begin, end,
                             output_transform());
 }
@@ -111,6 +121,12 @@ TopMScanResult AnnPerformanceModel::predict_scan_top_m(
     const ScanFilter& filter) const {
   if (!fitted())
     throw std::logic_error("AnnPerformanceModel: predict before fit");
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    const auto engine = batched_.get(ensemble_);
+    const BatchedScan batched{engine.get(), row_filler_f32()};
+    return scan_top_m(ensemble_, row_filler(), begin, end, m,
+                      output_transform(), filter, options_.scan, &batched);
+  }
   return scan_top_m(ensemble_, row_filler(), begin, end, m,
                     output_transform(), filter);
 }
@@ -121,11 +137,8 @@ std::vector<double> AnnPerformanceModel::predict_many_ms(
     throw std::logic_error("AnnPerformanceModel: predict before fit");
   if (configs.empty()) return {};
   ml::Matrix x(configs.size(), space_.dimension_count());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto features = encode_features(configs[i]);
-    auto row = x.row(i);
-    std::copy(features.begin(), features.end(), row.begin());
-  }
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    codec_.encode_into(configs[i], x.row(i));
   auto preds = ensemble_.predict_batch(x);
   for (auto& p : preds) p = to_time_ms(p);
   return preds;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
 #include "tuner/param.hpp"
@@ -35,6 +36,10 @@ class AnnPerformanceModel {
     /// Train on log(time) so squared error means relative error (paper 5.2).
     bool log_targets = true;
     FeatureEncoding encoding = FeatureEncoding::kLog2;
+    /// Scan engine knobs; scan.inference = kBatchedFp32 opts the bulk
+    /// prediction paths into the SIMD engine (top-m results stay identical
+    /// to the fp64 reference, see tuner/scan.hpp).
+    ScanOptions scan{};
   };
 
   AnnPerformanceModel() : AnnPerformanceModel(Options{}) {}
@@ -48,6 +53,14 @@ class AnnPerformanceModel {
 
   [[nodiscard]] bool fitted() const noexcept { return ensemble_.fitted(); }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
+  /// Switch scan inference paths on a fitted model (e.g. benches comparing
+  /// fp64 vs batched fp32 on the same ensemble).
+  void set_scan_options(const ScanOptions& scan) noexcept {
+    options_.scan = scan;
+  }
+  [[nodiscard]] const ScanOptions& scan_options() const noexcept {
+    return options_.scan;
+  }
   [[nodiscard]] const ml::BaggingEnsemble& ensemble() const noexcept {
     return ensemble_;
   }
@@ -95,20 +108,26 @@ class AnnPerformanceModel {
 
  private:
   [[nodiscard]] double to_time_ms(double network_output) const noexcept;
-  /// Scan-engine adapters: the transform equivalent to to_time_ms and a
-  /// filler that decodes+encodes a flat-index range into a feature matrix.
+  /// Scan-engine adapters: the transform equivalent to to_time_ms and
+  /// fillers that encode a flat-index range into feature rows (via the
+  /// precomputed RangeEncoder — no per-row decode allocation).
   [[nodiscard]] OutputTransform output_transform() const noexcept;
   [[nodiscard]] ScanRowFiller row_filler() const;
+  [[nodiscard]] ScanRowFillerF32 row_filler_f32() const;
 
   Options options_;
   ParamSpace space_;
   FeatureCodec codec_;
+  RangeEncoder range_encoder_;
   // Targets are standardized (zero mean, unit variance, after the optional
   // log transform) before training: the network then starts near the right
   // output scale and Rprop converges in far fewer epochs.
   double target_mean_ = 0.0;
   double target_scale_ = 1.0;
   ml::BaggingEnsemble ensemble_;
+  // Packed fp32 engine, built lazily on the first batched scan and dropped
+  // whenever the ensemble changes (fit/restore).
+  ml::BatchedEnsembleCache batched_;
 };
 
 }  // namespace pt::tuner

@@ -1,9 +1,11 @@
 #include "tuner/scan.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
@@ -12,12 +14,16 @@ namespace pt::tuner {
 namespace {
 
 /// Per-chunk working set: the feature matrix, the ensemble's prediction
-/// scratch, and the raw-output vector. Pooled so each worker reuses one
-/// across all the chunks it executes.
+/// scratch, and the raw-output vector — plus the fp32 equivalents for the
+/// batched path. Pooled so each worker reuses one across all the chunks it
+/// executes.
 struct ChunkScratch {
   ml::Matrix x;
   ml::BaggingEnsemble::PredictScratch ps;
   std::vector<double> preds;
+  std::vector<float> xf;
+  std::vector<float> predsf;
+  ml::BatchedEnsemble::Scratch bs;
 };
 
 class ScratchPool {
@@ -81,6 +87,64 @@ class BoundedTopM {
   std::vector<RawCandidate> heap_;
 };
 
+/// Relaxed selection for the batched fp32 path: the best-m heap plus an
+/// overflow list of every candidate within `slack` (= 2x the fp32 error
+/// bound) of the heap cutoff. The heap cutoff only improves as the chunk
+/// streams, so pruning the overflow against the current cutoff never drops
+/// a candidate that the final cutoff would have kept.
+class RelaxedTopM {
+ public:
+  RelaxedTopM(std::size_t m, double slack) : m_(m), slack_(slack) {
+    heap_.reserve(m);
+  }
+
+  /// True if offer() would retain this candidate (used for lazy filters).
+  [[nodiscard]] bool would_keep(const RawCandidate& c) const {
+    if (m_ == 0) return false;
+    if (heap_.size() < m_) return true;
+    return c.raw <= heap_.front().raw + slack_;
+  }
+
+  void offer(const RawCandidate& c) {
+    if (!would_keep(c)) return;
+    if (heap_.size() < m_) {
+      heap_.push_back(c);
+      std::push_heap(heap_.begin(), heap_.end(), better);
+      return;
+    }
+    if (better(c, heap_.front())) {
+      heap_.push_back(c);
+      std::push_heap(heap_.begin(), heap_.end(), better);
+      std::pop_heap(heap_.begin(), heap_.end(), better);
+      const RawCandidate evicted = heap_.back();
+      heap_.pop_back();
+      if (evicted.raw <= heap_.front().raw + slack_)
+        overflow_.push_back(evicted);
+    } else {
+      overflow_.push_back(c);
+    }
+    const std::size_t cap = std::max<std::size_t>(4 * m_, 1024);
+    if (overflow_.size() > cap) {
+      const double bound = heap_.front().raw + slack_;
+      std::erase_if(overflow_,
+                    [bound](const RawCandidate& o) { return o.raw > bound; });
+    }
+  }
+
+  /// Heap plus overflow, unordered.
+  [[nodiscard]] std::vector<RawCandidate> take() {
+    heap_.insert(heap_.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t m_;
+  double slack_;
+  std::vector<RawCandidate> heap_;
+  std::vector<RawCandidate> overflow_;
+};
+
 std::uint64_t chunk_count_for(std::uint64_t n) {
   return (n + kScanChunkRows - 1) / kScanChunkRows;
 }
@@ -99,16 +163,102 @@ std::vector<ScanCandidate> merge_chunks(
   return out;
 }
 
+void require_batched(const ScanOptions& options, const BatchedScan* batched,
+                     const char* where) {
+  if (options.inference != ScanInference::kBatchedFp32) return;
+  if (!batched || !batched->engine || !batched->fill)
+    throw std::invalid_argument(std::string(where) +
+                                ": batched fp32 inference requested without "
+                                "an engine and fp32 row filler");
+}
+
+void gauge_configs_per_sec(std::uint64_t n,
+                           std::chrono::steady_clock::time_point start) {
+  if (!common::telemetry::enabled()) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (seconds > 0.0)
+    common::telemetry::gauge("tuner.scan.configs_per_sec",
+                             static_cast<double>(n) / seconds);
+}
+
+/// Exact fp64 raw outputs for a set of flat indices, one unit-range fill and
+/// predict per index. Bit-identical to what the chunked fp64 scan computes
+/// for the same indices: every kernel under predict_batch_into accumulates
+/// per output element in a row-count independent order.
+std::unordered_map<std::uint64_t, double> rerank_fp64(
+    const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
+    const std::vector<std::uint64_t>& indices) {
+  std::unordered_map<std::uint64_t, double> raw64;
+  raw64.reserve(indices.size());
+  ChunkScratch scratch;
+  for (const std::uint64_t index : indices) {
+    if (raw64.contains(index)) continue;
+    fill(index, index + 1, scratch.x);
+    ensemble.predict_batch_into(scratch.x, scratch.preds, scratch.ps);
+    raw64.emplace(index, scratch.preds[0]);
+  }
+  return raw64;
+}
+
+/// Survivors of the global fp32 cutoff: every candidate within `slack` of
+/// the m-th best fp32 output (all of them when fewer than m exist). These
+/// are exactly the candidates whose fp64 rank can still reach the top m.
+std::vector<RawCandidate> fp32_survivors(
+    std::vector<std::vector<RawCandidate>>& chunks, std::size_t m,
+    double slack) {
+  std::vector<RawCandidate> all;
+  for (auto& v : chunks) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(), better);
+  if (all.size() > m) {
+    const double bound = all[m - 1].raw + slack;
+    const auto first_out = std::find_if(
+        all.begin() + static_cast<std::ptrdiff_t>(m), all.end(),
+        [bound](const RawCandidate& c) { return c.raw > bound; });
+    all.erase(first_out, all.end());
+  }
+  return all;
+}
+
+/// Re-rank survivors by their exact fp64 outputs and emit the final top-m.
+std::vector<ScanCandidate> finish_fp64(
+    std::vector<RawCandidate>& survivors,
+    const std::unordered_map<std::uint64_t, double>& raw64, std::size_t m,
+    const OutputTransform& transform) {
+  for (RawCandidate& c : survivors) c.raw = raw64.at(c.index);
+  std::sort(survivors.begin(), survivors.end(), better);
+  if (survivors.size() > m) survivors.resize(m);
+  std::vector<ScanCandidate> out;
+  out.reserve(survivors.size());
+  for (const auto& c : survivors)
+    out.push_back(ScanCandidate{c.index, transform(c.raw)});
+  return out;
+}
+
 }  // namespace
 
 std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
                                        const ScanRowFiller& fill,
                                        std::uint64_t begin, std::uint64_t end,
                                        const OutputTransform& transform) {
+  return scan_predict_range(ensemble, fill, begin, end, transform,
+                            ScanOptions{}, nullptr);
+}
+
+std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
+                                       const ScanRowFiller& fill,
+                                       std::uint64_t begin, std::uint64_t end,
+                                       const OutputTransform& transform,
+                                       const ScanOptions& options,
+                                       const BatchedScan* batched) {
   if (begin > end) throw std::invalid_argument("scan_predict_range: bad range");
+  require_batched(options, batched, "scan_predict_range");
   const std::uint64_t n = end - begin;
   std::vector<double> out(static_cast<std::size_t>(n));
   if (n == 0) return out;
+  const bool fp32 = options.inference == ScanInference::kBatchedFp32;
+  const auto start = std::chrono::steady_clock::now();
 
   ScratchPool pool;
   common::global_pool().parallel_for(
@@ -117,13 +267,24 @@ std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
         const std::uint64_t lo = begin + c * kScanChunkRows;
         const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
         auto scratch = pool.acquire();
-        fill(lo, hi, scratch->x);
-        ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
         const std::size_t offset = static_cast<std::size_t>(lo - begin);
-        for (std::size_t i = 0; i < scratch->preds.size(); ++i)
-          out[offset + i] = transform(scratch->preds[i]);
+        const std::size_t rows = static_cast<std::size_t>(hi - lo);
+        if (fp32) {
+          batched->fill(lo, hi, scratch->xf);
+          batched->engine->predict_batch_into(scratch->xf.data(), rows,
+                                              scratch->predsf, scratch->bs);
+          for (std::size_t i = 0; i < rows; ++i)
+            out[offset + i] =
+                transform(static_cast<double>(scratch->predsf[i]));
+        } else {
+          fill(lo, hi, scratch->x);
+          ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
+          for (std::size_t i = 0; i < scratch->preds.size(); ++i)
+            out[offset + i] = transform(scratch->preds[i]);
+        }
         pool.release(std::move(scratch));
       });
+  gauge_configs_per_sec(n, start);
   return out;
 }
 
@@ -132,13 +293,27 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
                           std::uint64_t end, std::size_t m,
                           const OutputTransform& transform,
                           const ScanFilter& filter) {
+  return scan_top_m(ensemble, fill, begin, end, m, transform, filter,
+                    ScanOptions{}, nullptr);
+}
+
+TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
+                          const ScanRowFiller& fill, std::uint64_t begin,
+                          std::uint64_t end, std::size_t m,
+                          const OutputTransform& transform,
+                          const ScanFilter& filter, const ScanOptions& options,
+                          const BatchedScan* batched) {
   if (begin > end) throw std::invalid_argument("scan_top_m: bad range");
   if (!(transform.scale > 0.0))
     throw std::invalid_argument("scan_top_m: non-positive transform scale");
+  require_batched(options, batched, "scan_top_m");
   TopMScanResult result;
   const std::uint64_t n = end - begin;
   result.scanned = n;
   if (n == 0 || m == 0) return result;
+  const bool fp32 = options.inference == ScanInference::kBatchedFp32;
+  const double slack = 2.0 * options.fp32_error_bound;
+  const auto start = std::chrono::steady_clock::now();
 
   const std::size_t chunks = static_cast<std::size_t>(chunk_count_for(n));
   std::vector<std::vector<RawCandidate>> chunk_top(chunks);
@@ -151,40 +326,97 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
     const std::uint64_t lo = begin + c * kScanChunkRows;
     const std::uint64_t hi = std::min<std::uint64_t>(end, lo + kScanChunkRows);
     auto scratch = pool.acquire();
-    fill(lo, hi, scratch->x);
-    ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
-
-    BoundedTopM unfiltered(m);
-    BoundedTopM filtered(m);
+    const std::size_t rows = static_cast<std::size_t>(hi - lo);
     std::uint64_t rejected = 0;
-    for (std::size_t i = 0; i < scratch->preds.size(); ++i) {
-      const RawCandidate cand{scratch->preds[i], lo + i};
-      if (unfiltered.would_enter(cand)) unfiltered.push(cand);
-      if (filter && filtered.would_enter(cand)) {
-        // Lazy filter evaluation: only candidates good enough to enter the
-        // chunk heap pay for the validity check.
-        if (filter(cand.index)) {
-          filtered.push(cand);
-        } else {
-          ++rejected;
+    if (fp32) {
+      batched->fill(lo, hi, scratch->xf);
+      batched->engine->predict_batch_into(scratch->xf.data(), rows,
+                                          scratch->predsf, scratch->bs);
+      RelaxedTopM unfiltered(m, slack);
+      RelaxedTopM filtered(m, slack);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const RawCandidate cand{static_cast<double>(scratch->predsf[i]),
+                                lo + i};
+        unfiltered.offer(cand);
+        if (filter && filtered.would_keep(cand)) {
+          // Lazy filter evaluation: only candidates good enough to be
+          // retained pay for the validity check.
+          if (filter(cand.index)) {
+            filtered.offer(cand);
+          } else {
+            ++rejected;
+          }
         }
       }
+      chunk_top_unfiltered[c] = unfiltered.take();
+      if (filter) chunk_top[c] = filtered.take();
+    } else {
+      fill(lo, hi, scratch->x);
+      ensemble.predict_batch_into(scratch->x, scratch->preds, scratch->ps);
+      BoundedTopM unfiltered(m);
+      BoundedTopM filtered(m);
+      for (std::size_t i = 0; i < scratch->preds.size(); ++i) {
+        const RawCandidate cand{scratch->preds[i], lo + i};
+        if (unfiltered.would_enter(cand)) unfiltered.push(cand);
+        if (filter && filtered.would_enter(cand)) {
+          // Lazy filter evaluation: only candidates good enough to enter the
+          // chunk heap pay for the validity check.
+          if (filter(cand.index)) {
+            filtered.push(cand);
+          } else {
+            ++rejected;
+          }
+        }
+      }
+      chunk_top_unfiltered[c] = unfiltered.take();
+      if (filter) chunk_top[c] = filtered.take();
     }
-    chunk_top_unfiltered[c] = unfiltered.take();
-    if (filter) chunk_top[c] = filtered.take();
     chunk_rejected[c] = rejected;
     pool.release(std::move(scratch));
   });
 
   for (std::uint64_t r : chunk_rejected) result.rejected += r;
-  result.top_unfiltered = merge_chunks(chunk_top_unfiltered, m, transform);
-  result.top =
-      filter ? merge_chunks(chunk_top, m, transform) : result.top_unfiltered;
+  if (fp32) {
+    // Survivors of the fp32 cutoff (per selection set), then one exact fp64
+    // evaluation per unique survivor, then the fp64-ordered truncation. The
+    // result matches the fp64 path exactly whenever |fp32 - fp64| stays
+    // within fp32_error_bound.
+    std::vector<RawCandidate> unfiltered_survivors =
+        fp32_survivors(chunk_top_unfiltered, m, slack);
+    std::vector<RawCandidate> filtered_survivors =
+        filter ? fp32_survivors(chunk_top, m, slack)
+               : std::vector<RawCandidate>{};
+    result.near_ties +=
+        unfiltered_survivors.size() -
+        std::min<std::size_t>(m, unfiltered_survivors.size());
+    result.near_ties += filtered_survivors.size() -
+                        std::min<std::size_t>(m, filtered_survivors.size());
+    std::vector<std::uint64_t> indices;
+    indices.reserve(unfiltered_survivors.size() + filtered_survivors.size());
+    for (const auto& c : unfiltered_survivors) indices.push_back(c.index);
+    for (const auto& c : filtered_survivors) indices.push_back(c.index);
+    const auto raw64 = rerank_fp64(ensemble, fill, indices);
+    result.fp64_reranked = raw64.size();
+    result.top_unfiltered = finish_fp64(unfiltered_survivors, raw64, m, transform);
+    result.top = filter ? finish_fp64(filtered_survivors, raw64, m, transform)
+                        : result.top_unfiltered;
+  } else {
+    result.top_unfiltered = merge_chunks(chunk_top_unfiltered, m, transform);
+    result.top =
+        filter ? merge_chunks(chunk_top, m, transform) : result.top_unfiltered;
+  }
+  gauge_configs_per_sec(n, start);
   if (common::telemetry::enabled()) {
     common::telemetry::count("scan.candidates_scanned",
                              static_cast<double>(result.scanned));
     common::telemetry::count("scan.candidates_filtered",
                              static_cast<double>(result.rejected));
+    if (fp32) {
+      common::telemetry::count("tuner.scan.fp64_rerank",
+                               static_cast<double>(result.fp64_reranked));
+      common::telemetry::count("tuner.scan.near_ties",
+                               static_cast<double>(result.near_ties));
+    }
   }
   return result;
 }

@@ -23,12 +23,29 @@
 // tie-break makes the order total — merge results cannot depend on chunk
 // arrival order.
 
+// The scan has two inference paths, selected by ScanOptions::inference:
+//  - kScalarFp64 (default): the fp64 reference — per-chunk Matrix fill and
+//    BaggingEnsemble::predict_batch_into.
+//  - kBatchedFp32: the SIMD fast path — per-chunk fp32 row fill and a packed
+//    ml::BatchedEnsemble forward. Selection stays *exactly* fp64-identical:
+//    each chunk keeps, besides its best-m heap, every candidate whose fp32
+//    output lies within 2 * fp32_error_bound of the heap cutoff, and after
+//    the merge all candidates within that band of the global fp32 cutoff are
+//    re-ranked through the fp64 path (whose per-row results are bit-identical
+//    to the fp64 scan's chunked results, because every kernel under
+//    predict_batch_into accumulates per output element in a row-count
+//    independent order). As long as |fp32 - fp64| <= fp32_error_bound on raw
+//    outputs — bound ~1e-4, observed ~1e-6 for the paper's networks — the
+//    returned top-M is the one the fp64 scan would return, candidate for
+//    candidate, predicted values included.
+
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
 
 namespace pt::tuner {
@@ -61,12 +78,34 @@ struct ScanCandidate {
 /// Result of scan_top_m. `top` is the best-first filtered selection (equal
 /// to `top_unfiltered` when no filter was given); `rejected` counts filter
 /// rejections, which only happen for candidates good enough to enter a
-/// chunk heap at the moment they were scanned.
+/// chunk heap at the moment they were scanned. The last two fields are only
+/// non-zero on the batched fp32 path: `fp64_reranked` counts candidates sent
+/// through the fp64 reference for exact ranking, `near_ties` the subset that
+/// sat outside the fp32 top-m but within the error band (i.e. the ones whose
+/// fate fp64 actually decided).
 struct TopMScanResult {
   std::vector<ScanCandidate> top;
   std::vector<ScanCandidate> top_unfiltered;
   std::uint64_t scanned = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t fp64_reranked = 0;
+  std::uint64_t near_ties = 0;
+};
+
+/// Which inference engine the scan drives.
+enum class ScanInference {
+  kScalarFp64,   // per-chunk fp64 matrix forward (reference)
+  kBatchedFp32,  // packed SIMD fp32 forward with fp64 near-tie re-ranking
+};
+
+/// Scan tuning knobs, carried by the model layer (AnnPerformanceModel
+/// options) so callers opt in without new plumbing at every call site.
+struct ScanOptions {
+  ScanInference inference = ScanInference::kScalarFp64;
+  /// Upper bound assumed on |fp32 raw output - fp64 raw output|. Candidates
+  /// within 2x this bound of the fp32 selection cutoff are re-ranked in
+  /// fp64. In raw (standardized) output units.
+  double fp32_error_bound = 1e-4;
 };
 
 /// Validity predicate over flat indices. Called concurrently from worker
@@ -78,10 +117,32 @@ using ScanFilter = std::function<bool(std::uint64_t)>;
 using ScanRowFiller =
     std::function<void(std::uint64_t lo, std::uint64_t hi, ml::Matrix& x)>;
 
+/// fp32 counterpart: writes (hi - lo) feature rows back to back into `rows`
+/// (resized by the callee). Called concurrently from worker threads.
+using ScanRowFillerF32 = std::function<void(
+    std::uint64_t lo, std::uint64_t hi, std::vector<float>& rows)>;
+
+/// The batched fp32 engine and its row filler, passed alongside the fp64
+/// pair when ScanOptions::inference is kBatchedFp32. The fp64 filler/
+/// ensemble are still required — they are the re-ranking reference.
+struct BatchedScan {
+  const ml::BatchedEnsemble* engine = nullptr;
+  ScanRowFillerF32 fill;
+};
+
 /// Predicted (transformed) value for every index in [begin, end), in order.
 [[nodiscard]] std::vector<double> scan_predict_range(
     const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
     std::uint64_t begin, std::uint64_t end, const OutputTransform& transform);
+
+/// As above, honouring options.inference. The batched path computes each
+/// prediction in fp32 (values may differ from the reference by up to
+/// transform-scaled fp32_error_bound); throws std::invalid_argument if
+/// batched inference is requested without a usable BatchedScan.
+[[nodiscard]] std::vector<double> scan_predict_range(
+    const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
+    std::uint64_t begin, std::uint64_t end, const OutputTransform& transform,
+    const ScanOptions& options, const BatchedScan* batched);
 
 /// Best m candidates over [begin, end) by predicted value (ascending),
 /// without materializing the full prediction vector. Requires
@@ -93,5 +154,16 @@ using ScanRowFiller =
                                         std::size_t m,
                                         const OutputTransform& transform,
                                         const ScanFilter& filter = {});
+
+/// As above, honouring options.inference. On the batched path the returned
+/// selection (indices *and* predicted values) is identical to the fp64
+/// reference whenever the fp32 error stays within fp32_error_bound; throws
+/// std::invalid_argument if batched inference is requested without a usable
+/// BatchedScan.
+[[nodiscard]] TopMScanResult scan_top_m(
+    const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
+    std::uint64_t begin, std::uint64_t end, std::size_t m,
+    const OutputTransform& transform, const ScanFilter& filter,
+    const ScanOptions& options, const BatchedScan* batched);
 
 }  // namespace pt::tuner

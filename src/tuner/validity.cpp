@@ -52,23 +52,51 @@ void ValidityModel::fit(const ParamSpace& space,
 
 double ValidityModel::score(const Configuration& config) const {
   if (!fitted()) return 1.0;
-  auto features = codec_.encode(config);
+  std::vector<double> features(codec_.width());
+  codec_.encode_into(config, features);
   scaler_.transform_row(features);
   return net_->forward(features)[0];
 }
+
+namespace {
+
+/// Batch-score a labelled set: one encode_into per row, one scaler pass and
+/// one batched forward instead of a per-configuration allocating loop.
+std::vector<double> batch_scores(const FeatureCodec& codec,
+                                 const ml::StandardScaler& scaler,
+                                 const ml::Mlp& net,
+                                 const std::vector<Configuration>& configs) {
+  ml::Matrix x(configs.size(), codec.width());
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    codec.encode_into(configs[i], x.row(i));
+  scaler.transform_inplace(x);
+  const ml::Matrix y = net.forward_batch(x);
+  std::vector<double> out(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) out[i] = y(i, 0);
+  return out;
+}
+
+}  // namespace
 
 ValidityModel::Confusion ValidityModel::confusion(
     const std::vector<Configuration>& valid,
     const std::vector<Configuration>& invalid) const {
   Confusion c;
-  for (const auto& config : valid) {
-    if (predict_valid(config))
+  if (!fitted()) {
+    c.true_positive = valid.size();
+    c.false_positive = invalid.size();
+    return c;
+  }
+  const auto valid_scores = batch_scores(codec_, scaler_, *net_, valid);
+  for (const double s : valid_scores) {
+    if (s >= options_.threshold)
       ++c.true_positive;
     else
       ++c.false_negative;
   }
-  for (const auto& config : invalid) {
-    if (predict_valid(config))
+  const auto invalid_scores = batch_scores(codec_, scaler_, *net_, invalid);
+  for (const double s : invalid_scores) {
+    if (s >= options_.threshold)
       ++c.false_positive;
     else
       ++c.true_negative;

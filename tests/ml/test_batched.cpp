@@ -1,0 +1,236 @@
+// Tests for the batched fp32 inference engine (ml/batched.hpp): parity with
+// the per-row fp64 forward pass across topologies and activations, scaler
+// folding, ensemble averaging, determinism, and cache semantics.
+
+#include "ml/batched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/ensemble.hpp"
+#include "ml/mlp.hpp"
+
+namespace ml = pt::ml;
+
+namespace {
+
+ml::Mlp make_net(std::size_t inputs, std::vector<ml::LayerSpec> layers,
+                 std::uint64_t seed) {
+  ml::Mlp net(inputs, std::move(layers));
+  pt::common::Rng rng(seed);
+  net.init_weights(rng);
+  return net;
+}
+
+std::vector<float> random_rows(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed) {
+  pt::common::Rng rng(seed);
+  std::vector<float> x(rows * cols);
+  for (auto& v : x)
+    v = static_cast<float>(rng.uniform() * 8.0 - 4.0);
+  return x;
+}
+
+/// fp64 reference for one row of fp32 features.
+double reference_forward(const ml::Mlp& net, const float* row,
+                         std::size_t cols) {
+  std::vector<double> x(row, row + cols);
+  return net.forward(x)[0];
+}
+
+}  // namespace
+
+TEST(BatchedMlp, MatchesFp64ForwardAcrossTopologies) {
+  // Hidden sizes straddle the vector width: below, at, and above one lane
+  // group, plus the paper's 30 and a 33 that exercises the 4-tile loop tail.
+  const std::size_t hidden_sizes[] = {1, 3, 7, 8, 9, 16, 30, 33};
+  for (const std::size_t h : hidden_sizes) {
+    const ml::Mlp net = make_net(
+        5,
+        {{h, ml::Activation::kSigmoid}, {1, ml::Activation::kLinear}},
+        1000 + h);
+    const ml::BatchedMlp batched(net);
+    const std::size_t rows = 64;
+    const auto x = random_rows(rows, 5, 7 * h);
+    std::vector<float> out(rows);
+    ml::BatchedMlp::Scratch scratch;
+    batched.forward_column0(x.data(), rows, out.data(), scratch);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double want = reference_forward(net, x.data() + r * 5, 5);
+      EXPECT_NEAR(out[r], want, 1e-4) << "hidden = " << h << ", row = " << r;
+    }
+  }
+}
+
+TEST(BatchedMlp, MatchesFp64ForwardAcrossActivations) {
+  const ml::Activation acts[] = {ml::Activation::kSigmoid,
+                                 ml::Activation::kTanh, ml::Activation::kRelu,
+                                 ml::Activation::kLinear};
+  for (const auto act : acts) {
+    const ml::Mlp net =
+        make_net(4, {{12, act}, {1, ml::Activation::kLinear}}, 42);
+    const ml::BatchedMlp batched(net);
+    const std::size_t rows = 32;
+    const auto x = random_rows(rows, 4, 99);
+    std::vector<float> out(rows);
+    ml::BatchedMlp::Scratch scratch;
+    batched.forward_column0(x.data(), rows, out.data(), scratch);
+    for (std::size_t r = 0; r < rows; ++r)
+      EXPECT_NEAR(out[r], reference_forward(net, x.data() + r * 4, 4), 1e-4);
+  }
+}
+
+TEST(BatchedMlp, MatchesFp64WithTwoHiddenLayers) {
+  const ml::Mlp net = make_net(6,
+                               {{20, ml::Activation::kSigmoid},
+                                {10, ml::Activation::kTanh},
+                                {1, ml::Activation::kLinear}},
+                               7);
+  const ml::BatchedMlp batched(net);
+  const std::size_t rows = 48;
+  const auto x = random_rows(rows, 6, 5);
+  std::vector<float> out(rows);
+  ml::BatchedMlp::Scratch scratch;
+  batched.forward_column0(x.data(), rows, out.data(), scratch);
+  for (std::size_t r = 0; r < rows; ++r)
+    EXPECT_NEAR(out[r], reference_forward(net, x.data() + r * 6, 6), 1e-4);
+}
+
+TEST(BatchedMlp, SingleLayerNetwork) {
+  // Degenerate input -> output network exercises the scalar fallback path.
+  const ml::Mlp net = make_net(3, {{1, ml::Activation::kLinear}}, 21);
+  const ml::BatchedMlp batched(net);
+  const auto x = random_rows(16, 3, 3);
+  std::vector<float> out(16);
+  ml::BatchedMlp::Scratch scratch;
+  batched.forward_column0(x.data(), 16, out.data(), scratch);
+  for (std::size_t r = 0; r < 16; ++r)
+    EXPECT_NEAR(out[r], reference_forward(net, x.data() + r * 3, 3), 1e-5);
+}
+
+TEST(BatchedMlp, ScalerFoldingMatchesExplicitStandardization) {
+  const ml::Mlp net = make_net(
+      4, {{9, ml::Activation::kSigmoid}, {1, ml::Activation::kLinear}}, 3);
+  // A scaler with distinctly non-trivial means and stddevs.
+  ml::StandardScaler scaler;
+  scaler.restore({10.0, -3.0, 0.5, 100.0}, {2.0, 0.25, 1.5, 30.0});
+  const ml::BatchedMlp batched(net, &scaler);
+
+  const std::size_t rows = 32;
+  const auto x = random_rows(rows, 4, 31);
+  std::vector<float> out(rows);
+  ml::BatchedMlp::Scratch scratch;
+  batched.forward_column0(x.data(), rows, out.data(), scratch);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Reference: standardize in double, then fp64 forward.
+    std::vector<double> row(4);
+    for (std::size_t c = 0; c < 4; ++c)
+      row[c] = (static_cast<double>(x[r * 4 + c]) - scaler.means()[c]) /
+               scaler.stddevs()[c];
+    EXPECT_NEAR(out[r], net.forward(row)[0], 1e-4) << "row = " << r;
+  }
+}
+
+TEST(BatchedMlp, ScalerWidthMismatchThrows) {
+  const ml::Mlp net = make_net(
+      4, {{5, ml::Activation::kSigmoid}, {1, ml::Activation::kLinear}}, 3);
+  ml::StandardScaler scaler;
+  scaler.restore({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_THROW(ml::BatchedMlp(net, &scaler), std::invalid_argument);
+}
+
+namespace {
+
+ml::BaggingEnsemble fitted_ensemble(std::uint64_t seed) {
+  ml::BaggingEnsemble::Options opts;
+  opts.k = 5;
+  opts.hidden_layers = {{10, ml::Activation::kSigmoid}};
+  opts.trainer.common.max_epochs = 40;
+  ml::BaggingEnsemble ensemble(opts);
+  pt::common::Rng rng(seed);
+  ml::Dataset data;
+  data.x = ml::Matrix(60, 3);
+  data.y = ml::Matrix(60, 1);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t c = 0; c < 3; ++c)
+      data.x(i, c) = rng.uniform() * 10.0;
+    data.y(i, 0) =
+        std::sin(data.x(i, 0)) + 0.1 * data.x(i, 1) - 0.05 * data.x(i, 2);
+  }
+  ensemble.fit(data, rng);
+  return ensemble;
+}
+
+}  // namespace
+
+TEST(BatchedEnsemble, MatchesFp64EnsemblePrediction) {
+  const ml::BaggingEnsemble ensemble = fitted_ensemble(11);
+  const ml::BatchedEnsemble batched(ensemble);
+  EXPECT_EQ(batched.input_width(), 3u);
+  EXPECT_EQ(batched.member_count(), ensemble.member_count());
+
+  const std::size_t rows = 200;
+  const auto x = random_rows(rows, 3, 77);
+  std::vector<float> out;
+  ml::BatchedEnsemble::Scratch scratch;
+  batched.predict_batch_into(x.data(), rows, out, scratch);
+  ASSERT_EQ(out.size(), rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row(x.begin() + static_cast<std::ptrdiff_t>(r * 3),
+                            x.begin() + static_cast<std::ptrdiff_t>(r * 3 + 3));
+    EXPECT_NEAR(out[r], ensemble.predict(row), 1e-4) << "row = " << r;
+  }
+}
+
+TEST(BatchedEnsemble, DeterministicAndChunkingIndependent) {
+  const ml::BaggingEnsemble ensemble = fitted_ensemble(13);
+  const ml::BatchedEnsemble batched(ensemble);
+  const std::size_t rows = 96;
+  const auto x = random_rows(rows, 3, 5);
+
+  std::vector<float> whole;
+  ml::BatchedEnsemble::Scratch s1;
+  batched.predict_batch_into(x.data(), rows, whole, s1);
+
+  // Same rows evaluated in two pieces must give bit-identical outputs.
+  std::vector<float> first, second;
+  ml::BatchedEnsemble::Scratch s2;
+  batched.predict_batch_into(x.data(), 40, first, s2);
+  batched.predict_batch_into(x.data() + 40 * 3, rows - 40, second, s2);
+  for (std::size_t r = 0; r < 40; ++r) EXPECT_EQ(whole[r], first[r]);
+  for (std::size_t r = 40; r < rows; ++r) EXPECT_EQ(whole[r], second[r - 40]);
+}
+
+TEST(BatchedEnsemble, UnfittedEnsembleThrows) {
+  const ml::BaggingEnsemble ensemble;
+  EXPECT_THROW(ml::BatchedEnsemble{ensemble}, std::invalid_argument);
+}
+
+TEST(BatchedEnsembleCache, BuildsOnceAndResets) {
+  const ml::BaggingEnsemble ensemble = fitted_ensemble(17);
+  ml::BatchedEnsembleCache cache;
+  const auto a = cache.get(ensemble);
+  const auto b = cache.get(ensemble);
+  EXPECT_EQ(a.get(), b.get());  // same packed engine
+  cache.reset();
+  const auto c = cache.get(ensemble);
+  EXPECT_NE(a.get(), c.get());  // rebuilt
+  EXPECT_EQ(a->member_count(), c->member_count());
+}
+
+TEST(BatchedEnsembleCache, CopyResetsMoveTransfers) {
+  const ml::BaggingEnsemble ensemble = fitted_ensemble(19);
+  ml::BatchedEnsembleCache cache;
+  const auto original = cache.get(ensemble);
+
+  ml::BatchedEnsembleCache copy(cache);
+  EXPECT_NE(copy.get(ensemble).get(), original.get());  // copy re-packs
+
+  ml::BatchedEnsembleCache moved(std::move(cache));
+  EXPECT_EQ(moved.get(ensemble).get(), original.get());  // move transfers
+}

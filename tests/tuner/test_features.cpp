@@ -1,0 +1,123 @@
+// Tests for feature encoding (tuner/features.hpp), in particular the
+// RangeEncoder bulk filler: bit-parity with the per-row decode+encode path,
+// the fp32 variant, instance-feature tails, and range validation.
+
+#include "tuner/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "tuner/param.hpp"
+
+namespace tuner = pt::tuner;
+
+namespace {
+
+tuner::ParamSpace mixed_space() {
+  tuner::ParamSpace space;
+  space.add("wg", {1, 2, 4, 8, 16, 32, 64, 128});  // log2-encoded
+  space.add("unroll", {1, 2, 4});                   // log2-encoded
+  space.add("variant", {0, 1, 2});                  // raw (contains 0)
+  return space;
+}
+
+}  // namespace
+
+TEST(FeatureCodec, BuildSelectsLog2PerDimension) {
+  const auto space = mixed_space();
+  const auto codec =
+      tuner::FeatureCodec::build(space, tuner::FeatureEncoding::kLog2);
+  EXPECT_TRUE(codec.uses_log2(0));
+  EXPECT_TRUE(codec.uses_log2(1));
+  EXPECT_FALSE(codec.uses_log2(2));
+}
+
+TEST(RangeEncoder, FillMatchesPerRowEncodeBitwise) {
+  const auto space = mixed_space();
+  const auto codec =
+      tuner::FeatureCodec::build(space, tuner::FeatureEncoding::kLog2);
+  const tuner::RangeEncoder encoder(codec, space);
+
+  // Cover an interior range with a non-zero start and the full space.
+  const std::pair<std::uint64_t, std::uint64_t> ranges[] = {
+      {0, space.size()}, {17, 41}, {63, 64}, {5, 5}};
+  for (const auto& [lo, hi] : ranges) {
+    pt::ml::Matrix x;
+    encoder.fill(lo, hi, x);
+    ASSERT_EQ(x.rows(), hi - lo);
+    ASSERT_EQ(x.cols(), space.dimension_count());
+    std::vector<double> row(space.dimension_count());
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      codec.encode_into(space.decode(idx), row);
+      for (std::size_t c = 0; c < row.size(); ++c)
+        EXPECT_EQ(x(static_cast<std::size_t>(idx - lo), c), row[c])
+            << "idx = " << idx << ", col = " << c;
+    }
+  }
+}
+
+TEST(RangeEncoder, Fp32FillIsTheCastOfTheFp64Fill) {
+  const auto space = mixed_space();
+  const auto codec =
+      tuner::FeatureCodec::build(space, tuner::FeatureEncoding::kLog2);
+  const tuner::RangeEncoder encoder(codec, space);
+
+  pt::ml::Matrix x64;
+  std::vector<float> x32;
+  encoder.fill(10, 50, x64);
+  encoder.fill_f32(10, 50, x32);
+  ASSERT_EQ(x32.size(), x64.rows() * x64.cols());
+  for (std::size_t i = 0; i < x32.size(); ++i)
+    EXPECT_EQ(x32[i], static_cast<float>(x64.flat()[i]));
+}
+
+TEST(RangeEncoder, TailIsAppendedToEveryRow) {
+  const auto space = mixed_space();
+  const auto codec =
+      tuner::FeatureCodec::build(space, tuner::FeatureEncoding::kLog2);
+  const tuner::RangeEncoder encoder(codec, space);
+  const std::vector<double> tail{3.5, -1.25};
+
+  pt::ml::Matrix x;
+  encoder.fill(2, 12, x, tail);
+  ASSERT_EQ(x.cols(), space.dimension_count() + tail.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_EQ(x(r, space.dimension_count()), 3.5);
+    EXPECT_EQ(x(r, space.dimension_count() + 1), -1.25);
+  }
+
+  const std::vector<float> tail_f{3.5f, -1.25f};
+  std::vector<float> rows;
+  encoder.fill_f32(2, 12, rows, tail_f);
+  const std::size_t cols = space.dimension_count() + tail_f.size();
+  ASSERT_EQ(rows.size(), 10 * cols);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(rows[r * cols + space.dimension_count()], 3.5f);
+    EXPECT_EQ(rows[r * cols + space.dimension_count() + 1], -1.25f);
+  }
+}
+
+TEST(RangeEncoder, RejectsBadRanges) {
+  const auto space = mixed_space();
+  const auto codec =
+      tuner::FeatureCodec::build(space, tuner::FeatureEncoding::kLog2);
+  const tuner::RangeEncoder encoder(codec, space);
+  pt::ml::Matrix x;
+  std::vector<float> rows;
+  EXPECT_THROW(encoder.fill(10, 5, x), std::out_of_range);
+  EXPECT_THROW(encoder.fill(0, space.size() + 1, x), std::out_of_range);
+  EXPECT_THROW(encoder.fill_f32(10, 5, rows), std::out_of_range);
+  EXPECT_THROW(encoder.fill_f32(0, space.size() + 1, rows), std::out_of_range);
+}
+
+TEST(RangeEncoder, WidthMismatchThrows) {
+  const auto space = mixed_space();
+  tuner::ParamSpace other;
+  other.add("x", {1, 2});
+  const auto codec =
+      tuner::FeatureCodec::build(other, tuner::FeatureEncoding::kLog2);
+  EXPECT_THROW(tuner::RangeEncoder(codec, space), std::invalid_argument);
+}
