@@ -1,10 +1,12 @@
-// Extension bench: clcheck cross-audit. Sweeps the clcheck sanitizer
-// (checked functional runs) over N randomly sampled configurations of each
-// benchmark and cross-audits three independent validity signals:
+// Extension bench: three-way validity cross-audit. Sweeps N randomly
+// sampled configurations of each benchmark and cross-audits four
+// independent validity signals:
 //
-//   driver   — prepare() + validate_launch, the clsim driver's static
-//              verdict (what BenchmarkEvaluator turns into invalid
-//              measurements),
+//   static   — the clstat analyzer's verdict (clsim/analyze): proved valid,
+//              proved invalid, or unknown, from the benchmark's declared
+//              KernelConstraints alone, before any launch,
+//   driver   — prepare() + validate_launch, the clsim driver's verdict
+//              (what BenchmarkEvaluator turns into invalid measurements),
 //   clcheck  — dynamic findings (bounds, races, barrier/allocation lints)
 //              from an instrumented functional run of driver-accepted
 //              configurations, plus the max-abs-error verdict,
@@ -15,14 +17,26 @@
 //   driver_ok_clcheck_fault — the driver accepted it but the sanitizer saw
 //     an out-of-bounds access, race, or divergence: a reproduction bug.
 //     Expected 0; anything else is a regression signal for the kernels.
+//   static unsoundness — the analyzer is only useful if its proofs hold:
+//     * a kProvedInvalid configuration that the driver accepts AND clcheck
+//       runs clean means the "proof" of invalidity was wrong, and
+//     * a kProvedValid configuration that the driver rejects or clcheck
+//       flags means the completeness promise of the constraint set was
+//       wrong.
+//     Both buckets are expected 0 and fail the audit (exit 3) otherwise.
 //   model false positives/negatives — how often the learned filter
 //     disagrees with the driver it was trained to imitate.
+//
+// Each benchmark also gets a region-level analyzer sweep over the whole
+// configuration space (StaticChecker::sweep), recording how much of the
+// space the analyzer discharges without enumerating points.
 //
 // Flags:
 //   --out=FILE     JSON report path (default ext_check.json)
 //   --device=D     device name (default the Nvidia K40)
 //   --configs=N    sampled configurations per benchmark (default 120)
 //   --seed=S       RNG seed (default 1)
+//   --smoke        fast mode for ctest: 40 configs, smaller sweep budget
 //   --csv          additionally print the summary table as CSV
 
 #include <array>
@@ -33,6 +47,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "benchmarks/benchmark.hpp"
 #include "report.hpp"
 #include "tuner/sampler.hpp"
 #include "tuner/validity.hpp"
@@ -40,6 +55,17 @@
 namespace {
 
 using namespace pt;
+using clsim::analyze::Verdict;
+
+std::string describe(const tuner::ParamSpace& space,
+                     const tuner::Configuration& config) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < config.values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += space.parameter(i).name + "=" + std::to_string(config.values[i]);
+  }
+  return out + "}";
+}
 
 struct BenchmarkAudit {
   std::string name;
@@ -53,6 +79,25 @@ struct BenchmarkAudit {
   std::vector<std::string> fault_examples;  // first few finding strings
   tuner::ValidityModel::Confusion model;
   bool model_fitted = false;
+
+  // Static analyzer verdict mix over the sample.
+  std::size_t static_proved_valid = 0;
+  std::size_t static_proved_invalid = 0;
+  std::size_t static_unknown = 0;
+  // Unsoundness buckets (all expected 0 — see header comment).
+  std::size_t static_invalid_but_accepted = 0;  // proved invalid, driver ok,
+                                                // clcheck clean
+  std::size_t static_valid_but_rejected = 0;    // proved valid, driver reject
+  std::size_t static_valid_clcheck_fault = 0;   // proved valid, clcheck fault
+  std::vector<std::string> unsound_examples;
+
+  // Region-level sweep over the full space.
+  clsim::analyze::SweepReport sweep;
+
+  [[nodiscard]] std::size_t unsound() const {
+    return static_invalid_but_accepted + static_valid_but_rejected +
+           static_valid_clcheck_fault;
+  }
 };
 
 }  // namespace
@@ -60,16 +105,18 @@ struct BenchmarkAudit {
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   common::apply_thread_option(args);
+  const bool smoke = args.get("smoke", false);
   bench::print_banner(
-      "Extension: clcheck sanitizer cross-audit (driver vs clcheck vs "
-      "validity model)",
-      false);
+      "Extension: three-way validity cross-audit (static vs driver vs "
+      "clcheck, plus validity model)",
+      !smoke);
   const auto out_path = args.get("out", "ext_check.json");
   const auto device_name =
       args.get("device", std::string(archsim::kNvidiaK40));
-  const auto configs_per_benchmark =
-      static_cast<std::size_t>(args.get("configs", 120L));
+  const auto configs_per_benchmark = static_cast<std::size_t>(
+      args.get("configs", smoke ? 40L : 120L));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  const std::size_t sweep_budget = smoke ? 512 : 4096;
   constexpr double kTolerance = 1e-4;
 
   const clsim::Platform platform = archsim::default_platform();
@@ -78,6 +125,8 @@ int main(int argc, char** argv) {
   std::vector<BenchmarkAudit> audits;
   for (const auto& name : benchkit::benchmark_names()) {
     const auto benchmark = benchkit::make_benchmark_small(name);
+    const clsim::analyze::StaticChecker checker =
+        benchkit::make_static_checker(*benchmark, device);
     BenchmarkAudit audit;
     audit.name = name;
 
@@ -90,6 +139,15 @@ int main(int argc, char** argv) {
     std::vector<tuner::Configuration> driver_invalid_configs;
 
     for (const auto& config : sample) {
+      // Static verdict: the analyzer's proof, before any launch.
+      const clsim::analyze::ConfigVerdict static_verdict =
+          benchkit::check_config(checker, config);
+      switch (static_verdict.verdict) {
+        case Verdict::kProvedValid: ++audit.static_proved_valid; break;
+        case Verdict::kProvedInvalid: ++audit.static_proved_invalid; break;
+        case Verdict::kUnknown: ++audit.static_unknown; break;
+      }
+
       // Driver verdict: static validation only, as the evaluator applies it.
       bool accepted = true;
       try {
@@ -104,6 +162,13 @@ int main(int argc, char** argv) {
       if (!accepted) {
         ++audit.driver_invalid;
         driver_invalid_configs.push_back(config);
+        // Soundness: a proof of validity contradicted by the driver.
+        if (static_verdict.verdict == Verdict::kProvedValid) {
+          ++audit.static_valid_but_rejected;
+          if (audit.unsound_examples.size() < 3)
+            audit.unsound_examples.push_back(
+                "proved valid but driver rejected: " + describe(benchmark->space(), config));
+        }
         continue;
       }
       ++audit.driver_valid;
@@ -115,6 +180,16 @@ int main(int argc, char** argv) {
       if (checked.max_abs_error > kTolerance) ++audit.functional_mismatch;
       if (checked.clean()) {
         ++audit.clcheck_clean;
+        // Soundness: a proof of invalidity contradicted by both dynamic
+        // signals (driver accepted AND sanitizer clean).
+        if (static_verdict.verdict == Verdict::kProvedInvalid) {
+          ++audit.static_invalid_but_accepted;
+          if (audit.unsound_examples.size() < 3)
+            audit.unsound_examples.push_back(
+                "proved invalid (" + static_verdict.reason +
+                ") but driver-accepted and clcheck-clean: " +
+                describe(benchmark->space(), config));
+        }
       } else {
         ++audit.clcheck_fault;
         for (std::size_t k = 0; k < clsim::check::kFindingKindCount; ++k)
@@ -124,8 +199,19 @@ int main(int argc, char** argv) {
             !checked.report.findings().empty())
           audit.fault_examples.push_back(
               checked.report.findings().front().to_string());
+        // Soundness: a proof of validity contradicted by the sanitizer.
+        if (static_verdict.verdict == Verdict::kProvedValid) {
+          ++audit.static_valid_clcheck_fault;
+          if (audit.unsound_examples.size() < 3)
+            audit.unsound_examples.push_back(
+                "proved valid but clcheck flagged: " + describe(benchmark->space(), config));
+        }
       }
     }
+
+    // Region sweep: how much of the whole space does the analyzer discharge
+    // without enumerating configurations?
+    audit.sweep = checker.sweep(sweep_budget);
 
     // Model verdict: train on the driver labels, audit the disagreement.
     tuner::ValidityModel model;
@@ -137,27 +223,33 @@ int main(int argc, char** argv) {
                                   driver_invalid_configs);
 
     std::cout << "  " << name << ": " << audit.driver_valid << "/"
-              << audit.configs << " driver-accepted, " << audit.clcheck_fault
-              << " clcheck fault(s), model accuracy "
+              << audit.configs << " driver-accepted, static "
+              << audit.static_proved_valid << " valid / "
+              << audit.static_proved_invalid << " invalid / "
+              << audit.static_unknown << " unknown, " << audit.clcheck_fault
+              << " clcheck fault(s), " << audit.unsound()
+              << " unsound, model accuracy "
               << common::fmt(audit.model.accuracy(), 3) << "\n"
               << std::flush;
     for (const auto& example : audit.fault_examples)
       std::cout << "    " << example << "\n";
+    for (const auto& example : audit.unsound_examples)
+      std::cout << "    UNSOUND: " << example << "\n";
     audits.push_back(std::move(audit));
   }
 
-  common::Table table({"Benchmark", "Configs", "Driver valid",
-                       "clcheck clean", "clcheck fault", "Mismatch",
-                       "Model acc", "Model FP", "Model FN"});
+  common::Table table({"Benchmark", "Configs", "Driver valid", "Static valid",
+                       "Static invalid", "Static unknown", "Unsound",
+                       "clcheck fault", "Model acc"});
   for (const auto& audit : audits) {
     table.add_row({audit.name, std::to_string(audit.configs),
                    std::to_string(audit.driver_valid),
-                   std::to_string(audit.clcheck_clean),
+                   std::to_string(audit.static_proved_valid),
+                   std::to_string(audit.static_proved_invalid),
+                   std::to_string(audit.static_unknown),
+                   std::to_string(audit.unsound()),
                    std::to_string(audit.clcheck_fault),
-                   std::to_string(audit.functional_mismatch),
-                   common::fmt(audit.model.accuracy(), 3),
-                   std::to_string(audit.model.false_positive),
-                   std::to_string(audit.model.false_negative)});
+                   common::fmt(audit.model.accuracy(), 3)});
   }
   std::cout << "\n";
   table.print(std::cout);
@@ -167,6 +259,7 @@ int main(int argc, char** argv) {
   report.set("device", device_name)
       .set("configs_per_benchmark", configs_per_benchmark)
       .set("seed", seed)
+      .set("smoke", smoke)
       .set("tolerance", kTolerance);
   common::json::Value benchmarks = common::json::Value::array();
   for (const auto& audit : audits) {
@@ -184,6 +277,23 @@ int main(int argc, char** argv) {
           clsim::check::to_string(static_cast<clsim::check::FindingKind>(k)),
           audit.finding_counts[k]);
     entry.set("findings", std::move(findings));
+    common::json::Value static_json = common::json::Value::object();
+    static_json.set("proved_valid", audit.static_proved_valid);
+    static_json.set("proved_invalid", audit.static_proved_invalid);
+    static_json.set("unknown", audit.static_unknown);
+    static_json.set("invalid_but_accepted", audit.static_invalid_but_accepted);
+    static_json.set("valid_but_rejected", audit.static_valid_but_rejected);
+    static_json.set("valid_clcheck_fault", audit.static_valid_clcheck_fault);
+    common::json::Value sweep_json = common::json::Value::object();
+    sweep_json.set("proved_valid_configs", audit.sweep.proved_valid_configs);
+    sweep_json.set("proved_invalid_configs",
+                   audit.sweep.proved_invalid_configs);
+    sweep_json.set("unknown_configs", audit.sweep.unknown_configs);
+    sweep_json.set("boxes_examined", audit.sweep.boxes_examined);
+    sweep_json.set("boxes_discharged", audit.sweep.boxes_discharged);
+    sweep_json.set("proved_fraction", audit.sweep.proved_fraction());
+    static_json.set("sweep", std::move(sweep_json));
+    entry.set("static", std::move(static_json));
     common::json::Value model_json = common::json::Value::object();
     model_json.set("fitted", audit.model_fitted);
     model_json.set("accuracy", audit.model.accuracy());
@@ -198,9 +308,17 @@ int main(int argc, char** argv) {
   report.attach_telemetry(nullptr);
   report.write(out_path);
 
-  // Non-zero exit when the sanitizer contradicts the driver: that is a
-  // kernel reproduction bug this audit exists to catch.
+  // Non-zero exits for the two contradictions this audit exists to catch:
+  // the sanitizer contradicting the driver (kernel reproduction bug, 2) and
+  // the static analyzer contradicting the dynamic ground truth (unsound
+  // constraint set, 3 — checked first, an unsound analyzer poisons every
+  // consumer).
   std::size_t total_faults = 0;
-  for (const auto& audit : audits) total_faults += audit.clcheck_fault;
+  std::size_t total_unsound = 0;
+  for (const auto& audit : audits) {
+    total_faults += audit.clcheck_fault;
+    total_unsound += audit.unsound();
+  }
+  if (total_unsound != 0) return 3;
   return total_faults == 0 ? 0 : 2;
 }

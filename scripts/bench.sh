@@ -32,3 +32,16 @@ fi
 "$build_dir/bench/micro_scan" \
   --seed=1 \
   --out="$repo_root/BENCH_scan.json"
+
+# Three-way validity audit (static analyzer vs driver vs clcheck) in smoke
+# mode: exits non-zero on any static-analysis unsoundness or clcheck fault,
+# which aborts this script (set -e).
+if [[ ! -x "$build_dir/bench/ext_check" ]]; then
+  echo "building ext_check in $build_dir ..."
+  cmake --build "$build_dir" --target ext_check -j
+fi
+
+"$build_dir/bench/ext_check" \
+  --smoke \
+  --seed=1 \
+  --out="$repo_root/BENCH_check_smoke.json"

@@ -2,12 +2,21 @@
 # Run clang-tidy (the checks in .clang-tidy) over the project sources using
 # the compilation database of an existing build directory.
 #
-#   scripts/lint.sh [build-dir]
+#   scripts/lint.sh [--fix] [build-dir]
 #
 # The build dir defaults to ./build and must have been configured (the root
-# CMakeLists exports compile_commands.json unconditionally). Exits non-zero
-# if clang-tidy reports anything, so it can serve as a CI gate.
+# CMakeLists exports compile_commands.json unconditionally). All findings
+# are errors (WarningsAsErrors: '*' in .clang-tidy), so clang-tidy — and
+# hence this script — exits non-zero on any finding and can serve as a CI
+# gate. With --fix, clang-tidy additionally applies its suggested fixes
+# in-place; rerun without --fix to verify the tree came out clean.
 set -euo pipefail
+
+fix=""
+if [[ "${1:-}" == "--fix" ]]; then
+  fix="--fix"
+  shift
+fi
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
@@ -26,4 +35,4 @@ cd "${repo_root}"
 mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
 
 echo "lint.sh: clang-tidy over ${#sources[@]} files (this can take a while)"
-clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+clang-tidy -p "${build_dir}" --quiet ${fix} "${sources[@]}"

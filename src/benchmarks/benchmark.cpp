@@ -2,6 +2,35 @@
 
 namespace pt::benchkit {
 
+clsim::analyze::KernelConstraints TunableBenchmark::constraints() const {
+  clsim::analyze::KernelConstraints kc;
+  kc.kernel_name = name();
+  kc.domain = make_param_domain(space());
+  kc.complete = false;  // proves nothing; always sound
+  return kc;
+}
+
+clsim::analyze::ParamDomain make_param_domain(const tuner::ParamSpace& space) {
+  std::vector<clsim::analyze::Dimension> dims;
+  dims.reserve(space.dimension_count());
+  for (std::size_t d = 0; d < space.dimension_count(); ++d) {
+    const tuner::TuningParameter& p = space.parameter(d);
+    dims.push_back(clsim::analyze::Dimension{p.name, p.values});
+  }
+  return clsim::analyze::ParamDomain{std::move(dims)};
+}
+
+clsim::analyze::StaticChecker make_static_checker(
+    const TunableBenchmark& benchmark, const clsim::Device& device) {
+  return clsim::analyze::StaticChecker{benchmark.constraints(), device.info()};
+}
+
+clsim::analyze::ConfigVerdict check_config(
+    const clsim::analyze::StaticChecker& checker,
+    const tuner::Configuration& config) {
+  return checker.check(std::span<const int>(config.values));
+}
+
 BenchmarkEvaluator::BenchmarkEvaluator(const TunableBenchmark& benchmark,
                                        clsim::Device device)
     : benchmark_(&benchmark),

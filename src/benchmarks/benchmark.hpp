@@ -62,7 +62,30 @@ class TunableBenchmark {
   /// barrier/allocation divergence that a correct-looking output can mask.
   [[nodiscard]] virtual CheckedVerification verify_checked(
       const clsim::Device& device, const tuner::Configuration& config) const = 0;
+
+  /// Static (clstat) constraint description of this benchmark's kernel over
+  /// its tuning space: resource formulas and launch preconditions as
+  /// AffineExprs the analyzer can evaluate without any launch. The default
+  /// is an *incomplete* empty set — a StaticChecker over it proves nothing
+  /// and answers kUnknown everywhere, which is always sound. Benchmarks that
+  /// override this and set `complete = true` promise the set captures every
+  /// failure mode (driver rejection or clcheck finding).
+  [[nodiscard]] virtual clsim::analyze::KernelConstraints constraints() const;
 };
+
+/// Mirror a tuner::ParamSpace as an analyzer ParamDomain (same dimension
+/// order and value lists, so a decoded Configuration indexes both).
+[[nodiscard]] clsim::analyze::ParamDomain make_param_domain(
+    const tuner::ParamSpace& space);
+
+/// Convenience: bind a benchmark's constraint set to one device.
+[[nodiscard]] clsim::analyze::StaticChecker make_static_checker(
+    const TunableBenchmark& benchmark, const clsim::Device& device);
+
+/// Point verdict for a decoded configuration (values in space order).
+[[nodiscard]] clsim::analyze::ConfigVerdict check_config(
+    const clsim::analyze::StaticChecker& checker,
+    const tuner::Configuration& config);
 
 /// Adapts (benchmark, device) to tuner::Evaluator. Measurements run on a
 /// timing-only queue; invalid configurations are caught and reported with

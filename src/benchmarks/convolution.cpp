@@ -335,6 +335,98 @@ void ConvolutionBenchmark::build_program() {
       });
 }
 
+clsim::analyze::KernelConstraints ConvolutionBenchmark::constraints() const {
+  namespace az = clsim::analyze;
+  using Cat = az::ConstraintCategory;
+  using Rel = az::Relation;
+  using DL = az::DeviceLimit;
+  const auto lim = az::AffineExpr::device_limit;
+  const auto c = az::cexpr;
+  const az::AffineExpr none;  // absent guard: constraint always applies
+
+  az::KernelConstraints kc;
+  kc.kernel_name = name_;
+  kc.domain = make_param_domain(space_);
+  const az::ParamDomain& dom = kc.domain;
+
+  const az::AffineExpr wg_x = az::param_expr(dom, "WG_X");
+  const az::AffineExpr wg_y = az::param_expr(dom, "WG_Y");
+  const az::AffineExpr ppt_x = az::param_expr(dom, "PPT_X");
+  const az::AffineExpr ppt_y = az::param_expr(dom, "PPT_Y");
+  const az::AffineExpr use_image = az::param_expr(dom, "USE_IMAGE");
+  const az::AffineExpr use_local = az::param_expr(dom, "USE_LOCAL");
+  const az::AffineExpr pad = az::param_expr(dom, "PAD");
+  const az::AffineExpr unroll = az::param_expr(dom, "UNROLL");
+
+  const double r = static_cast<double>(geometry_.radius);
+  const int d = 2 * geometry_.radius + 1;
+  const double taps = static_cast<double>(d * d);
+  const double pw = static_cast<double>(geometry_.width) + 2.0 * r;
+  const double ph = static_cast<double>(geometry_.height) + 2.0 * r;
+
+  // Launch geometry (clsim validate_launch, 2D launch).
+  kc.constraints.push_back({"wg_x_item_limit", Cat::kWorkGroupGeometry, wg_x,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem0), none});
+  kc.constraints.push_back({"wg_y_item_limit", Cat::kWorkGroupGeometry, wg_y,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem1), none});
+  kc.constraints.push_back({"group_size_limit", Cat::kWorkGroupGeometry,
+                            wg_x * wg_y, Rel::kLessEqual,
+                            lim(DL::kMaxWorkGroupSize), none});
+
+  // Factory build precondition: per-thread work within the image extent.
+  kc.constraints.push_back({"ppt_x_within_width", Cat::kBuildPrecondition,
+                            ppt_x, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.width)), none});
+  kc.constraints.push_back({"ppt_y_within_height", Cat::kBuildPrecondition,
+                            ppt_y, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.height)), none});
+
+  // Local tile (wg*ppt + halo)^2 floats, only on the tiling path.
+  const az::AffineExpr tile_w = wg_x * ppt_x + c(2.0 * r);
+  const az::AffineExpr tile_h = wg_y * ppt_y + c(2.0 * r);
+  kc.constraints.push_back({"local_tile_budget", Cat::kLocalMemory,
+                            tile_w * tile_h * c(4.0), Rel::kLessEqual,
+                            lim(DL::kLocalMemBytes), use_local});
+
+  // Filter coefficients live in constant memory on every path.
+  kc.constraints.push_back({"filter_constant_budget", Cat::kConstantMemory,
+                            c(taps * 4.0), Rel::kLessEqual,
+                            lim(DL::kConstantMemBytes), none});
+
+  // Mirrors make_profile's registers_per_item formula exactly, including
+  // the size_t truncation (floor).
+  const az::AffineExpr regs_per_item =
+      floor(c(16.0) +
+            min(c(96.0), ppt_x * ppt_y * select(use_local, c(0.5), c(1.0))) +
+            select(unroll, c(6.0), c(0.0)) +
+            select(use_local, c(4.0), c(0.0)));
+  kc.constraints.push_back({"register_file_budget", Cat::kRegisters,
+                            regs_per_item * (wg_x * wg_y), Rel::kLessEqual,
+                            lim(DL::kRegistersPerCu), none});
+
+  // Image path requires image support.
+  kc.constraints.push_back({"image_support", Cat::kImageSupport, c(1.0),
+                            Rel::kLessEqual, lim(DL::kImagesSupported),
+                            use_image});
+
+  // Padded-input footprint: reads are clamped to the apron (the PR 3 fix),
+  // so the maximal linear index is the last padded texel regardless of the
+  // rounded-up ND-range. Stating it keeps the footprint auditable — the
+  // regression test re-derives the pre-fix (unclamped) index and shows the
+  // analyzer proves those configurations out of bounds.
+  kc.constraints.push_back({"padded_input_footprint", Cat::kGlobalFootprint,
+                            c(pw * ph - 1.0), Rel::kLess, c(pw * ph),
+                            pad * (c(1.0) - use_image)});
+
+  // The tile-fill barrier sits outside all divergent control flow.
+  kc.constraints.push_back({"tile_fill_barrier_uniform",
+                            Cat::kBarrierUniformity, c(0.0), Rel::kLessEqual,
+                            c(0.0), use_local});
+
+  kc.complete = true;
+  return kc;
+}
+
 clsim::BuildOptions ConvolutionBenchmark::build_options(
     const tuner::Configuration& config) const {
   clsim::BuildOptions options;

@@ -51,6 +51,11 @@ class ConvolutionBenchmark final : public TunableBenchmark {
       const clsim::Device& device,
       const tuner::Configuration& config) const override;
 
+  /// Complete clstat constraint set: work-group geometry, local-tile and
+  /// constant budgets, register pressure, image support, and the factory's
+  /// ppt-vs-extent build precondition.
+  [[nodiscard]] clsim::analyze::KernelConstraints constraints() const override;
+
   /// Scalar reference result (clamp-to-edge box filter of the input).
   [[nodiscard]] std::vector<float> reference() const;
 

@@ -345,6 +345,85 @@ void RaycastingBenchmark::build_program() {
       });
 }
 
+clsim::analyze::KernelConstraints RaycastingBenchmark::constraints() const {
+  namespace az = clsim::analyze;
+  using Cat = az::ConstraintCategory;
+  using Rel = az::Relation;
+  using DL = az::DeviceLimit;
+  const auto lim = az::AffineExpr::device_limit;
+  const auto c = az::cexpr;
+  const az::AffineExpr none;
+
+  az::KernelConstraints kc;
+  kc.kernel_name = name_;
+  kc.domain = make_param_domain(space_);
+  const az::ParamDomain& dom = kc.domain;
+
+  const az::AffineExpr wg_x = az::param_expr(dom, "WG_X");
+  const az::AffineExpr wg_y = az::param_expr(dom, "WG_Y");
+  const az::AffineExpr ppt_x = az::param_expr(dom, "PPT_X");
+  const az::AffineExpr ppt_y = az::param_expr(dom, "PPT_Y");
+  const az::AffineExpr image_data = az::param_expr(dom, "IMAGE_DATA");
+  const az::AffineExpr image_tf = az::param_expr(dom, "IMAGE_TF");
+  const az::AffineExpr local_tf = az::param_expr(dom, "LOCAL_TF");
+  const az::AffineExpr const_tf = az::param_expr(dom, "CONST_TF");
+  const az::AffineExpr unroll = az::param_expr(dom, "UNROLL");
+
+  const double tf_bytes = static_cast<double>(kTfEntries) * 8.0;
+
+  kc.constraints.push_back({"wg_x_item_limit", Cat::kWorkGroupGeometry, wg_x,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem0), none});
+  kc.constraints.push_back({"wg_y_item_limit", Cat::kWorkGroupGeometry, wg_y,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem1), none});
+  kc.constraints.push_back({"group_size_limit", Cat::kWorkGroupGeometry,
+                            wg_x * wg_y, Rel::kLessEqual,
+                            lim(DL::kMaxWorkGroupSize), none});
+
+  kc.constraints.push_back({"ppt_x_within_width", Cat::kBuildPrecondition,
+                            ppt_x, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.width)), none});
+  kc.constraints.push_back({"ppt_y_within_height", Cat::kBuildPrecondition,
+                            ppt_y, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.height)), none});
+
+  // Staged transfer function: local memory when LOCAL_TF, constant memory
+  // only on the CONST_TF-without-LOCAL_TF path (the profile's else-if).
+  kc.constraints.push_back({"tf_local_budget", Cat::kLocalMemory,
+                            c(tf_bytes), Rel::kLessEqual,
+                            lim(DL::kLocalMemBytes), local_tf});
+  kc.constraints.push_back({"tf_constant_budget", Cat::kConstantMemory,
+                            c(tf_bytes), Rel::kLessEqual,
+                            lim(DL::kConstantMemBytes),
+                            const_tf * (c(1.0) - local_tf)});
+
+  // Mirrors make_profile's registers_per_item (size_t truncation included).
+  const az::AffineExpr regs_per_item =
+      floor(c(24.0) + c(2.0) * unroll +
+            min(c(48.0), ppt_x * ppt_y * c(2.0)) +
+            select(local_tf, c(4.0), c(0.0)));
+  kc.constraints.push_back({"register_file_budget", Cat::kRegisters,
+                            regs_per_item * (wg_x * wg_y), Rel::kLessEqual,
+                            lim(DL::kRegistersPerCu), none});
+
+  // Image usage follows the profile's stream selection: the volume when
+  // IMAGE_DATA, and the transfer function when IMAGE_TF feeds either the
+  // local-tile fill or the direct path not shadowed by CONST_TF.
+  const az::AffineExpr uses_image =
+      max(image_data, image_tf * max(local_tf, c(1.0) - const_tf));
+  kc.constraints.push_back({"image_support", Cat::kImageSupport, c(1.0),
+                            Rel::kLessEqual, lim(DL::kImagesSupported),
+                            uses_image});
+
+  // The tf-staging barrier executes on every LOCAL_TF launch, outside all
+  // divergent control flow.
+  kc.constraints.push_back({"tf_fill_barrier_uniform",
+                            Cat::kBarrierUniformity, c(0.0), Rel::kLessEqual,
+                            c(0.0), local_tf});
+
+  kc.complete = true;
+  return kc;
+}
+
 clsim::BuildOptions RaycastingBenchmark::build_options(
     const tuner::Configuration& config) const {
   clsim::BuildOptions options;

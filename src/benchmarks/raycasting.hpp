@@ -49,6 +49,11 @@ class RaycastingBenchmark final : public TunableBenchmark {
       const clsim::Device& device,
       const tuner::Configuration& config) const override;
 
+  /// Complete clstat constraint set: geometry limits, the staged
+  /// transfer-function's local/constant budgets (mutually exclusive paths),
+  /// register pressure, and the derived image-usage condition.
+  [[nodiscard]] clsim::analyze::KernelConstraints constraints() const override;
+
   /// Scalar reference rendering.
   [[nodiscard]] std::vector<float> reference() const;
 

@@ -367,6 +367,87 @@ void StereoBenchmark::build_program() {
       });
 }
 
+clsim::analyze::KernelConstraints StereoBenchmark::constraints() const {
+  namespace az = clsim::analyze;
+  using Cat = az::ConstraintCategory;
+  using Rel = az::Relation;
+  using DL = az::DeviceLimit;
+  const auto lim = az::AffineExpr::device_limit;
+  const auto c = az::cexpr;
+  const az::AffineExpr none;
+
+  az::KernelConstraints kc;
+  kc.kernel_name = name_;
+  kc.domain = make_param_domain(space_);
+  const az::ParamDomain& dom = kc.domain;
+
+  const az::AffineExpr wg_x = az::param_expr(dom, "WG_X");
+  const az::AffineExpr wg_y = az::param_expr(dom, "WG_Y");
+  const az::AffineExpr ppt_x = az::param_expr(dom, "PPT_X");
+  const az::AffineExpr ppt_y = az::param_expr(dom, "PPT_Y");
+  const az::AffineExpr image_left = az::param_expr(dom, "IMAGE_LEFT");
+  const az::AffineExpr image_right = az::param_expr(dom, "IMAGE_RIGHT");
+  const az::AffineExpr local_left = az::param_expr(dom, "LOCAL_LEFT");
+  const az::AffineExpr local_right = az::param_expr(dom, "LOCAL_RIGHT");
+  const az::AffineExpr unroll_disp = az::param_expr(dom, "UNROLL_DISP");
+  const az::AffineExpr unroll_dx = az::param_expr(dom, "UNROLL_DX");
+  const az::AffineExpr unroll_dy = az::param_expr(dom, "UNROLL_DY");
+
+  const double rad = static_cast<double>(geometry_.window_radius);
+  const double disp = static_cast<double>(geometry_.max_disparity);
+
+  kc.constraints.push_back({"wg_x_item_limit", Cat::kWorkGroupGeometry, wg_x,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem0), none});
+  kc.constraints.push_back({"wg_y_item_limit", Cat::kWorkGroupGeometry, wg_y,
+                            Rel::kLessEqual, lim(DL::kMaxWorkItem1), none});
+  kc.constraints.push_back({"group_size_limit", Cat::kWorkGroupGeometry,
+                            wg_x * wg_y, Rel::kLessEqual,
+                            lim(DL::kMaxWorkGroupSize), none});
+
+  kc.constraints.push_back({"ppt_x_within_width", Cat::kBuildPrecondition,
+                            ppt_x, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.width)), none});
+  kc.constraints.push_back({"ppt_y_within_height", Cat::kBuildPrecondition,
+                            ppt_y, Rel::kLessEqual,
+                            c(static_cast<double>(geometry_.height)), none});
+
+  // Both tiles share the local arena: left (wg_x*ppt_x + 2r) wide, right
+  // additionally max_disparity wider, both (wg_y*ppt_y + 2r) tall.
+  const az::AffineExpr ltw = wg_x * ppt_x + c(2.0 * rad);
+  const az::AffineExpr rtw = ltw + c(disp);
+  const az::AffineExpr th = wg_y * ppt_y + c(2.0 * rad);
+  const az::AffineExpr local_bytes =
+      select(local_left, ltw * th * c(4.0), c(0.0)) +
+      select(local_right, rtw * th * c(4.0), c(0.0));
+  kc.constraints.push_back({"local_tiles_budget", Cat::kLocalMemory,
+                            local_bytes, Rel::kLessEqual,
+                            lim(DL::kLocalMemBytes), none});
+
+  // Mirrors make_profile's registers_per_item (size_t truncation included).
+  const az::AffineExpr regs_per_item =
+      floor(c(20.0) + c(2.0) * unroll_disp +
+            c(1.5) * (unroll_dx + unroll_dy) +
+            min(c(64.0), ppt_x * ppt_y * c(1.5)) +
+            select(max(local_left, local_right), c(6.0), c(0.0)));
+  kc.constraints.push_back({"register_file_budget", Cat::kRegisters,
+                            regs_per_item * (wg_x * wg_y), Rel::kLessEqual,
+                            lim(DL::kRegistersPerCu), none});
+
+  // Either side on the image path requires image support.
+  kc.constraints.push_back({"image_support", Cat::kImageSupport, c(1.0),
+                            Rel::kLessEqual, lim(DL::kImagesSupported),
+                            max(image_left, image_right)});
+
+  // The shared tile-fill barrier executes whenever any tile is staged, and
+  // sits outside all divergent control flow.
+  kc.constraints.push_back({"tile_fill_barrier_uniform",
+                            Cat::kBarrierUniformity, c(0.0), Rel::kLessEqual,
+                            c(0.0), max(local_left, local_right)});
+
+  kc.complete = true;
+  return kc;
+}
+
 clsim::BuildOptions StereoBenchmark::build_options(
     const tuner::Configuration& config) const {
   clsim::BuildOptions options;

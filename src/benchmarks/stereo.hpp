@@ -49,6 +49,10 @@ class StereoBenchmark final : public TunableBenchmark {
       const clsim::Device& device,
       const tuner::Configuration& config) const override;
 
+  /// Complete clstat constraint set: geometry limits, the two optional
+  /// local tiles' combined budget, register pressure, and image support.
+  [[nodiscard]] clsim::analyze::KernelConstraints constraints() const override;
+
   /// Scalar reference disparity map.
   [[nodiscard]] std::vector<float> reference() const;
 

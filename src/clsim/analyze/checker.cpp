@@ -1,0 +1,157 @@
+#include "clsim/analyze/checker.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace pt::clsim::analyze {
+
+namespace {
+
+bool holds_everywhere(Relation rel, const Interval& lhs, const Interval& rhs) {
+  if (lhs.empty || rhs.empty) return true;  // vacuous over the empty region
+  switch (rel) {
+    case Relation::kLessEqual: return lhs.hi <= rhs.lo;
+    case Relation::kLess: return lhs.hi < rhs.lo;
+    case Relation::kEqual:
+      return lhs.is_point() && rhs.is_point() && lhs.lo == rhs.lo;
+  }
+  return false;
+}
+
+bool violated_everywhere(Relation rel, const Interval& lhs,
+                         const Interval& rhs) {
+  if (lhs.empty || rhs.empty) return false;
+  switch (rel) {
+    case Relation::kLessEqual: return lhs.lo > rhs.hi;
+    case Relation::kLess: return lhs.lo >= rhs.hi;
+    case Relation::kEqual: return lhs.lo > rhs.hi || lhs.hi < rhs.lo;
+  }
+  return false;
+}
+
+bool holds_at(Relation rel, double lhs, double rhs) {
+  switch (rel) {
+    case Relation::kLessEqual: return lhs <= rhs;
+    case Relation::kLess: return lhs < rhs;
+    case Relation::kEqual: return lhs == rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kProvedValid: return "proved_valid";
+    case Verdict::kProvedInvalid: return "proved_invalid";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+StaticChecker::StaticChecker(KernelConstraints constraints, DeviceInfo device)
+    : constraints_(std::move(constraints)), device_(std::move(device)) {
+  for (const Constraint& c : constraints_.constraints) {
+    if (!c.lhs.valid() || !c.rhs.valid())
+      throw std::invalid_argument("StaticChecker: constraint '" + c.name +
+                                  "' has a null expression");
+  }
+}
+
+ConfigVerdict StaticChecker::check(std::span<const int> values) const {
+  if (values.size() != domain().dimension_count())
+    throw std::invalid_argument(
+        "StaticChecker: configuration arity mismatch");
+  for (const Constraint& c : constraints_.constraints) {
+    if (c.guard.valid() && c.guard.eval(values, &device_) == 0.0)
+      continue;  // constraint gated off at this configuration
+    const double lhs = c.lhs.eval(values, &device_);
+    const double rhs = c.rhs.eval(values, &device_);
+    if (!holds_at(c.relation, lhs, rhs))
+      return ConfigVerdict{Verdict::kProvedInvalid, c.name, c.category};
+  }
+  if (constraints_.complete) return ConfigVerdict{Verdict::kProvedValid, {}, {}};
+  return ConfigVerdict{Verdict::kUnknown, {}, {}};
+}
+
+ConfigVerdict StaticChecker::check(const Box& box) const {
+  if (box.ranges.size() != domain().dimension_count())
+    throw std::invalid_argument("StaticChecker: box arity mismatch");
+  // A box with no configurations satisfies (and violates) everything
+  // vacuously; call it valid — there is nothing to mislabel.
+  if (box.empty()) return ConfigVerdict{Verdict::kProvedValid, {}, {}};
+
+  bool all_hold = true;
+  for (const Constraint& c : constraints_.constraints) {
+    bool active_everywhere = true;
+    if (c.guard.valid()) {
+      const Interval g = c.guard.eval(box, domain(), &device_);
+      if (g.definitely_zero()) continue;  // gated off across the whole box
+      active_everywhere = g.definitely_nonzero();
+    }
+    const Interval lhs = c.lhs.eval(box, domain(), &device_);
+    const Interval rhs = c.rhs.eval(box, domain(), &device_);
+    if (holds_everywhere(c.relation, lhs, rhs)) continue;
+    if (active_everywhere && violated_everywhere(c.relation, lhs, rhs))
+      return ConfigVerdict{Verdict::kProvedInvalid, c.name, c.category};
+    all_hold = false;
+  }
+  if (all_hold && constraints_.complete)
+    return ConfigVerdict{Verdict::kProvedValid, {}, {}};
+  return ConfigVerdict{Verdict::kUnknown, {}, {}};
+}
+
+SweepReport StaticChecker::sweep(std::size_t max_boxes) const {
+  return sweep(Box::full(domain()), max_boxes);
+}
+
+SweepReport StaticChecker::sweep(const Box& root,
+                                 std::size_t max_boxes) const {
+  SweepReport report;
+  std::deque<Box> worklist;
+  if (!root.empty()) worklist.push_back(root);
+
+  const auto record = [&](Box box, const ConfigVerdict& cv) {
+    const std::uint64_t n = box.count();
+    switch (cv.verdict) {
+      case Verdict::kProvedValid: report.proved_valid_configs += n; break;
+      case Verdict::kProvedInvalid: report.proved_invalid_configs += n; break;
+      case Verdict::kUnknown: report.unknown_configs += n; break;
+    }
+    report.regions.push_back(
+        RegionVerdict{std::move(box), cv.verdict, cv.reason});
+  };
+
+  while (!worklist.empty()) {
+    if (report.boxes_examined >= max_boxes) {
+      // Budget exhausted: flush the remaining frontier as unknown so every
+      // configuration of the root is accounted for exactly once.
+      for (Box& rest : worklist)
+        record(std::move(rest), ConfigVerdict{Verdict::kUnknown, {}, {}});
+      break;
+    }
+    Box box = std::move(worklist.front());
+    worklist.pop_front();
+    ++report.boxes_examined;
+
+    const ConfigVerdict cv = check(box);
+    if (cv.verdict != Verdict::kUnknown) {
+      ++report.boxes_discharged;
+      record(std::move(box), cv);
+      continue;
+    }
+    const std::size_t dim = box.widest_dimension();
+    if (dim >= box.ranges.size()) {
+      // Single-point (or unsplittable) box that is still unknown: the
+      // constraint set is incomplete here; report it as-is.
+      record(std::move(box), cv);
+      continue;
+    }
+    auto [left, right] = box.split(dim);
+    worklist.push_back(std::move(left));
+    worklist.push_back(std::move(right));
+  }
+  return report;
+}
+
+}  // namespace pt::clsim::analyze

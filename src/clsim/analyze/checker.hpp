@@ -1,0 +1,113 @@
+#pragma once
+
+// clstat checker: renders verdicts from a KernelConstraints set.
+//
+// Verdict lattice (kUnknown on top, the two proofs below it):
+//
+//              kUnknown
+//      kProvedValid  kProvedInvalid
+//
+// Per configuration (a point), every constraint evaluates exactly, so the
+// checker is decisive about each individual constraint: a violated one
+// yields kProvedInvalid with the constraint named as the reason. If all
+// constraints hold, the verdict is kProvedValid when the set is complete and
+// kUnknown otherwise (an incomplete set can prove invalidity but never
+// validity). Over a sub-box, interval evaluation may straddle a bound; the
+// region sweep then bisects the box until every leaf is discharged or the
+// budget runs out.
+//
+// Soundness contract (audited end-to-end by bench/ext_check): kProvedInvalid
+// implies the driver rejects the launch or clcheck reports a finding;
+// kProvedValid implies the driver accepts it and clcheck stays clean.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clsim/analyze/constraints.hpp"
+#include "clsim/device.hpp"
+
+namespace pt::clsim::analyze {
+
+enum class Verdict {
+  kProvedValid,
+  kProvedInvalid,
+  kUnknown,
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict) noexcept;
+
+struct ConfigVerdict {
+  Verdict verdict = Verdict::kUnknown;
+  /// For kProvedInvalid: name and category of the first violated constraint.
+  std::string reason;
+  ConstraintCategory category = ConstraintCategory::kWorkGroupGeometry;
+
+  [[nodiscard]] bool proved_invalid() const noexcept {
+    return verdict == Verdict::kProvedInvalid;
+  }
+  [[nodiscard]] bool proved_valid() const noexcept {
+    return verdict == Verdict::kProvedValid;
+  }
+};
+
+/// One discharged (or abandoned) region from a sweep.
+struct RegionVerdict {
+  Box box;
+  Verdict verdict = Verdict::kUnknown;
+  std::string reason;  // for kProvedInvalid regions
+};
+
+struct SweepReport {
+  std::vector<RegionVerdict> regions;
+  std::uint64_t proved_valid_configs = 0;
+  std::uint64_t proved_invalid_configs = 0;
+  std::uint64_t unknown_configs = 0;
+  std::size_t boxes_examined = 0;   // worklist pops (budget consumed)
+  std::size_t boxes_discharged = 0; // whole boxes settled without splitting
+
+  [[nodiscard]] double proved_fraction() const noexcept {
+    const std::uint64_t total =
+        proved_valid_configs + proved_invalid_configs + unknown_configs;
+    if (total == 0) return 0.0;
+    return static_cast<double>(proved_valid_configs + proved_invalid_configs) /
+           static_cast<double>(total);
+  }
+};
+
+class StaticChecker {
+ public:
+  StaticChecker(KernelConstraints constraints, DeviceInfo device);
+
+  [[nodiscard]] const KernelConstraints& constraints() const noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] const ParamDomain& domain() const noexcept {
+    return constraints_.domain;
+  }
+  [[nodiscard]] const DeviceInfo& device() const noexcept { return device_; }
+
+  /// Decisive point check at one configuration (values per dimension, in
+  /// domain order).
+  [[nodiscard]] ConfigVerdict check(std::span<const int> values) const;
+
+  /// Interval check over a sub-box: kProvedInvalid if some constraint is
+  /// violated everywhere in the box, kProvedValid if every constraint
+  /// provably holds everywhere (and the set is complete), else kUnknown.
+  [[nodiscard]] ConfigVerdict check(const Box& box) const;
+
+  /// Bisection sweep over `root` (or the full domain): repeatedly pops the
+  /// box whose verdict is kUnknown, splits its widest dimension, and
+  /// re-checks the halves, until everything is discharged, no dimension can
+  /// be split, or `max_boxes` boxes have been examined. Every configuration
+  /// of the root lands in exactly one reported region.
+  [[nodiscard]] SweepReport sweep(std::size_t max_boxes = 4096) const;
+  [[nodiscard]] SweepReport sweep(const Box& root,
+                                  std::size_t max_boxes) const;
+
+ private:
+  KernelConstraints constraints_;
+  DeviceInfo device_;
+};
+
+}  // namespace pt::clsim::analyze

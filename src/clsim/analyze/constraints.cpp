@@ -1,0 +1,34 @@
+#include "clsim/analyze/constraints.hpp"
+
+namespace pt::clsim::analyze {
+
+const char* to_string(Relation relation) noexcept {
+  switch (relation) {
+    case Relation::kLessEqual: return "<=";
+    case Relation::kLess: return "<";
+    case Relation::kEqual: return "==";
+  }
+  return "?";
+}
+
+const char* to_string(ConstraintCategory category) noexcept {
+  switch (category) {
+    case ConstraintCategory::kWorkGroupGeometry: return "work_group_geometry";
+    case ConstraintCategory::kLocalMemory: return "local_memory";
+    case ConstraintCategory::kConstantMemory: return "constant_memory";
+    case ConstraintCategory::kRegisters: return "registers";
+    case ConstraintCategory::kImageSupport: return "image_support";
+    case ConstraintCategory::kBuildPrecondition: return "build_precondition";
+    case ConstraintCategory::kGlobalFootprint: return "global_footprint";
+    case ConstraintCategory::kBarrierUniformity: return "barrier_uniformity";
+  }
+  return "unknown";
+}
+
+AffineExpr cexpr(double v) { return AffineExpr::constant(v); }
+
+AffineExpr param_expr(const ParamDomain& domain, const std::string& name) {
+  return AffineExpr::param(domain.index_of(name), name);
+}
+
+}  // namespace pt::clsim::analyze

@@ -1,0 +1,75 @@
+#pragma once
+
+// clstat kernel constraints: a declarative, per-kernel description of what a
+// configuration must satisfy to launch and run cleanly. Benchmark factories
+// emit one of these next to their KernelProfile; the checker evaluates it.
+//
+// Each Constraint is a relation between two AffineExprs, optionally gated by
+// a guard expression (the constraint only applies where the guard is
+// nonzero — e.g. local-memory usage only when USE_LOCAL=1). Standard
+// categories cover the driver's validate_launch rules (work-group geometry,
+// local/constant memory, registers, image support) plus analyzer-only facts
+// such as global buffer access footprints and barrier uniformity.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clsim/analyze/expr.hpp"
+
+namespace pt::clsim::analyze {
+
+enum class Relation {
+  kLessEqual,     // lhs <= rhs
+  kLess,          // lhs <  rhs
+  kEqual,         // lhs == rhs
+};
+
+[[nodiscard]] const char* to_string(Relation relation) noexcept;
+
+/// What a violated constraint means, mapped onto the failure the driver or
+/// clcheck would report for it. Display/diagnostic only — the verdict
+/// lattice does not depend on the category.
+enum class ConstraintCategory {
+  kWorkGroupGeometry,   // per-dimension / total work-group size limits
+  kLocalMemory,         // per-group local-memory budget
+  kConstantMemory,      // constant-memory budget
+  kRegisters,           // register-file pressure per CU
+  kImageSupport,        // image kernels on imageless devices
+  kBuildPrecondition,   // factory-level build throw (e.g. ppt > extent)
+  kGlobalFootprint,     // buffer access bounds (what clcheck audits)
+  kBarrierUniformity,   // all items of a group reach the same barriers
+};
+
+[[nodiscard]] const char* to_string(ConstraintCategory category) noexcept;
+
+struct Constraint {
+  std::string name;          // short diagnostic label, e.g. "local_mem_budget"
+  ConstraintCategory category = ConstraintCategory::kWorkGroupGeometry;
+  AffineExpr lhs;
+  Relation relation = Relation::kLessEqual;
+  AffineExpr rhs;
+  /// Optional: the constraint applies only where guard != 0. An invalid()
+  /// guard means "always applies".
+  AffineExpr guard;
+};
+
+/// The full constraint set of one kernel over one ParamDomain.
+struct KernelConstraints {
+  std::string kernel_name;
+  ParamDomain domain;
+  std::vector<Constraint> constraints;
+  /// True when the constraint set captures *every* way the kernel can fail
+  /// (driver rejection or clcheck finding). Only a complete set lets the
+  /// checker return kProvedValid; an incomplete one can still prove
+  /// invalidity but degrades "all constraints hold" to kUnknown.
+  bool complete = false;
+};
+
+/// Convenience builders (forward to the AffineExpr factories with terser
+/// call sites in benchmark factories).
+[[nodiscard]] AffineExpr cexpr(double v);
+[[nodiscard]] AffineExpr param_expr(const ParamDomain& domain,
+                                    const std::string& name);
+
+}  // namespace pt::clsim::analyze

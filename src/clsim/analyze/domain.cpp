@@ -1,0 +1,119 @@
+#include "clsim/analyze/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pt::clsim::analyze {
+
+ParamDomain::ParamDomain(std::vector<Dimension> dims) : dims_(std::move(dims)) {
+  for (const auto& dim : dims_) {
+    if (dim.name.empty())
+      throw std::invalid_argument("ParamDomain: unnamed dimension");
+  }
+}
+
+std::size_t ParamDomain::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (dims_[i].name == name) return i;
+  throw std::out_of_range("ParamDomain: no dimension named " + name);
+}
+
+std::uint64_t ParamDomain::size() const noexcept {
+  std::uint64_t n = 1;
+  for (const auto& dim : dims_) n *= static_cast<std::uint64_t>(dim.values.size());
+  return n;
+}
+
+Box Box::full(const ParamDomain& domain) {
+  Box box;
+  box.ranges.reserve(domain.dimension_count());
+  for (const auto& dim : domain.dimensions())
+    box.ranges.push_back(PositionRange{0, dim.values.size()});
+  return box;
+}
+
+Box Box::point(const std::vector<std::size_t>& positions) {
+  Box box;
+  box.ranges.reserve(positions.size());
+  for (const std::size_t p : positions)
+    box.ranges.push_back(PositionRange{p, p + 1});
+  return box;
+}
+
+bool Box::empty() const noexcept {
+  return std::any_of(ranges.begin(), ranges.end(),
+                     [](const PositionRange& r) { return r.count() == 0; });
+}
+
+std::uint64_t Box::count() const noexcept {
+  std::uint64_t n = 1;
+  for (const auto& r : ranges) n *= static_cast<std::uint64_t>(r.count());
+  return n;
+}
+
+bool Box::is_point() const noexcept {
+  return std::all_of(ranges.begin(), ranges.end(),
+                     [](const PositionRange& r) { return r.count() == 1; });
+}
+
+Interval Box::value_interval(const ParamDomain& domain, std::size_t dim) const {
+  const PositionRange& r = ranges.at(dim);
+  const std::vector<int>& values = domain.dimension(dim).values;
+  if (r.count() == 0 || r.hi > values.size()) return Interval::bottom();
+  int lo = values[r.lo];
+  int hi = lo;
+  for (std::size_t p = r.lo + 1; p < r.hi; ++p) {
+    lo = std::min(lo, values[p]);
+    hi = std::max(hi, values[p]);
+  }
+  return Interval::range(lo, hi);
+}
+
+std::size_t Box::widest_dimension() const noexcept {
+  std::size_t best = ranges.size();
+  std::size_t best_count = 1;
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    if (ranges[d].count() > best_count) {
+      best = d;
+      best_count = ranges[d].count();
+    }
+  }
+  return best;
+}
+
+std::pair<Box, Box> Box::split(std::size_t dim) const {
+  const PositionRange& r = ranges.at(dim);
+  if (r.count() < 2)
+    throw std::invalid_argument("Box::split: dimension has fewer than 2 positions");
+  const std::size_t mid = r.lo + r.count() / 2;
+  Box left = *this;
+  Box right = *this;
+  left.ranges[dim].hi = mid;
+  right.ranges[dim].lo = mid;
+  return {std::move(left), std::move(right)};
+}
+
+std::vector<int> Box::point_values(const ParamDomain& domain) const {
+  if (!is_point())
+    throw std::invalid_argument("Box::point_values: box is not a point");
+  std::vector<int> values;
+  values.reserve(ranges.size());
+  for (std::size_t d = 0; d < ranges.size(); ++d)
+    values.push_back(domain.dimension(d).values.at(ranges[d].lo));
+  return values;
+}
+
+std::string Box::to_string(const ParamDomain& domain) const {
+  std::ostringstream ss;
+  ss << '{';
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    if (d != 0) ss << ", ";
+    ss << domain.dimension(d).name << '='
+       << value_interval(domain, d).to_string();
+  }
+  ss << '}';
+  return ss.str();
+}
+
+}  // namespace pt::clsim::analyze

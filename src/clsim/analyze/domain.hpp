@@ -1,0 +1,96 @@
+#pragma once
+
+// clstat parameter domain: the analyzer's own view of a tuning space. A
+// ParamDomain is an ordered list of named discrete dimensions (mirroring
+// tuner::ParamSpace, without depending on the tuner layer so clsim stays
+// self-contained); a Box is an axis-aligned sub-box of the space, one
+// half-open *position* range per dimension over that dimension's value list.
+// Boxes are what the region sweep bisects: the abstract value of a parameter
+// over a box is the interval hull of the values its slice contains.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clsim/analyze/interval.hpp"
+
+namespace pt::clsim::analyze {
+
+/// One discrete dimension: a name and its possible values, in order.
+struct Dimension {
+  std::string name;
+  std::vector<int> values;
+};
+
+class ParamDomain {
+ public:
+  ParamDomain() = default;
+  explicit ParamDomain(std::vector<Dimension> dims);
+
+  [[nodiscard]] std::size_t dimension_count() const noexcept {
+    return dims_.size();
+  }
+  [[nodiscard]] const Dimension& dimension(std::size_t i) const {
+    return dims_.at(i);
+  }
+  [[nodiscard]] const std::vector<Dimension>& dimensions() const noexcept {
+    return dims_;
+  }
+
+  /// Index of a dimension by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Total number of configurations (product of value-list sizes; 0 for a
+  /// domain with an empty dimension).
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+/// Half-open position range [lo, hi) into one dimension's value list.
+struct PositionRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  [[nodiscard]] std::size_t count() const noexcept { return hi - lo; }
+  [[nodiscard]] bool operator==(const PositionRange&) const = default;
+};
+
+/// An axis-aligned sub-box of a domain: one position range per dimension.
+/// A box with any empty range denotes the empty region.
+struct Box {
+  std::vector<PositionRange> ranges;
+
+  /// The full box of a domain (every position of every dimension).
+  [[nodiscard]] static Box full(const ParamDomain& domain);
+
+  /// A single-configuration box from value-list positions.
+  [[nodiscard]] static Box point(const std::vector<std::size_t>& positions);
+
+  [[nodiscard]] bool empty() const noexcept;
+  /// Number of configurations the box contains.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  /// True when every dimension has exactly one position.
+  [[nodiscard]] bool is_point() const noexcept;
+
+  /// Interval hull of the *values* dimension `dim` takes over this box.
+  /// Sound for arbitrary (even unsorted) value lists: scans the slice.
+  [[nodiscard]] Interval value_interval(const ParamDomain& domain,
+                                        std::size_t dim) const;
+
+  /// The widest dimension (most positions); dimension_count() if no
+  /// dimension has more than one position.
+  [[nodiscard]] std::size_t widest_dimension() const noexcept;
+
+  /// Split along `dim` at its midpoint into two non-empty halves.
+  [[nodiscard]] std::pair<Box, Box> split(std::size_t dim) const;
+
+  /// The concrete values of a point box (one value per dimension).
+  [[nodiscard]] std::vector<int> point_values(const ParamDomain& domain) const;
+
+  [[nodiscard]] std::string to_string(const ParamDomain& domain) const;
+};
+
+}  // namespace pt::clsim::analyze

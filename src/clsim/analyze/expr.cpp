@@ -1,0 +1,308 @@
+#include "clsim/analyze/expr.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "clsim/device.hpp"
+
+namespace pt::clsim::analyze {
+
+namespace {
+
+enum class Op {
+  kConst,
+  kParam,
+  kDeviceLimit,
+  kAdd,
+  kSub,
+  kMul,
+  kMin,
+  kMax,
+  kCeilDiv,
+  kFloor,
+  kSelect,
+};
+
+double limit_value(DeviceLimit limit, const DeviceInfo& device) {
+  switch (limit) {
+    case DeviceLimit::kMaxWorkGroupSize:
+      return static_cast<double>(device.max_work_group_size);
+    case DeviceLimit::kMaxWorkItem0:
+      return static_cast<double>(device.max_work_item_sizes[0]);
+    case DeviceLimit::kMaxWorkItem1:
+      return static_cast<double>(device.max_work_item_sizes[1]);
+    case DeviceLimit::kMaxWorkItem2:
+      return static_cast<double>(device.max_work_item_sizes[2]);
+    case DeviceLimit::kLocalMemBytes:
+      return static_cast<double>(device.local_mem_bytes);
+    case DeviceLimit::kConstantMemBytes:
+      return static_cast<double>(device.constant_mem_bytes);
+    case DeviceLimit::kGlobalMemBytes:
+      return static_cast<double>(device.global_mem_bytes);
+    case DeviceLimit::kRegistersPerCu:
+      return static_cast<double>(device.registers_per_cu);
+    case DeviceLimit::kMaxImage2dWidth:
+      return static_cast<double>(device.max_image2d_width);
+    case DeviceLimit::kMaxImage2dHeight:
+      return static_cast<double>(device.max_image2d_height);
+    case DeviceLimit::kImagesSupported:
+      return device.images_supported ? 1.0 : 0.0;
+  }
+  throw std::logic_error("AffineExpr: unknown device limit");
+}
+
+}  // namespace
+
+const char* to_string(DeviceLimit limit) noexcept {
+  switch (limit) {
+    case DeviceLimit::kMaxWorkGroupSize: return "max_work_group_size";
+    case DeviceLimit::kMaxWorkItem0: return "max_work_item_sizes[0]";
+    case DeviceLimit::kMaxWorkItem1: return "max_work_item_sizes[1]";
+    case DeviceLimit::kMaxWorkItem2: return "max_work_item_sizes[2]";
+    case DeviceLimit::kLocalMemBytes: return "local_mem_bytes";
+    case DeviceLimit::kConstantMemBytes: return "constant_mem_bytes";
+    case DeviceLimit::kGlobalMemBytes: return "global_mem_bytes";
+    case DeviceLimit::kRegistersPerCu: return "registers_per_cu";
+    case DeviceLimit::kMaxImage2dWidth: return "max_image2d_width";
+    case DeviceLimit::kMaxImage2dHeight: return "max_image2d_height";
+    case DeviceLimit::kImagesSupported: return "images_supported";
+  }
+  return "unknown_limit";
+}
+
+struct AffineExpr::Node {
+  Op op = Op::kConst;
+  double value = 0.0;                    // kConst
+  std::size_t dim = 0;                   // kParam
+  std::string name;                      // kParam (display only)
+  DeviceLimit limit{};                   // kDeviceLimit
+  std::shared_ptr<const Node> a, b, c;   // operands (c: select's else arm)
+};
+
+AffineExpr AffineExpr::constant(double v) {
+  auto node = std::make_shared<Node>();
+  node->op = Op::kConst;
+  node->value = v;
+  return AffineExpr{std::move(node)};
+}
+
+AffineExpr AffineExpr::param(std::size_t dim, std::string name) {
+  auto node = std::make_shared<Node>();
+  node->op = Op::kParam;
+  node->dim = dim;
+  node->name = std::move(name);
+  return AffineExpr{std::move(node)};
+}
+
+AffineExpr AffineExpr::device_limit(DeviceLimit limit) {
+  auto node = std::make_shared<Node>();
+  node->op = Op::kDeviceLimit;
+  node->limit = limit;
+  return AffineExpr{std::move(node)};
+}
+
+namespace {
+
+double eval_node(const AffineExpr::Node& n, std::span<const int> values,
+                 const DeviceInfo* device) {
+  switch (n.op) {
+    case Op::kConst:
+      return n.value;
+    case Op::kParam:
+      if (n.dim >= values.size())
+        throw std::out_of_range("AffineExpr: parameter dimension " +
+                                std::to_string(n.dim) + " out of range");
+      return static_cast<double>(values[n.dim]);
+    case Op::kDeviceLimit:
+      if (device == nullptr)
+        throw std::invalid_argument(
+            "AffineExpr: device limit referenced but no device given");
+      return limit_value(n.limit, *device);
+    case Op::kAdd:
+      return eval_node(*n.a, values, device) + eval_node(*n.b, values, device);
+    case Op::kSub:
+      return eval_node(*n.a, values, device) - eval_node(*n.b, values, device);
+    case Op::kMul:
+      return eval_node(*n.a, values, device) * eval_node(*n.b, values, device);
+    case Op::kMin:
+      return std::min(eval_node(*n.a, values, device),
+                      eval_node(*n.b, values, device));
+    case Op::kMax:
+      return std::max(eval_node(*n.a, values, device),
+                      eval_node(*n.b, values, device));
+    case Op::kCeilDiv: {
+      const double num = eval_node(*n.a, values, device);
+      const double den = eval_node(*n.b, values, device);
+      if (den <= 0.0)
+        throw std::domain_error("AffineExpr: ceil_div by non-positive value");
+      return std::ceil(num / den);
+    }
+    case Op::kFloor:
+      return std::floor(eval_node(*n.a, values, device));
+    case Op::kSelect:
+      return eval_node(*n.a, values, device) != 0.0
+                 ? eval_node(*n.b, values, device)
+                 : eval_node(*n.c, values, device);
+  }
+  throw std::logic_error("AffineExpr: unknown node op");
+}
+
+Interval eval_node(const AffineExpr::Node& n, const Box& box,
+                   const ParamDomain& domain, const DeviceInfo* device) {
+  switch (n.op) {
+    case Op::kConst:
+      return Interval::point(n.value);
+    case Op::kParam:
+      if (n.dim >= domain.dimension_count())
+        throw std::out_of_range("AffineExpr: parameter dimension " +
+                                std::to_string(n.dim) + " out of range");
+      return box.value_interval(domain, n.dim);
+    case Op::kDeviceLimit:
+      if (device == nullptr)
+        throw std::invalid_argument(
+            "AffineExpr: device limit referenced but no device given");
+      return Interval::point(limit_value(n.limit, *device));
+    case Op::kAdd:
+      return eval_node(*n.a, box, domain, device) +
+             eval_node(*n.b, box, domain, device);
+    case Op::kSub:
+      return eval_node(*n.a, box, domain, device) -
+             eval_node(*n.b, box, domain, device);
+    case Op::kMul:
+      return eval_node(*n.a, box, domain, device) *
+             eval_node(*n.b, box, domain, device);
+    case Op::kMin:
+      return min(eval_node(*n.a, box, domain, device),
+                 eval_node(*n.b, box, domain, device));
+    case Op::kMax:
+      return max(eval_node(*n.a, box, domain, device),
+                 eval_node(*n.b, box, domain, device));
+    case Op::kCeilDiv:
+      return ceil_div(eval_node(*n.a, box, domain, device),
+                      eval_node(*n.b, box, domain, device));
+    case Op::kFloor:
+      return floor(eval_node(*n.a, box, domain, device));
+    case Op::kSelect: {
+      const Interval cond = eval_node(*n.a, box, domain, device);
+      if (cond.empty) return Interval::bottom();
+      if (cond.definitely_nonzero())
+        return eval_node(*n.b, box, domain, device);
+      if (cond.definitely_zero())
+        return eval_node(*n.c, box, domain, device);
+      return hull(eval_node(*n.b, box, domain, device),
+                  eval_node(*n.c, box, domain, device));
+    }
+  }
+  throw std::logic_error("AffineExpr: unknown node op");
+}
+
+void print_node(const AffineExpr::Node& n, std::ostringstream& out) {
+  const auto infix = [&](const char* sym) {
+    out << '(';
+    print_node(*n.a, out);
+    out << ' ' << sym << ' ';
+    print_node(*n.b, out);
+    out << ')';
+  };
+  const auto call2 = [&](const char* fn) {
+    out << fn << '(';
+    print_node(*n.a, out);
+    out << ", ";
+    print_node(*n.b, out);
+    out << ')';
+  };
+  switch (n.op) {
+    case Op::kConst: out << n.value; return;
+    case Op::kParam: out << n.name; return;
+    case Op::kDeviceLimit: out << to_string(n.limit); return;
+    case Op::kAdd: infix("+"); return;
+    case Op::kSub: infix("-"); return;
+    case Op::kMul: infix("*"); return;
+    case Op::kMin: call2("min"); return;
+    case Op::kMax: call2("max"); return;
+    case Op::kCeilDiv: call2("ceil_div"); return;
+    case Op::kFloor:
+      out << "floor(";
+      print_node(*n.a, out);
+      out << ')';
+      return;
+    case Op::kSelect:
+      out << "select(";
+      print_node(*n.a, out);
+      out << ", ";
+      print_node(*n.b, out);
+      out << ", ";
+      print_node(*n.c, out);
+      out << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+double AffineExpr::eval(std::span<const int> values,
+                        const DeviceInfo* device) const {
+  if (!node_) throw std::logic_error("AffineExpr: evaluating null expression");
+  return eval_node(*node_, values, device);
+}
+
+Interval AffineExpr::eval(const Box& box, const ParamDomain& domain,
+                          const DeviceInfo* device) const {
+  if (!node_) throw std::logic_error("AffineExpr: evaluating null expression");
+  if (box.empty()) return Interval::bottom();
+  return eval_node(*node_, box, domain, device);
+}
+
+std::string AffineExpr::to_string() const {
+  if (!node_) return "<null>";
+  std::ostringstream ss;
+  print_node(*node_, ss);
+  return ss.str();
+}
+
+#define PT_ANALYZE_BINARY(fn, opcode)                                \
+  AffineExpr fn(const AffineExpr& a, const AffineExpr& b) {          \
+    if (!a.valid() || !b.valid())                                    \
+      throw std::logic_error("AffineExpr: null operand in " #fn);    \
+    auto node = std::make_shared<AffineExpr::Node>();                \
+    node->op = opcode;                                               \
+    node->a = a.node_;                                               \
+    node->b = b.node_;                                               \
+    return AffineExpr{std::move(node)};                              \
+  }
+
+PT_ANALYZE_BINARY(operator+, Op::kAdd)
+PT_ANALYZE_BINARY(operator-, Op::kSub)
+PT_ANALYZE_BINARY(operator*, Op::kMul)
+PT_ANALYZE_BINARY(min, Op::kMin)
+PT_ANALYZE_BINARY(max, Op::kMax)
+PT_ANALYZE_BINARY(ceil_div, Op::kCeilDiv)
+
+#undef PT_ANALYZE_BINARY
+
+AffineExpr floor(const AffineExpr& a) {
+  if (!a.valid()) throw std::logic_error("AffineExpr: null operand in floor");
+  auto node = std::make_shared<AffineExpr::Node>();
+  node->op = Op::kFloor;
+  node->a = a.node_;
+  return AffineExpr{std::move(node)};
+}
+
+AffineExpr select(const AffineExpr& cond, const AffineExpr& then,
+                  const AffineExpr& otherwise) {
+  if (!cond.valid() || !then.valid() || !otherwise.valid())
+    throw std::logic_error("AffineExpr: null operand in select");
+  auto node = std::make_shared<AffineExpr::Node>();
+  node->op = Op::kSelect;
+  node->a = cond.node_;
+  node->b = then.node_;
+  node->c = otherwise.node_;
+  return AffineExpr{std::move(node)};
+}
+
+AffineExpr round_up(const AffineExpr& a, const AffineExpr& m) {
+  return ceil_div(a, m) * m;
+}
+
+}  // namespace pt::clsim::analyze

@@ -1,0 +1,116 @@
+#pragma once
+
+// clstat expression DSL. An AffineExpr is an immutable expression tree over
+// the tuning-parameter dimensions of a ParamDomain plus device limits: the
+// language the per-kernel KernelConstraints are written in. The name keeps
+// the affine heritage (sums of scaled parameters), but the node set is
+// deliberately richer — products of parameters (wg_x * ppt_x), min/max caps,
+// integer ceiling division / round-up geometry, floor (to mirror size_t
+// truncation in the profiles' register formulas), and a select for
+// conditional resource terms — because the benchmark resource formulas need
+// exactly those shapes.
+//
+// Two evaluators share the tree:
+//   eval(values, device)      — exact concrete evaluation at one configuration
+//   eval(box, domain, device) — sound interval evaluation over a sub-box
+// Soundness contract: for every configuration inside the box, the concrete
+// value lies inside the interval.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clsim/analyze/domain.hpp"
+#include "clsim/analyze/interval.hpp"
+
+namespace pt::clsim {
+struct DeviceInfo;
+}  // namespace pt::clsim
+
+namespace pt::clsim::analyze {
+
+/// Device limits an expression may reference. Resolved against a DeviceInfo
+/// at evaluation time, so one constraint set serves every device.
+enum class DeviceLimit {
+  kMaxWorkGroupSize,
+  kMaxWorkItem0,
+  kMaxWorkItem1,
+  kMaxWorkItem2,
+  kLocalMemBytes,
+  kConstantMemBytes,
+  kGlobalMemBytes,
+  kRegistersPerCu,
+  kMaxImage2dWidth,
+  kMaxImage2dHeight,
+  kImagesSupported,  // 1.0 when the device supports images, else 0.0
+};
+
+[[nodiscard]] const char* to_string(DeviceLimit limit) noexcept;
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;  // null expression; eval() throws
+
+  /// Literal constant.
+  [[nodiscard]] static AffineExpr constant(double v);
+  /// Value of tuning dimension `dim` (index into the ParamDomain).
+  [[nodiscard]] static AffineExpr param(std::size_t dim, std::string name);
+  /// A device limit, resolved at evaluation time.
+  [[nodiscard]] static AffineExpr device_limit(DeviceLimit limit);
+
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  /// Exact value at one configuration (`values[dim]` per dimension).
+  /// `device` may be null if the expression references no device limit.
+  [[nodiscard]] double eval(std::span<const int> values,
+                            const DeviceInfo* device) const;
+
+  /// Sound interval over a sub-box. Returns bottom for an empty box.
+  [[nodiscard]] Interval eval(const Box& box, const ParamDomain& domain,
+                              const DeviceInfo* device) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend AffineExpr operator+(const AffineExpr& a, const AffineExpr& b);
+  friend AffineExpr operator-(const AffineExpr& a, const AffineExpr& b);
+  friend AffineExpr operator*(const AffineExpr& a, const AffineExpr& b);
+  friend AffineExpr min(const AffineExpr& a, const AffineExpr& b);
+  friend AffineExpr max(const AffineExpr& a, const AffineExpr& b);
+  /// Integer ceiling division ceil(a / b); b must evaluate > 0.
+  friend AffineExpr ceil_div(const AffineExpr& a, const AffineExpr& b);
+  /// Truncation toward -inf — models static_cast<std::size_t> on the
+  /// non-negative doubles the profiles produce.
+  friend AffineExpr floor(const AffineExpr& a);
+  /// cond != 0 ? then : otherwise. Interval evaluation takes the hull of
+  /// both arms unless the condition's interval is definitely (non)zero.
+  friend AffineExpr select(const AffineExpr& cond, const AffineExpr& then,
+                           const AffineExpr& otherwise);
+
+  /// Implementation node; nameable (for the evaluators in expr.cpp) but
+  /// opaque outside it.
+  struct Node;
+
+ private:
+  explicit AffineExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+[[nodiscard]] AffineExpr operator+(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr operator-(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr operator*(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr min(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr max(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr ceil_div(const AffineExpr& a, const AffineExpr& b);
+[[nodiscard]] AffineExpr floor(const AffineExpr& a);
+[[nodiscard]] AffineExpr select(const AffineExpr& cond, const AffineExpr& then,
+                                const AffineExpr& otherwise);
+
+/// round_up(a, m) = ceil(a / m) * m — the ND-range rounding the benchmarks
+/// apply when padding global sizes to a work-group multiple.
+[[nodiscard]] AffineExpr round_up(const AffineExpr& a, const AffineExpr& m);
+
+}  // namespace pt::clsim::analyze

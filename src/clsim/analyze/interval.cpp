@@ -1,0 +1,68 @@
+#include "clsim/analyze/interval.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace pt::clsim::analyze {
+
+std::string Interval::to_string() const {
+  if (empty) return "[]";
+  std::ostringstream ss;
+  ss << '[' << lo << ", " << hi << ']';
+  return ss.str();
+}
+
+Interval hull(const Interval& a, const Interval& b) noexcept {
+  if (a.empty) return b;
+  if (b.empty) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+Interval operator+(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty) return Interval::bottom();
+  return Interval{a.lo + b.lo, a.hi + b.hi, false};
+}
+
+Interval operator-(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty) return Interval::bottom();
+  return Interval{a.lo - b.hi, a.hi - b.lo, false};
+}
+
+Interval operator*(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty) return Interval::bottom();
+  const double c1 = a.lo * b.lo;
+  const double c2 = a.lo * b.hi;
+  const double c3 = a.hi * b.lo;
+  const double c4 = a.hi * b.hi;
+  return Interval{std::min(std::min(c1, c2), std::min(c3, c4)),
+                  std::max(std::max(c1, c2), std::max(c3, c4)), false};
+}
+
+Interval min(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty) return Interval::bottom();
+  return Interval{std::min(a.lo, b.lo), std::min(a.hi, b.hi), false};
+}
+
+Interval max(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty) return Interval::bottom();
+  return Interval{std::max(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+Interval floor(const Interval& a) noexcept {
+  if (a.empty) return Interval::bottom();
+  return Interval{std::floor(a.lo), std::floor(a.hi), false};
+}
+
+Interval ceil_div(const Interval& a, const Interval& b) noexcept {
+  if (a.empty || b.empty || b.lo <= 0.0) return Interval::bottom();
+  // ceil(a/b) is increasing in a for b > 0, so the bounds come from a.lo
+  // and a.hi — but which divisor corner is extreme flips with the sign of
+  // the dividend (a/b.hi is the smaller quotient only for a >= 0), so take
+  // both corners per bound. Mirrors integer round-up division exactly for
+  // integer-valued inputs.
+  const auto cd = [](double n, double d) { return std::ceil(n / d); };
+  return Interval{std::min(cd(a.lo, b.lo), cd(a.lo, b.hi)),
+                  std::max(cd(a.hi, b.lo), cd(a.hi, b.hi)), false};
+}
+
+}  // namespace pt::clsim::analyze

@@ -1,0 +1,72 @@
+#pragma once
+
+// clstat interval domain. An Interval is a closed range [lo, hi] of doubles
+// (in practice integer-valued: tuning parameters, byte counts, work-item
+// counts — all exactly representable well below 2^53). The empty interval is
+// the bottom element; every operation propagates it. Soundness contract: for
+// any operation op and any points a in A, b in B, op(a, b) is contained in
+// op(A, B). The property tests in tests/clsim/test_analyze.cpp exercise this
+// against random concrete evaluations.
+
+#include <algorithm>
+#include <string>
+
+namespace pt::clsim::analyze {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool empty = false;
+
+  /// The canonical empty interval (bottom).
+  [[nodiscard]] static Interval bottom() noexcept {
+    return Interval{0.0, 0.0, true};
+  }
+  /// A single point [v, v].
+  [[nodiscard]] static Interval point(double v) noexcept {
+    return Interval{v, v, false};
+  }
+  /// [lo, hi]; an inverted pair collapses to empty.
+  [[nodiscard]] static Interval range(double lo, double hi) noexcept {
+    if (lo > hi) return bottom();
+    return Interval{lo, hi, false};
+  }
+
+  [[nodiscard]] bool is_point() const noexcept { return !empty && lo == hi; }
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return !empty && lo <= v && v <= hi;
+  }
+  /// True when the interval is exactly {0} — "definitely false" for guards.
+  [[nodiscard]] bool definitely_zero() const noexcept {
+    return !empty && lo == 0.0 && hi == 0.0;
+  }
+  /// True when 0 lies outside — "definitely true" for guards.
+  [[nodiscard]] bool definitely_nonzero() const noexcept {
+    return !empty && (lo > 0.0 || hi < 0.0);
+  }
+
+  [[nodiscard]] bool operator==(const Interval&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Smallest interval containing both (join in the lattice).
+[[nodiscard]] Interval hull(const Interval& a, const Interval& b) noexcept;
+
+[[nodiscard]] Interval operator+(const Interval& a, const Interval& b) noexcept;
+[[nodiscard]] Interval operator-(const Interval& a, const Interval& b) noexcept;
+/// Four-corner product (handles sign mixes soundly).
+[[nodiscard]] Interval operator*(const Interval& a, const Interval& b) noexcept;
+
+[[nodiscard]] Interval min(const Interval& a, const Interval& b) noexcept;
+[[nodiscard]] Interval max(const Interval& a, const Interval& b) noexcept;
+
+/// Elementwise floor (monotone, hence [floor(lo), floor(hi)]).
+[[nodiscard]] Interval floor(const Interval& a) noexcept;
+
+/// ceil(a / b) under integer ceiling-division semantics. Requires b to be
+/// strictly positive (b.lo > 0); returns bottom otherwise — the analyzer
+/// only divides by work-group shapes and per-thread counts, which are >= 1.
+[[nodiscard]] Interval ceil_div(const Interval& a, const Interval& b) noexcept;
+
+}  // namespace pt::clsim::analyze

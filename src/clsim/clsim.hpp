@@ -2,6 +2,7 @@
 
 // Umbrella header for the simulated OpenCL runtime.
 
+#include "clsim/analyze/checker.hpp"     // IWYU pragma: export
 #include "clsim/check/check.hpp"         // IWYU pragma: export
 #include "clsim/check/checked_span.hpp"  // IWYU pragma: export
 #include "clsim/check/report.hpp"        // IWYU pragma: export

@@ -71,6 +71,9 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
   const std::size_t cache_misses_before =
       cache != nullptr ? cache->misses() : 0;
 
+  // clstat pre-filter tallies (bumped by scan workers during stage 2).
+  StaticPruneCounters static_counters;
+
   auto finalize = [&] {
     if (cache != nullptr) {
       result.cache_hits = cache->hits() - cache_hits_before;
@@ -88,6 +91,41 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
         tel::gauge("tuner.cache.hit_rate",
                    static_cast<double>(result.cache_hits) /
                        static_cast<double>(lookups));
+    }
+    if (options_.static_checker != nullptr) {
+      result.static_checked =
+          static_cast<std::size_t>(static_counters.checked.load());
+      result.static_pruned =
+          static_cast<std::size_t>(static_counters.pruned.load());
+      result.static_proved_valid =
+          static_cast<std::size_t>(static_counters.proved_valid.load());
+      result.static_unknown =
+          static_cast<std::size_t>(static_counters.unknown.load());
+      common::log_info(
+          "autotuner[", evaluator.name(), "]: static filter pruned ",
+          result.static_pruned, " of ", result.static_checked,
+          " checked (pruned fraction ",
+          result.static_checked != 0
+              ? 100.0 * static_cast<double>(result.static_pruned) /
+                    static_cast<double>(result.static_checked)
+              : 0.0,
+          "%; verdicts: ", result.static_proved_valid, " proved valid, ",
+          result.static_pruned, " proved invalid, ", result.static_unknown,
+          " unknown)");
+      if (tel::enabled()) {
+        tel::count("tuner.scan.static_checked",
+                   static_cast<double>(result.static_checked));
+        tel::count("tuner.scan.static_pruned",
+                   static_cast<double>(result.static_pruned));
+        tel::count("tuner.scan.static_proved_valid",
+                   static_cast<double>(result.static_proved_valid));
+        tel::count("tuner.scan.static_unknown",
+                   static_cast<double>(result.static_unknown));
+        if (result.static_checked != 0)
+          tel::gauge("tuner.scan.static_pruned_fraction",
+                     static_cast<double>(result.static_pruned) /
+                         static_cast<double>(result.static_checked));
+      }
     }
     if (tel::enabled()) {
       tel::count("tuner.stage1.measured",
@@ -187,8 +225,18 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
     for (const auto& sample : result.training_data)
       valid_configs.push_back(sample.config);
     ValidityModel classifier(options_.validity);
-    classifier.fit(space, valid_configs, result.invalid_training_configs,
-                   rng);
+    if (options_.static_checker != nullptr &&
+        options_.validity_oracle_samples != 0) {
+      // Free ground truth: augment the measured labels with analyzer-certain
+      // samples before fitting (kUnknown draws are dropped).
+      classifier.fit_with_oracle(space, std::move(valid_configs),
+                                 result.invalid_training_configs,
+                                 *options_.static_checker,
+                                 options_.validity_oracle_samples, rng);
+    } else {
+      classifier.fit(space, valid_configs, result.invalid_training_configs,
+                     rng);
+    }
     if (classifier.fitted()) result.validity_model = std::move(classifier);
   }
 
@@ -211,6 +259,9 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
         return validity.predict_valid(space.decode(index));
       };
     }
+    if (options_.static_checker != nullptr)
+      filter = make_static_scan_filter(space, *options_.static_checker,
+                                       static_counters, std::move(filter));
     const TopMScanResult scan = result.model->predict_scan_top_m(
         0, scan_end, options_.second_stage_size, filter);
     candidates.reserve(options_.second_stage_size);

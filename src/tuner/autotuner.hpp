@@ -14,9 +14,11 @@
 // the GPUs (section 6, Fig 14) — reported here as success == false.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "clsim/analyze/checker.hpp"
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
@@ -38,6 +40,19 @@ struct AutoTunerOptions {
   /// configurations from the second stage.
   bool validity_filter = false;
   ValidityModel::Options validity{};
+  /// Opt-in clstat static pre-filter: skip configurations the analyzer
+  /// proves invalid before they enter the stage-2 prediction scan's top-M
+  /// heap. Sound pruning only removes configurations that would measure
+  /// invalid, so it never changes which valid configuration wins — it just
+  /// avoids wasting candidate slots and measurements on proven rejects.
+  /// The checker must be built over this evaluator's space (same dimension
+  /// order) and the target device.
+  std::shared_ptr<const clsim::analyze::StaticChecker> static_checker;
+  /// With validity_filter and static_checker set: augment the classifier's
+  /// training set with this many analyzer-certain labels (free — zero
+  /// launches) via ValidityModel::fit_with_oracle. Draws from the run RNG,
+  /// so enabling it changes downstream sampling streams.
+  std::size_t validity_oracle_samples = 0;
   /// Graceful degradation: when every one of the M second-stage candidates
   /// fails or comes back invalid, keep streaming further candidates from
   /// the prediction ranking (in predicted order, unfiltered) until a valid
@@ -99,6 +114,14 @@ struct AutoTuneResult {
   /// chunk's bounded top-M heap are ever tested, so this is a lower bound
   /// on the number of predicted-invalid configurations in the space.
   std::size_t stage2_filtered = 0;
+  /// clstat static pre-filter tallies (all zero unless options.static_checker
+  /// was set). Queries happen lazily at scan heap entry, so static_checked
+  /// is a lower bound on the provable configurations in the space; the
+  /// verdict mix always sums to static_checked.
+  std::size_t static_checked = 0;
+  std::size_t static_pruned = 0;        // kProvedInvalid, skipped
+  std::size_t static_proved_valid = 0;  // kProvedValid, kept
+  std::size_t static_unknown = 0;       // kUnknown, kept
   /// Cache hit/miss deltas over this run, when a CachingEvaluator is found
   /// anywhere in the evaluator stack (see find_layer); 0/0 otherwise.
   std::size_t cache_hits = 0;

@@ -63,6 +63,9 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   const std::size_t cache_misses_before =
       cache != nullptr ? cache->misses() : 0;
 
+  // clstat pre-filter tallies (bumped by scan workers during exploit scans).
+  StaticPruneCounters static_counters;
+
   std::vector<TrainingSample> data;
   std::unordered_set<std::uint64_t> measured;
   bool have_best = false;
@@ -169,10 +172,14 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
       // unmeasured configurations.
       StageScope stage(run, "iterative", "iterative.exploit");
       measure_stage = "exploit";
-      const auto scan = model.predict_scan_top_m(
-          0, space.size(), exploit, [&measured](std::uint64_t index) {
-            return measured.count(index) == 0;
-          });
+      ScanFilter filter = [&measured](std::uint64_t index) {
+        return measured.count(index) == 0;
+      };
+      if (options_.static_checker != nullptr)
+        filter = make_static_scan_filter(space, *options_.static_checker,
+                                         static_counters, std::move(filter));
+      const auto scan =
+          model.predict_scan_top_m(0, space.size(), exploit, filter);
       for (const auto& candidate : scan.top) {
         if (run.observer != nullptr)
           run.observer->on_candidate(candidate.index, candidate.predicted_ms);
@@ -239,6 +246,41 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
       tel::gauge("tuner.cache.hit_rate",
                  static_cast<double>(result.cache_hits) /
                      static_cast<double>(lookups));
+  }
+  if (options_.static_checker != nullptr) {
+    result.static_checked =
+        static_cast<std::size_t>(static_counters.checked.load());
+    result.static_pruned =
+        static_cast<std::size_t>(static_counters.pruned.load());
+    result.static_proved_valid =
+        static_cast<std::size_t>(static_counters.proved_valid.load());
+    result.static_unknown =
+        static_cast<std::size_t>(static_counters.unknown.load());
+    common::log_info(
+        "iterative[", evaluator.name(), "]: static filter pruned ",
+        result.static_pruned, " of ", result.static_checked,
+        " checked (pruned fraction ",
+        result.static_checked != 0
+            ? 100.0 * static_cast<double>(result.static_pruned) /
+                  static_cast<double>(result.static_checked)
+            : 0.0,
+        "%; verdicts: ", result.static_proved_valid, " proved valid, ",
+        result.static_pruned, " proved invalid, ", result.static_unknown,
+        " unknown)");
+    if (tel::enabled()) {
+      tel::count("tuner.scan.static_checked",
+                 static_cast<double>(result.static_checked));
+      tel::count("tuner.scan.static_pruned",
+                 static_cast<double>(result.static_pruned));
+      tel::count("tuner.scan.static_proved_valid",
+                 static_cast<double>(result.static_proved_valid));
+      tel::count("tuner.scan.static_unknown",
+                 static_cast<double>(result.static_unknown));
+      if (result.static_checked != 0)
+        tel::gauge("tuner.scan.static_pruned_fraction",
+                   static_cast<double>(result.static_pruned) /
+                       static_cast<double>(result.static_checked));
+    }
   }
   if (tel::enabled()) {
     tel::count("tuner.iterative.measurements",

@@ -19,9 +19,11 @@
 // that breaks the one-shot tuner on stereo/GPU.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "clsim/analyze/checker.hpp"
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
@@ -44,6 +46,14 @@ struct IterativeTunerOptions {
   /// instead of giving up after round 0. Off by default so results are
   /// bit-identical to the pre-degradation tuner unless a caller opts in.
   bool explore_until_valid = false;
+  /// Opt-in clstat static pre-filter for the exploitation scan: proven-
+  /// invalid configurations never enter a round's exploit batch, so their
+  /// slots go to configurations that can actually measure. Unlike the
+  /// one-shot tuner this *changes the measurement trajectory* (different
+  /// configurations get measured, feeding different models) — sound but not
+  /// bit-identical to a filter-free run. Random exploration stays
+  /// unfiltered, preserving the invalid-region labels it supplies.
+  std::shared_ptr<const clsim::analyze::StaticChecker> static_checker;
   AnnPerformanceModel::Options model{};
   /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
   /// tuner/observer.hpp). The default context is inert — results are
@@ -77,6 +87,12 @@ struct IterativeTuneResult {
   /// anywhere in the evaluator stack (see find_layer); 0/0 otherwise.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// clstat pre-filter tallies over all exploit scans (all zero unless
+  /// options.static_checker was set; see AutoTuneResult for semantics).
+  std::size_t static_checked = 0;
+  std::size_t static_pruned = 0;
+  std::size_t static_proved_valid = 0;
+  std::size_t static_unknown = 0;
 };
 
 class IterativeTuner {

@@ -421,4 +421,29 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
   return result;
 }
 
+ScanFilter make_static_scan_filter(const ParamSpace& space,
+                                   const clsim::analyze::StaticChecker& checker,
+                                   StaticPruneCounters& counters,
+                                   ScanFilter next) {
+  return [&space, &checker, &counters,
+          next = std::move(next)](std::uint64_t index) {
+    const Configuration config = space.decode(index);
+    const clsim::analyze::ConfigVerdict verdict =
+        checker.check(std::span<const int>(config.values));
+    counters.checked.fetch_add(1, std::memory_order_relaxed);
+    switch (verdict.verdict) {
+      case clsim::analyze::Verdict::kProvedInvalid:
+        counters.pruned.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case clsim::analyze::Verdict::kProvedValid:
+        counters.proved_valid.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case clsim::analyze::Verdict::kUnknown:
+        counters.unknown.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return !next || next(index);
+  };
+}
+
 }  // namespace pt::tuner

@@ -39,14 +39,17 @@
 //    returned top-M is the one the fp64 scan would return, candidate for
 //    candidate, predicted values included.
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "clsim/analyze/checker.hpp"
 #include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
+#include "tuner/param.hpp"
 
 namespace pt::tuner {
 
@@ -111,6 +114,29 @@ struct ScanOptions {
 /// Validity predicate over flat indices. Called concurrently from worker
 /// threads; must be thread-safe (read-only captures are fine).
 using ScanFilter = std::function<bool(std::uint64_t)>;
+
+/// Verdict tallies of a clstat static pre-filter built by
+/// make_static_scan_filter. Atomic: scan workers bump them concurrently.
+/// Queries happen lazily (heap-entry candidates only), so `checked` is a
+/// lower bound on the provable configurations in the scanned range; the
+/// three verdict counters always sum to it.
+struct StaticPruneCounters {
+  std::atomic<std::uint64_t> checked{0};
+  std::atomic<std::uint64_t> pruned{0};        // kProvedInvalid, rejected
+  std::atomic<std::uint64_t> proved_valid{0};  // kProvedValid, kept
+  std::atomic<std::uint64_t> unknown{0};       // kUnknown, kept
+};
+
+/// Wrap a clstat StaticChecker as a ScanFilter: each queried flat index is
+/// decoded through `space` and rejected iff the analyzer proves the
+/// configuration invalid — sound, so only configurations that would measure
+/// invalid are ever pruned. Verdicts are tallied into `counters`. All three
+/// references must outlive the returned filter. A non-empty `next` filter
+/// is consulted after a configuration survives the static check (so e.g. a
+/// learned validity filter never feature-encodes proven-invalid points).
+[[nodiscard]] ScanFilter make_static_scan_filter(
+    const ParamSpace& space, const clsim::analyze::StaticChecker& checker,
+    StaticPruneCounters& counters, ScanFilter next = {});
 
 /// Fills `x` (reshaped by the callee) with the feature rows for flat
 /// indices [lo, hi). Called concurrently from worker threads.

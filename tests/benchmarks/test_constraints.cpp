@@ -1,0 +1,174 @@
+// Benchmark constraint-set tests: the clstat verdicts of every registered
+// benchmark must agree with the clsim driver on randomly sampled
+// configurations (proved invalid => driver rejects, proved valid => driver
+// accepts, and — the sets being complete — nothing is left unknown), and the
+// convolution PAD out-of-bounds bug fixed in an earlier revision must be
+// re-derivable statically from the pre-fix staging index expression.
+
+#include <gtest/gtest.h>
+
+#include "archsim/devices.hpp"
+#include "benchmarks/convolution.hpp"
+#include "benchmarks/registry.hpp"
+
+namespace pt::benchkit {
+namespace {
+
+namespace az = clsim::analyze;
+
+clsim::Device gpu_device() {
+  static clsim::Platform platform = archsim::default_platform();
+  return platform.device_by_name(archsim::kNvidiaK40);
+}
+
+/// The driver's verdict, exactly as BenchmarkEvaluator derives it.
+bool driver_accepts(const TunableBenchmark& bench, const clsim::Device& device,
+                    const tuner::Configuration& config) {
+  try {
+    const LaunchPlan plan = bench.prepare(device, config);
+    return plan.kernel.validate_launch(plan.global, plan.local) ==
+           clsim::Status::kSuccess;
+  } catch (const clsim::ClException& e) {
+    if (!e.is_invalid_configuration()) throw;
+    return false;
+  }
+}
+
+TEST(Constraints, DomainsMirrorTheTuningSpaces) {
+  for (const auto& name : benchmark_names()) {
+    const auto bench = make_benchmark_small(name);
+    const az::KernelConstraints kc = bench->constraints();
+    EXPECT_TRUE(kc.complete) << name;
+    EXPECT_FALSE(kc.constraints.empty()) << name;
+    ASSERT_EQ(kc.domain.dimension_count(), bench->space().dimension_count())
+        << name;
+    for (std::size_t d = 0; d < kc.domain.dimension_count(); ++d) {
+      EXPECT_EQ(kc.domain.dimension(d).name,
+                bench->space().parameter(d).name);
+      EXPECT_EQ(kc.domain.dimension(d).values,
+                bench->space().parameter(d).values);
+    }
+  }
+}
+
+TEST(Constraints, VerdictsAgreeWithTheDriverOnRandomSamples) {
+  const clsim::Device device = gpu_device();
+  common::Rng rng(11);
+  for (const auto& name : benchmark_names()) {
+    const auto bench = make_benchmark_small(name);
+    const az::StaticChecker checker = make_static_checker(*bench, device);
+    std::size_t proved_valid = 0;
+    std::size_t proved_invalid = 0;
+    for (int i = 0; i < 150; ++i) {
+      const auto config = bench->space().random(rng);
+      const az::ConfigVerdict verdict = check_config(checker, config);
+      const bool accepted = driver_accepts(*bench, device, config);
+      // Complete sets decide every point.
+      EXPECT_NE(verdict.verdict, az::Verdict::kUnknown)
+          << name << " " << bench->space().to_string(config);
+      if (verdict.proved_invalid()) {
+        ++proved_invalid;
+        EXPECT_FALSE(accepted)
+            << name << " " << bench->space().to_string(config)
+            << " proved invalid (" << verdict.reason
+            << ") but the driver accepts it";
+      }
+      if (verdict.proved_valid()) {
+        ++proved_valid;
+        EXPECT_TRUE(accepted)
+            << name << " " << bench->space().to_string(config)
+            << " proved valid but the driver rejects it";
+      }
+    }
+    // The sample must exercise both classes for the test to mean anything.
+    EXPECT_GT(proved_valid, 0u) << name;
+    EXPECT_GT(proved_invalid, 0u) << name;
+  }
+}
+
+TEST(Constraints, RegionSweepAgreesWithPointVerdicts) {
+  const clsim::Device device = gpu_device();
+  for (const auto& name : benchmark_names()) {
+    const auto bench = make_benchmark_small(name);
+    const az::StaticChecker checker = make_static_checker(*bench, device);
+    const az::SweepReport report = checker.sweep(/*max_boxes=*/256);
+    EXPECT_EQ(report.proved_valid_configs + report.proved_invalid_configs +
+                  report.unknown_configs,
+              bench->space().size())
+        << name;
+    // The analyzer must discharge a nontrivial share of the space from a
+    // small box budget — the whole point of the region sweep.
+    EXPECT_GT(report.proved_fraction(), 0.25) << name;
+  }
+}
+
+// Regression: the convolution PAD path used to stage the padded input with
+// an *unclamped* index derived from the rounded-up ND-range, reading past
+// the padded buffer whenever WG*PPT did not divide the image extent (caught
+// dynamically by clcheck, then fixed by clamping to the apron). The analyzer
+// must prove that pre-fix access pattern out of bounds from the expression
+// alone — no launch, no sanitizer.
+TEST(Constraints, ConvolutionPadPrefixFootprintIsProvedInvalid) {
+  const clsim::Device device = gpu_device();
+  const ConvolutionBenchmark bench(ConvolutionBenchmark::Geometry{48, 32, 2});
+  const az::KernelConstraints fixed = bench.constraints();
+  const az::ParamDomain& dom = fixed.domain;
+
+  const double w = 48.0;
+  const double h = 32.0;
+  const double r = 2.0;
+  const double pw = w + 2.0 * r;
+  const double ph = h + 2.0 * r;
+
+  const az::AffineExpr wg_x = az::param_expr(dom, "WG_X");
+  const az::AffineExpr wg_y = az::param_expr(dom, "WG_Y");
+  const az::AffineExpr ppt_x = az::param_expr(dom, "PPT_X");
+  const az::AffineExpr ppt_y = az::param_expr(dom, "PPT_Y");
+  const az::AffineExpr pad = az::param_expr(dom, "PAD");
+  const az::AffineExpr use_image = az::param_expr(dom, "USE_IMAGE");
+
+  // Pre-fix maximal staged linear index: the last output row/column comes
+  // from the ND-range rounded up to a tile multiple, and each tap offsets
+  // by up to +radius on top of the +radius apron shift.
+  const az::AffineExpr max_row =
+      az::round_up(az::cexpr(h), wg_y * ppt_y) - az::cexpr(1.0) +
+      az::cexpr(2.0 * r);
+  const az::AffineExpr max_col =
+      az::round_up(az::cexpr(w), wg_x * ppt_x) - az::cexpr(1.0) +
+      az::cexpr(2.0 * r);
+  az::KernelConstraints prefix = fixed;
+  prefix.constraints.push_back(
+      {"padded_input_footprint_prefix", az::ConstraintCategory::kGlobalFootprint,
+       max_row * az::cexpr(pw) + max_col, az::Relation::kLess,
+       az::cexpr(pw * ph), pad * (az::cexpr(1.0) - use_image)});
+
+  const az::StaticChecker fixed_checker(fixed, device.info());
+  const az::StaticChecker prefix_checker(prefix, device.info());
+
+  // WG_X=32 does not divide width 48: the rounded-up range reaches column
+  // 63, and the pre-fix staging index runs past the padded buffer. The
+  // driver accepts the launch — only the analyzer (or clcheck, at runtime)
+  // sees the bug.
+  const tuner::Configuration overhang{{32, 1, 1, 1, 0, 0, 1, 0, 0}};
+  ASSERT_TRUE(driver_accepts(bench, device, overhang));
+  EXPECT_TRUE(check_config(fixed_checker, overhang).proved_valid());
+  const az::ConfigVerdict bug = check_config(prefix_checker, overhang);
+  EXPECT_TRUE(bug.proved_invalid());
+  EXPECT_EQ(bug.reason, "padded_input_footprint_prefix");
+  EXPECT_EQ(bug.category, az::ConstraintCategory::kGlobalFootprint);
+
+  // When the tile divides both extents exactly there is no overhang, and
+  // even the pre-fix expression stays in bounds: the analyzer's proof is
+  // precise, not a blanket rejection of the PAD path.
+  const tuner::Configuration exact{{4, 4, 1, 1, 0, 0, 1, 0, 0}};
+  ASSERT_TRUE(driver_accepts(bench, device, exact));
+  EXPECT_TRUE(check_config(prefix_checker, exact).proved_valid());
+
+  // The guard scopes the regression to the PAD (non-image) path: the same
+  // overhang geometry without PAD never touches the padded buffer.
+  const tuner::Configuration no_pad{{32, 1, 1, 1, 0, 0, 0, 0, 0}};
+  EXPECT_TRUE(check_config(prefix_checker, no_pad).proved_valid());
+}
+
+}  // namespace
+}  // namespace pt::benchkit

@@ -1,0 +1,380 @@
+// clstat analyzer tests. The heart is the soundness property the whole
+// subsystem rests on: for every configuration inside a box, the concrete
+// evaluation of an expression lies inside its interval evaluation over the
+// box — exercised over randomized boxes (including empty, degenerate, and
+// single-point dimensions) and an expression covering every node kind.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clsim/analyze/checker.hpp"
+#include "common/rng.hpp"
+
+namespace pt::clsim::analyze {
+namespace {
+
+// ---------------------------------------------------------------- Interval
+
+TEST(Interval, Constructors) {
+  const Interval p = Interval::point(3.0);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_TRUE(p.contains(3.0));
+  EXPECT_FALSE(p.contains(3.5));
+
+  const Interval r = Interval::range(1.0, 4.0);
+  EXPECT_FALSE(r.is_point());
+  EXPECT_TRUE(r.contains(1.0));
+  EXPECT_TRUE(r.contains(4.0));
+  EXPECT_FALSE(r.contains(4.5));
+
+  // Inverted bounds collapse to bottom.
+  EXPECT_TRUE(Interval::range(2.0, 1.0).empty);
+  EXPECT_TRUE(Interval::bottom().empty);
+  EXPECT_FALSE(Interval::bottom().contains(0.0));
+}
+
+TEST(Interval, ZeroPredicates) {
+  EXPECT_TRUE(Interval::point(0.0).definitely_zero());
+  EXPECT_FALSE(Interval::point(0.0).definitely_nonzero());
+  EXPECT_TRUE(Interval::point(2.0).definitely_nonzero());
+  EXPECT_TRUE(Interval::range(1.0, 5.0).definitely_nonzero());
+  EXPECT_TRUE(Interval::range(-5.0, -1.0).definitely_nonzero());
+  const Interval straddling = Interval::range(-1.0, 1.0);
+  EXPECT_FALSE(straddling.definitely_zero());
+  EXPECT_FALSE(straddling.definitely_nonzero());
+}
+
+TEST(Interval, HullJoinsAndAbsorbsBottom) {
+  const Interval a = Interval::range(1.0, 2.0);
+  const Interval b = Interval::range(5.0, 6.0);
+  const Interval h = hull(a, b);
+  EXPECT_EQ(h, Interval::range(1.0, 6.0));
+  EXPECT_EQ(hull(a, Interval::bottom()), a);
+  EXPECT_EQ(hull(Interval::bottom(), b), b);
+  EXPECT_TRUE(hull(Interval::bottom(), Interval::bottom()).empty);
+}
+
+TEST(Interval, CeilDivRequiresPositiveDivisor) {
+  EXPECT_TRUE(ceil_div(Interval::point(4.0), Interval::point(0.0)).empty);
+  EXPECT_TRUE(ceil_div(Interval::point(4.0), Interval::range(-1.0, 2.0)).empty);
+  const Interval q = ceil_div(Interval::range(5.0, 9.0),
+                              Interval::range(2.0, 4.0));
+  // Extremes at opposite corners: ceil(5/4)=2 .. ceil(9/2)=5.
+  EXPECT_EQ(q, Interval::range(2.0, 5.0));
+}
+
+TEST(Interval, BottomPropagatesThroughArithmetic) {
+  const Interval a = Interval::range(1.0, 2.0);
+  EXPECT_TRUE((a + Interval::bottom()).empty);
+  EXPECT_TRUE((Interval::bottom() - a).empty);
+  EXPECT_TRUE((a * Interval::bottom()).empty);
+  EXPECT_TRUE(min(a, Interval::bottom()).empty);
+  EXPECT_TRUE(max(Interval::bottom(), a).empty);
+  EXPECT_TRUE(floor(Interval::bottom()).empty);
+}
+
+// Property: for random intervals and random points inside them, every
+// concrete binary-op result lies inside the interval-op result.
+TEST(Interval, ArithmeticSoundnessProperty) {
+  common::Rng rng(42);
+  auto random_interval = [&rng]() {
+    const double a = (rng.uniform() - 0.5) * 20.0;
+    const double b = a + rng.uniform() * 10.0;
+    return Interval::range(a, b);
+  };
+  auto point_inside = [&rng](const Interval& iv) {
+    return iv.lo + rng.uniform() * (iv.hi - iv.lo);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const Interval ia = random_interval();
+    const Interval ib = random_interval();
+    const double x = point_inside(ia);
+    const double y = point_inside(ib);
+    EXPECT_TRUE((ia + ib).contains(x + y));
+    EXPECT_TRUE((ia - ib).contains(x - y));
+    EXPECT_TRUE((ia * ib).contains(x * y));
+    EXPECT_TRUE(min(ia, ib).contains(std::min(x, y)));
+    EXPECT_TRUE(max(ia, ib).contains(std::max(x, y)));
+    EXPECT_TRUE(floor(ia).contains(std::floor(x)));
+    if (ib.lo > 0.0) {
+      EXPECT_TRUE(ceil_div(ia, ib).contains(std::ceil(x / y)));
+    }
+  }
+}
+
+// ------------------------------------------------------------ ParamDomain
+
+ParamDomain small_domain() {
+  return ParamDomain({
+      {"WG", {1, 2, 4, 8, 16, 32}},
+      {"PPT", {1, 2, 4, 8}},
+      {"FLAG", {0, 1}},
+      {"MODE", {7}},            // single-point dimension
+      {"SHUFFLED", {5, 1, 9}},  // unsorted value list
+  });
+}
+
+TEST(ParamDomain, BasicAccessors) {
+  const ParamDomain d = small_domain();
+  EXPECT_EQ(d.dimension_count(), 5u);
+  EXPECT_EQ(d.size(), 6u * 4u * 2u * 1u * 3u);
+  EXPECT_EQ(d.index_of("PPT"), 1u);
+  EXPECT_THROW((void)d.index_of("NOPE"), std::out_of_range);
+}
+
+TEST(ParamDomain, EmptyDimensionMakesSizeZero) {
+  const ParamDomain d({{"A", {1, 2}}, {"B", {}}});
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(Box::full(d).empty());
+}
+
+TEST(Box, FullPointAndSplit) {
+  const ParamDomain d = small_domain();
+  const Box full = Box::full(d);
+  EXPECT_FALSE(full.empty());
+  EXPECT_EQ(full.count(), d.size());
+  EXPECT_FALSE(full.is_point());
+
+  const Box pt = Box::point({2, 1, 0, 0, 2});
+  EXPECT_TRUE(pt.is_point());
+  EXPECT_EQ(pt.count(), 1u);
+  EXPECT_EQ(pt.point_values(d), (std::vector<int>{4, 2, 0, 7, 9}));
+
+  // Splitting partitions the box exactly.
+  const auto [left, right] = full.split(full.widest_dimension());
+  EXPECT_EQ(left.count() + right.count(), full.count());
+  EXPECT_FALSE(left.empty());
+  EXPECT_FALSE(right.empty());
+  EXPECT_THROW((void)pt.split(0), std::invalid_argument);
+}
+
+TEST(Box, ValueIntervalIsTheHullOfTheSlice) {
+  const ParamDomain d = small_domain();
+  const Box full = Box::full(d);
+  EXPECT_EQ(full.value_interval(d, 0), Interval::range(1.0, 32.0));
+  EXPECT_EQ(full.value_interval(d, 3), Interval::point(7.0));
+  // Unsorted list: the hull is over values, not positions.
+  EXPECT_EQ(full.value_interval(d, 4), Interval::range(1.0, 9.0));
+  Box sub = full;
+  sub.ranges[4] = {0, 2};  // values {5, 1}
+  EXPECT_EQ(sub.value_interval(d, 4), Interval::range(1.0, 5.0));
+}
+
+// -------------------------------------------------------------- AffineExpr
+
+/// Enumerate every configuration (as concrete values) inside a box.
+std::vector<std::vector<int>> enumerate(const Box& box,
+                                        const ParamDomain& domain) {
+  std::vector<std::vector<int>> out;
+  if (box.empty()) return out;
+  std::vector<std::size_t> pos;
+  pos.reserve(box.ranges.size());
+  for (const auto& r : box.ranges) pos.push_back(r.lo);
+  while (true) {
+    std::vector<int> values(pos.size());
+    for (std::size_t d = 0; d < pos.size(); ++d)
+      values[d] = domain.dimension(d).values[pos[d]];
+    out.push_back(std::move(values));
+    std::size_t d = pos.size();
+    while (d > 0) {
+      --d;
+      if (++pos[d] < box.ranges[d].hi) break;
+      pos[d] = box.ranges[d].lo;
+      if (d == 0) return out;
+    }
+  }
+}
+
+/// An expression exercising every node kind over small_domain.
+AffineExpr kitchen_sink(const ParamDomain& d, const DeviceInfo&) {
+  const AffineExpr wg = param_expr(d, "WG");
+  const AffineExpr ppt = param_expr(d, "PPT");
+  const AffineExpr flag = param_expr(d, "FLAG");
+  const AffineExpr mode = param_expr(d, "MODE");
+  const AffineExpr shuffled = param_expr(d, "SHUFFLED");
+  const AffineExpr limit = AffineExpr::device_limit(
+      DeviceLimit::kMaxWorkGroupSize);
+  return floor(min(wg * ppt, limit) + select(flag, shuffled * cexpr(2.5), mode)
+               - max(ppt, shuffled))
+         + round_up(wg + shuffled, ppt) + ceil_div(mode * cexpr(100.0), wg);
+}
+
+TEST(AffineExpr, PointEvaluationMatchesHandComputation) {
+  const ParamDomain d = small_domain();
+  DeviceInfo dev{};
+  const AffineExpr wg = param_expr(d, "WG");
+  const AffineExpr ppt = param_expr(d, "PPT");
+  const std::vector<int> values = {8, 4, 1, 7, 5};
+  EXPECT_DOUBLE_EQ((wg * ppt + cexpr(3.0)).eval(values, &dev), 35.0);
+  EXPECT_DOUBLE_EQ(ceil_div(cexpr(10.0), ppt).eval(values, &dev), 3.0);
+  EXPECT_DOUBLE_EQ(round_up(cexpr(10.0), ppt).eval(values, &dev), 12.0);
+  EXPECT_DOUBLE_EQ(
+      AffineExpr::device_limit(DeviceLimit::kMaxWorkGroupSize).eval(values,
+                                                                    &dev),
+      static_cast<double>(dev.max_work_group_size));
+}
+
+TEST(AffineExpr, NullAndErrorCases) {
+  const ParamDomain d = small_domain();
+  const AffineExpr null_expr;
+  EXPECT_FALSE(null_expr.valid());
+  const std::vector<int> values = {1, 1, 0, 7, 5};
+  EXPECT_THROW((void)null_expr.eval(values, nullptr), std::logic_error);
+  // Division by a non-positive divisor is a domain error at a point...
+  const AffineExpr bad = ceil_div(cexpr(4.0), param_expr(d, "FLAG"));
+  EXPECT_THROW((void)bad.eval(values, nullptr), std::domain_error);
+  // ...and bottom over a box containing one.
+  EXPECT_TRUE(bad.eval(Box::full(d), d, nullptr).empty);
+  // Device limits require a device at evaluation time.
+  const AffineExpr lim = AffineExpr::device_limit(DeviceLimit::kLocalMemBytes);
+  EXPECT_THROW((void)lim.eval(values, nullptr), std::invalid_argument);
+}
+
+TEST(AffineExpr, EmptyBoxEvaluatesToBottom) {
+  const ParamDomain d = small_domain();
+  Box box = Box::full(d);
+  box.ranges[1] = {2, 2};
+  EXPECT_TRUE(box.empty());
+  EXPECT_TRUE(param_expr(d, "WG").eval(box, d, nullptr).empty);
+}
+
+// The core soundness property: over randomized sub-boxes (degenerate ones
+// included), every enumerated concrete evaluation lies inside the interval.
+TEST(AffineExpr, IntervalSoundnessProperty) {
+  const ParamDomain d = small_domain();
+  DeviceInfo dev{};
+  const AffineExpr expr = kitchen_sink(d, dev);
+  common::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box box;
+    box.ranges.resize(d.dimension_count());
+    for (std::size_t dim = 0; dim < d.dimension_count(); ++dim) {
+      const std::size_t n = d.dimension(dim).values.size();
+      const auto lo = static_cast<std::size_t>(rng.below(n));
+      const auto hi =
+          lo + 1 + static_cast<std::size_t>(rng.below(n - lo));
+      box.ranges[dim] = {lo, hi};
+    }
+    const Interval iv = expr.eval(box, d, &dev);
+    ASSERT_FALSE(iv.empty);
+    for (const auto& values : enumerate(box, d)) {
+      const double concrete = expr.eval(values, &dev);
+      EXPECT_TRUE(iv.contains(concrete))
+          << "concrete " << concrete << " outside " << iv.to_string();
+    }
+  }
+}
+
+TEST(AffineExpr, SinglePointBoxGivesPointInterval) {
+  const ParamDomain d = small_domain();
+  DeviceInfo dev{};
+  const AffineExpr expr = kitchen_sink(d, dev);
+  const Box pt = Box::point({3, 2, 1, 0, 1});
+  const Interval iv = expr.eval(pt, d, &dev);
+  ASSERT_TRUE(iv.is_point());
+  EXPECT_DOUBLE_EQ(iv.lo, expr.eval(pt.point_values(d), &dev));
+}
+
+// ----------------------------------------------------------- StaticChecker
+
+KernelConstraints simple_constraints(bool complete) {
+  const ParamDomain d = small_domain();
+  KernelConstraints kc;
+  kc.kernel_name = "toy";
+  kc.domain = d;
+  kc.complete = complete;
+  // WG * PPT <= 64, and (only when FLAG) SHUFFLED < WG.
+  kc.constraints.push_back({"group_budget",
+                            ConstraintCategory::kWorkGroupGeometry,
+                            param_expr(d, "WG") * param_expr(d, "PPT"),
+                            Relation::kLessEqual, cexpr(64.0), AffineExpr{}});
+  kc.constraints.push_back({"guarded_order", ConstraintCategory::kLocalMemory,
+                            param_expr(d, "SHUFFLED"), Relation::kLess,
+                            param_expr(d, "WG"), param_expr(d, "FLAG")});
+  return kc;
+}
+
+TEST(StaticChecker, PointVerdictsAreDecisive) {
+  const StaticChecker checker(simple_constraints(/*complete=*/true),
+                              DeviceInfo{});
+  // WG=32, PPT=4 -> 128 > 64: proved invalid, named constraint.
+  const std::vector<int> bad = {32, 4, 0, 7, 5};
+  const ConfigVerdict v1 = checker.check(std::span<const int>(bad));
+  EXPECT_TRUE(v1.proved_invalid());
+  EXPECT_EQ(v1.reason, "group_budget");
+  EXPECT_EQ(v1.category, ConstraintCategory::kWorkGroupGeometry);
+
+  // Guard off: the second constraint is vacuous even though 5 >= 4.
+  const std::vector<int> guarded_off = {4, 2, 0, 7, 5};
+  EXPECT_TRUE(checker.check(std::span<const int>(guarded_off)).proved_valid());
+  // Guard on: 5 < 4 is false -> proved invalid.
+  const std::vector<int> guarded_on = {4, 2, 1, 7, 5};
+  const ConfigVerdict v2 = checker.check(std::span<const int>(guarded_on));
+  EXPECT_TRUE(v2.proved_invalid());
+  EXPECT_EQ(v2.reason, "guarded_order");
+}
+
+TEST(StaticChecker, IncompleteSetsNeverProveValidity) {
+  const StaticChecker checker(simple_constraints(/*complete=*/false),
+                              DeviceInfo{});
+  const std::vector<int> ok = {4, 2, 0, 7, 5};
+  EXPECT_EQ(checker.check(std::span<const int>(ok)).verdict,
+            Verdict::kUnknown);
+  // Invalidity is still provable.
+  const std::vector<int> bad = {32, 4, 0, 7, 5};
+  EXPECT_TRUE(checker.check(std::span<const int>(bad)).proved_invalid());
+}
+
+TEST(StaticChecker, SweepAccountsForEveryConfigurationExactlyOnce) {
+  const StaticChecker checker(simple_constraints(/*complete=*/true),
+                              DeviceInfo{});
+  const SweepReport report = checker.sweep();
+  EXPECT_EQ(report.proved_valid_configs + report.proved_invalid_configs +
+                report.unknown_configs,
+            checker.domain().size());
+  EXPECT_EQ(report.unknown_configs, 0u);  // small space: fully discharged
+
+  // Region verdicts agree with brute-force point checks.
+  std::uint64_t covered = 0;
+  for (const RegionVerdict& region : report.regions) {
+    covered += region.box.count();
+    for (const auto& values : enumerate(region.box, checker.domain())) {
+      const ConfigVerdict point =
+          checker.check(std::span<const int>(values));
+      if (region.verdict == Verdict::kProvedValid) {
+        EXPECT_TRUE(point.proved_valid());
+      }
+      if (region.verdict == Verdict::kProvedInvalid) {
+        EXPECT_TRUE(point.proved_invalid());
+      }
+    }
+  }
+  EXPECT_EQ(covered, checker.domain().size());
+}
+
+TEST(StaticChecker, SweepBudgetFlushesFrontierAsUnknown) {
+  const StaticChecker checker(simple_constraints(/*complete=*/true),
+                              DeviceInfo{});
+  const SweepReport tight = checker.sweep(/*max_boxes=*/2);
+  // Totals still account for the whole space; some of it stays unknown.
+  EXPECT_EQ(tight.proved_valid_configs + tight.proved_invalid_configs +
+                tight.unknown_configs,
+            checker.domain().size());
+  EXPECT_GT(tight.unknown_configs, 0u);
+  EXPECT_LE(tight.boxes_examined, 2u);
+}
+
+TEST(StaticChecker, EmptyRootIsVacuouslyValid) {
+  const StaticChecker checker(simple_constraints(/*complete=*/true),
+                              DeviceInfo{});
+  Box empty = Box::full(checker.domain());
+  empty.ranges[0] = {1, 1};
+  EXPECT_TRUE(checker.check(empty).proved_valid());
+  const SweepReport report = checker.sweep(empty, 16);
+  EXPECT_EQ(report.proved_valid_configs, 0u);
+  EXPECT_EQ(report.unknown_configs, 0u);
+}
+
+}  // namespace
+}  // namespace pt::clsim::analyze

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "archsim/devices.hpp"
 #include "benchmarks/registry.hpp"
 #include "common/stats.hpp"
@@ -60,6 +62,32 @@ INSTANTIATE_TEST_SUITE_P(
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return name;
     });
+
+TEST(EndToEnd, StaticPreFilterPrunesOnARealBenchmark) {
+  // Acceptance check for the clstat pre-filter: on a real benchmark the
+  // static checker must discharge a nonzero fraction of the scanned
+  // configurations before feature encoding, and the tune must still succeed.
+  const clsim::Platform platform = archsim::default_platform();
+  const clsim::Device device = platform.device_by_name(archsim::kNvidiaK40);
+  const auto bench = benchkit::make_benchmark("convolution");
+  benchkit::BenchmarkEvaluator eval(*bench, device);
+
+  tuner::AutoTunerOptions options = fast_tuner(400, 40);
+  options.static_checker =
+      std::make_shared<clsim::analyze::StaticChecker>(
+          benchkit::make_static_checker(*bench, device));
+
+  common::Rng rng(29);
+  const tuner::AutoTuner tuner_engine(options);
+  const auto result = tuner_engine.tune(eval, rng);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.static_checked, 0u);
+  EXPECT_GT(result.static_pruned, 0u);
+  // Convolution's constraint set is complete, so nothing is left unknown.
+  EXPECT_EQ(result.static_unknown, 0u);
+  EXPECT_EQ(result.static_checked,
+            result.static_pruned + result.static_proved_valid);
+}
 
 TEST(EndToEnd, BestConfigsDifferAcrossDevices) {
   // The motivational premise (section 2): each device has its own optimum.
