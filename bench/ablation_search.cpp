@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       tuner::AutoTunerOptions topt;
       topt.training_samples = budget - 100;
       topt.second_stage_size = 100;
-      const auto ml_result = tuner::AutoTuner(topt).tune(eval, rng);
+      const auto ml_result = tuner::AutoTuner(topt).tune(
+          eval, tuner::TuneRun::with_rng(rng));
       if (ml_result.success) tuner_sd.add(ml_result.best_time_ms / optimum);
 
       const auto rnd = tuner::random_search(eval, budget, rng);

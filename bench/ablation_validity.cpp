@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
         opts.second_stage_size = m;
         opts.validity_filter = use_filter;
         common::Rng rng(7000 + r);
-        const auto result = tuner::AutoTuner(opts).tune(eval, rng);
+        const auto result = tuner::AutoTuner(opts).tune(
+            eval, tuner::TuneRun::with_rng(rng));
         stage2_invalid.add(static_cast<double>(result.stage2_invalid));
         if (!result.success) continue;
         ++successes;

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   common::Rng rng(static_cast<std::uint64_t>(args.get("seed", 11L)));
 
   const tuner::AutoTuner tuner_engine(opts);
-  const tuner::AutoTuneResult result = tuner_engine.tune(eval, rng);
+  const tuner::AutoTuneResult result =
+      tuner_engine.tune(eval, tuner::TuneRun::with_rng(rng));
 
   common::Table table({"Cost component", "Time"});
   table.add_row({"data gathering (simulated device wall clock)",

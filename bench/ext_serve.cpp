@@ -1,0 +1,359 @@
+// Extension bench: tuning-as-a-service load generator (DESIGN.md §9).
+//
+// Drives a TuneService the way a fleet of clients would: T tenants × C
+// client threads, each firing a mixed storm of tune and predict requests
+// over a catalog of (kernel, device, input) keys, all submitted
+// asynchronously so the whole storm is in flight at once. Three phases:
+//
+//   warmup — every (key, seed) pair is tuned once, populating the store
+//            (this is the expensive, measured-tuning part);
+//   storm  — the full request volume, answered from the store, coalesced
+//            onto in-flight work, and scheduled round-robin across the
+//            tenants; per-request latencies and throughput are recorded;
+//   probe  — identity check: for a sample of keys the served best_config
+//            is compared bit-for-bit against a direct AutoTuner run with
+//            the same options and seed (exit 3 on any mismatch).
+//
+// Gates (non-zero exit, so the smoke run doubles as a regression test):
+//   * identity probe mismatch                               -> exit 3
+//   * storm cache hit rate below --min-hit-rate (def. 0.95) -> exit 4
+//   * any admission rejection or non-kOk storm response     -> exit 5
+//
+// Flags:
+//   --out=FILE        JSON report (default BENCH_serve.json)
+//   --tenants=N       tenants (default 4)
+//   --clients=N       client threads per tenant (default 2)
+//   --requests=N      requests per client thread (default 160)
+//   --workers=N       service worker threads (default 4)
+//   --kernels=N       catalog kernels to use (default 2, max 3)
+//   --devices=N       catalog devices to use (default 2, max 3)
+//   --seed=S          base seed (default 1)
+//   --min-hit-rate=X  storm cache hit-rate gate (default 0.95)
+//   --smoke           fast mode for ctest (1 client, 32 requests each)
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchmarks/registry.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "report.hpp"
+#include "serve/catalog.hpp"
+#include "serve/service.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/options.hpp"
+
+namespace {
+
+using namespace pt;
+
+/// Small but real tuner configuration: every served tune actually trains
+/// an ensemble and scans the space, just with reduced budgets.
+tuner::AutoTunerOptions bench_tuner_options() {
+  tuner::AutoTunerOptions o;
+  o.training_samples = 80;
+  o.second_stage_size = 16;
+  o.model.ensemble.k = 3;
+  o.model.ensemble.hidden_layers = {
+      ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  o.model.ensemble.trainer.common.max_epochs = 150;
+  return o;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  common::apply_thread_option(args);
+  const bool smoke = args.get("smoke", false);
+  bench::print_banner(
+      "Extension: multi-tenant tuning service under mixed load", !smoke);
+
+  const auto out_path = args.get("out", "BENCH_serve.json");
+  const auto tenants = static_cast<std::size_t>(args.get("tenants", 4L));
+  const auto clients =
+      static_cast<std::size_t>(args.get("clients", smoke ? 1L : 2L));
+  const auto requests_per_client =
+      static_cast<std::size_t>(args.get("requests", smoke ? 32L : 160L));
+  const auto workers = static_cast<std::size_t>(args.get("workers", 4L));
+  const auto kernels = std::min<std::size_t>(
+      3, static_cast<std::size_t>(args.get("kernels", 2L)));
+  const auto devices = std::min<std::size_t>(
+      3, static_cast<std::size_t>(args.get("devices", 2L)));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+  const double min_hit_rate = args.get("min-hit-rate", 0.95);
+
+  common::telemetry::Collector collector;
+  common::telemetry::ScopedCollector scoped(&collector);
+
+  // The key catalog: kernels × devices at the small geometry, two seeds
+  // per key. Every (key, seed) pair is one unique tuning problem.
+  serve::BenchmarkCatalog catalog;
+  const auto kernel_names = benchkit::benchmark_names();
+  std::vector<serve::TuneKey> keys;
+  for (std::size_t k = 0; k < kernels; ++k)
+    for (std::size_t d = 0; d < devices; ++d)
+      keys.push_back(serve::TuneKey{
+          kernel_names[k], catalog.platform().devices()[d].info().name,
+          "small"});
+  const std::uint64_t seeds[] = {seed, seed + 1};
+
+  serve::TuneServiceOptions options;
+  options.workers = workers;
+  options.queue_capacity = clients * requests_per_client + 8;
+  options.tuner = bench_tuner_options();
+  options.store.catalog_version = catalog.version();
+  serve::TuneService service(options, catalog.factory());
+
+  // -------------------------------------------------------------- warmup
+  const auto warm_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::future<serve::TuneResponse>> warm;
+    for (const auto& key : keys)
+      for (const std::uint64_t s : seeds) {
+        serve::TuneRequest request;
+        request.key = key;
+        request.seed = s;
+        warm.push_back(service.submit("warmup", std::move(request)));
+      }
+    for (auto& f : warm) {
+      const serve::TuneResponse r = f.get();
+      if (r.status != serve::ResponseStatus::kOk) {
+        std::cerr << "warmup tune failed for " << r.key.to_string() << ": "
+                  << r.error << "\n";
+        return 2;
+      }
+    }
+  }
+  const double warmup_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - warm_start)
+          .count();
+  const serve::TuneServiceStats warm_stats = service.stats();
+  std::cout << "warmup: " << warm_stats.tunes_executed
+            << " tunes executed in " << warmup_ms << " ms\n";
+
+  // --------------------------------------------------------------- storm
+  // All tenants × clients submit everything before anyone waits, so the
+  // whole volume is genuinely concurrent inside the service.
+  const std::size_t total_requests = tenants * clients * requests_per_client;
+  std::mutex result_mutex;
+  std::vector<double> latencies;
+  std::map<std::string, std::size_t> status_counts;
+  std::size_t tune_requests = 0;
+  std::size_t predict_requests = 0;
+  std::size_t non_ok = 0;
+  latencies.reserve(total_requests);
+
+  const auto storm_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(tenants * clients);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, t, c] {
+        serve::Session session(service,
+                               "tenant-" + std::to_string(t));
+        std::vector<std::future<serve::TuneResponse>> futures;
+        futures.reserve(requests_per_client);
+        std::size_t tunes = 0;
+        std::size_t predicts = 0;
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          // Deterministic per-thread mix: 3 tunes to 1 predict, walking
+          // the key/seed catalog with a thread-dependent stride.
+          const std::size_t pick = r + 7 * c + 13 * t;
+          const serve::TuneKey& key = keys[pick % keys.size()];
+          const std::uint64_t s = seeds[(pick / keys.size()) % 2];
+          serve::TuneRequest request;
+          request.key = key;
+          request.seed = s;
+          if (r % 4 == 3) {
+            request.kind = serve::RequestKind::kPredict;
+            request.config =
+                service.store().lookup(key, s)->best_config;
+            ++predicts;
+          } else {
+            ++tunes;
+          }
+          futures.push_back(session.submit(std::move(request)));
+        }
+        std::vector<double> local_latencies;
+        local_latencies.reserve(futures.size());
+        std::map<std::string, std::size_t> local_status;
+        std::size_t local_non_ok = 0;
+        for (auto& f : futures) {
+          const serve::TuneResponse response = f.get();
+          local_latencies.push_back(response.latency_ms);
+          ++local_status[std::string(serve::to_string(response.status))];
+          if (response.status != serve::ResponseStatus::kOk) ++local_non_ok;
+        }
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        latencies.insert(latencies.end(), local_latencies.begin(),
+                         local_latencies.end());
+        for (const auto& [status, n] : local_status)
+          status_counts[status] += n;
+        tune_requests += tunes;
+        predict_requests += predicts;
+        non_ok += local_non_ok;
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  const double storm_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - storm_start)
+          .count();
+
+  const serve::TuneServiceStats stats = service.stats();
+  const std::uint64_t storm_hits = stats.cache_hits - warm_stats.cache_hits;
+  const std::uint64_t storm_misses =
+      stats.cache_misses - warm_stats.cache_misses;
+  const std::uint64_t storm_coalesced =
+      stats.coalesced - warm_stats.coalesced;
+  const std::uint64_t storm_lookups = storm_hits + storm_misses;
+  const double hit_rate =
+      storm_lookups != 0
+          ? static_cast<double>(storm_hits) /
+                static_cast<double>(storm_lookups)
+          : 1.0;
+  const double throughput =
+      storm_ms > 0.0 ? 1000.0 * static_cast<double>(total_requests) / storm_ms
+                     : 0.0;
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p90 = percentile(latencies, 0.90);
+  const double p99 = percentile(latencies, 0.99);
+  const double worst = latencies.empty() ? 0.0 : latencies.back();
+
+  std::cout << "storm: " << total_requests << " requests ("
+            << tune_requests << " tune / " << predict_requests
+            << " predict) across " << tenants << " tenants x " << clients
+            << " clients in " << storm_ms << " ms\n"
+            << "  throughput " << throughput << " req/s, latency p50 "
+            << p50 << " ms, p99 " << p99 << " ms\n"
+            << "  cache hit rate " << 100.0 * hit_rate << "% ("
+            << storm_hits << " hits / " << storm_misses << " misses, "
+            << storm_coalesced << " coalesced), rejected "
+            << stats.rejected << "\n";
+
+  // --------------------------------------------------------------- probe
+  // Bit-identity: served answers equal a direct AutoTuner run at the same
+  // options and seed, on an evaluator built from the same catalog.
+  std::size_t probe_checked = 0;
+  bool identical = true;
+  for (const auto& key : keys) {
+    serve::Session prober(service, "probe");
+    const serve::TuneResponse served = prober.tune(key, seeds[0]);
+    if (served.status != serve::ResponseStatus::kOk) {
+      identical = false;
+      break;
+    }
+    auto evaluator = catalog.make_evaluator(key);
+    const tuner::AutoTuneResult direct =
+        tuner::AutoTuner(bench_tuner_options())
+            .tune(*evaluator, tuner::TuneRun::with_seed(seeds[0]));
+    ++probe_checked;
+    if (!direct.success ||
+        served.best_config.values != direct.best_config.values ||
+        served.best_time_ms != direct.best_time_ms) {
+      identical = false;
+      std::cerr << "identity probe MISMATCH for " << key.to_string()
+                << "\n";
+      break;
+    }
+  }
+  std::cout << "identity probe: " << probe_checked << " keys, "
+            << (identical ? "all bit-identical to direct tuner runs"
+                          : "MISMATCH")
+            << "\n";
+
+  // -------------------------------------------------------------- report
+  bench::ReportWriter report;
+  report.set("bench", "ext_serve")
+      .set("smoke", smoke)
+      .set("seed", static_cast<double>(seed))
+      .set("workers", static_cast<double>(workers))
+      .set("tenants", static_cast<double>(tenants))
+      .set("clients_per_tenant", static_cast<double>(clients))
+      .set("requests_per_client", static_cast<double>(requests_per_client))
+      .set("unique_keys", static_cast<double>(keys.size()))
+      .set("seeds_per_key", 2.0);
+  {
+    auto warmup = common::json::Value::object();
+    warmup.set("tunes_executed",
+               static_cast<double>(warm_stats.tunes_executed));
+    warmup.set("wall_ms", warmup_ms);
+    report.root().set("warmup", std::move(warmup));
+
+    auto storm = common::json::Value::object();
+    storm.set("requests", static_cast<double>(total_requests));
+    storm.set("tune_requests", static_cast<double>(tune_requests));
+    storm.set("predict_requests", static_cast<double>(predict_requests));
+    storm.set("wall_ms", storm_ms);
+    storm.set("throughput_rps", throughput);
+    auto latency = common::json::Value::object();
+    latency.set("p50", p50);
+    latency.set("p90", p90);
+    latency.set("p99", p99);
+    latency.set("max", worst);
+    storm.set("latency_ms", std::move(latency));
+    storm.set("cache_hit_rate", hit_rate);
+    storm.set("cache_hits", static_cast<double>(storm_hits));
+    storm.set("cache_misses", static_cast<double>(storm_misses));
+    storm.set("coalesced", static_cast<double>(storm_coalesced));
+    storm.set("rejected", static_cast<double>(stats.rejected));
+    auto statuses = common::json::Value::object();
+    for (const auto& [status, n] : status_counts)
+      statuses.set(status, static_cast<double>(n));
+    storm.set("statuses", std::move(statuses));
+    report.root().set("storm", std::move(storm));
+
+    auto probe = common::json::Value::object();
+    probe.set("keys_checked", static_cast<double>(probe_checked));
+    probe.set("bit_identical", identical);
+    report.root().set("identity_probe", std::move(probe));
+
+    auto totals = common::json::Value::object();
+    totals.set("submitted", static_cast<double>(stats.submitted));
+    totals.set("completed", static_cast<double>(stats.completed));
+    totals.set("tunes_executed", static_cast<double>(stats.tunes_executed));
+    totals.set("predicts", static_cast<double>(stats.predicts));
+    totals.set("cache_hits", static_cast<double>(stats.cache_hits));
+    totals.set("cache_misses", static_cast<double>(stats.cache_misses));
+    totals.set("coalesced", static_cast<double>(stats.coalesced));
+    totals.set("rejected", static_cast<double>(stats.rejected));
+    report.root().set("service_totals", std::move(totals));
+  }
+  report.attach_telemetry(&collector);
+  report.write(out_path);
+
+  if (!identical) return 3;
+  if (hit_rate < min_hit_rate) {
+    std::cerr << "cache hit rate " << hit_rate << " below gate "
+              << min_hit_rate << "\n";
+    return 4;
+  }
+  if (stats.rejected != 0 || non_ok != 0) {
+    std::cerr << "storm saw " << stats.rejected << " rejections and "
+              << non_ok << " non-ok responses\n";
+    return 5;
+  }
+  return 0;
+}

@@ -23,7 +23,8 @@ tuner::AutoTuneResult tune_on(const benchkit::TunableBenchmark& benchmark,
   tuner::AutoTunerOptions options;
   options.training_samples = n;
   options.second_stage_size = 100;
-  return tuner::AutoTuner(options).tune(evaluator, rng);
+  return tuner::AutoTuner(options).tune(
+      evaluator, tuner::TuneRun::with_rng(rng));
 }
 
 }  // namespace

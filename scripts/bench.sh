@@ -45,3 +45,16 @@ fi
   --smoke \
   --seed=1 \
   --out="$repo_root/BENCH_check_smoke.json"
+
+# BENCH_serve.json — the multi-tenant tuning service under a full mixed
+# load (bench/ext_serve): 4 tenants x 2 clients x 160 requests, all in
+# flight at once. The binary's gates (>=95% storm cache hit rate, zero
+# rejections, served-vs-direct bit-identity) abort this script on failure.
+if [[ ! -x "$build_dir/bench/ext_serve" ]]; then
+  echo "building ext_serve in $build_dir ..."
+  cmake --build "$build_dir" --target ext_serve -j
+fi
+
+"$build_dir/bench/ext_serve" \
+  --seed=1 \
+  --out="$repo_root/BENCH_serve.json"

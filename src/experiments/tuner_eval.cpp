@@ -36,7 +36,8 @@ SlowdownGrid autotuner_slowdown_grid(tuner::Evaluator& evaluator,
         topt.model = options.model;
         topt.run = options.run;
         const tuner::AutoTuner tuner(topt);
-        const tuner::AutoTuneResult result = tuner.tune(evaluator, rng);
+        const tuner::AutoTuneResult result =
+            tuner.tune(evaluator, tuner::TuneRun::with_rng(rng));
         if (!result.success) continue;
         ++cell.successes;
         stats.add(result.best_time_ms / grid.optimum_ms);
@@ -76,7 +77,8 @@ LargeSpaceResult large_space_eval(tuner::Evaluator& evaluator,
     topt.model = options.model;
     topt.run = options.run;
     const tuner::AutoTuner tuner(topt);
-    const tuner::AutoTuneResult run = tuner.tune(evaluator, rng);
+    const tuner::AutoTuneResult run =
+        tuner.tune(evaluator, tuner::TuneRun::with_rng(rng));
     if (!run.success) {
       // The paper's stereo-on-GPU failure: say which rejections caused it.
       common::log_info("large-space eval[", result.label,

@@ -1,0 +1,51 @@
+#pragma once
+
+// The built-in TuneKey binding: resolve keys against the paper's benchmark
+// registry and device catalog.
+//
+//   key.kernel -> benchkit::make_benchmark* name ("convolution", ...)
+//   key.device -> exact clsim::Platform device name ("Nvidia K40", ...)
+//   key.input  -> geometry label: "paper" (the paper-scale instance) or
+//                 "small" (the small verification geometry)
+//
+// The returned evaluators own their benchmark instance, so the factory's
+// products outlive the catalog-side objects they were built from; the
+// catalog itself must outlive the factory (the service holds the factory
+// for its lifetime, so build the catalog next to the service).
+
+#include <memory>
+#include <string>
+
+#include "clsim/platform.hpp"
+#include "serve/service.hpp"
+
+namespace pt::serve {
+
+class BenchmarkCatalog {
+ public:
+  /// Uses archsim::default_platform() when no platform is given.
+  BenchmarkCatalog();
+  explicit BenchmarkCatalog(clsim::Platform platform);
+
+  [[nodiscard]] const clsim::Platform& platform() const noexcept {
+    return platform_;
+  }
+
+  /// A generation label derived from the device roster (names, in order) —
+  /// what TunedConfigStore::Options::catalog_version should be set to, so
+  /// changing the modeled hardware invalidates stored entries.
+  [[nodiscard]] std::string version() const;
+
+  /// Resolve one key; nullptr for unknown kernel/device/input labels.
+  [[nodiscard]] std::unique_ptr<tuner::Evaluator> make_evaluator(
+      const TuneKey& key) const;
+
+  /// The catalog as a service factory. The factory references this
+  /// catalog; keep it alive for the service's lifetime.
+  [[nodiscard]] EvaluatorFactory factory() const;
+
+ private:
+  clsim::Platform platform_;
+};
+
+}  // namespace pt::serve

@@ -1,0 +1,124 @@
+#pragma once
+
+// TunedConfigStore — the persistent, versioned store of tuned results
+// behind the TuneService (DESIGN.md §9).
+//
+// The store maps (TuneKey, seed) to the outcome of one successful tune:
+// the winning configuration, its measured time, the data-gathering cost
+// that was paid for it, and (optionally) the trained performance model so
+// later kPredict requests need no retune. Entries live in an in-memory map
+// and, when a directory is configured, in one text file per entry — the
+// same layout per-GPU tuning caches use, so a second process (or a later
+// run) starts warm.
+//
+// Entries are versioned by two labels: the model version (the tuner /
+// serialization generation) and the catalog version (the device-roster
+// generation). A stored entry whose versions differ from the store's
+// current ones is stale — lookups treat it as a miss, and set_versions()
+// drops the whole in-memory map, so bumping either label invalidates the
+// cache without deleting files.
+//
+// Thread-safe: all public members take an internal mutex (the service
+// calls them from concurrent workers).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "tuner/model.hpp"
+
+namespace pt::serve {
+
+class TunedConfigStore {
+ public:
+  struct Options {
+    /// Directory for on-disk entries ("" = memory-only store). Created on
+    /// first put() if absent.
+    std::string directory;
+    /// Embed the trained model in persisted entries (the expensive part of
+    /// an entry; turn off to store only the winning configuration).
+    bool persist_models = true;
+    /// Current generation labels (see file comment). Loaded entries must
+    /// match both exactly.
+    std::string model_version = "v1";
+    std::string catalog_version = "v1";
+  };
+
+  /// One stored tune outcome.
+  struct Entry {
+    TuneKey key;
+    std::uint64_t seed = 1;
+    std::string model_version;
+    std::string catalog_version;
+    tuner::Configuration best_config;
+    double best_time_ms = 0.0;
+    /// Simulated wall cost the original tune paid gathering data — what a
+    /// cache hit saves.
+    double data_gathering_cost_ms = 0.0;
+    /// Trained performance model (may be null when the producer did not
+    /// keep it or persist_models was off); shared so concurrent kPredict
+    /// requests read one instance.
+    std::shared_ptr<const tuner::AnnPerformanceModel> model;
+  };
+
+  explicit TunedConfigStore(Options options);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// The entry for (key, seed) at the current versions: from memory, else
+  /// (when a directory is configured) from disk — a disk hit is promoted
+  /// into memory. Stale or unreadable entries are misses.
+  [[nodiscard]] std::optional<Entry> lookup(const TuneKey& key,
+                                            std::uint64_t seed);
+
+  /// Insert (or replace) an entry. Stamps the store's current versions,
+  /// updates memory and, when a directory is configured, writes the entry
+  /// file.
+  void put(Entry entry);
+
+  /// Bump the generation labels: the in-memory map is cleared and on-disk
+  /// entries written under the old labels no longer validate. The files
+  /// stay (rolling back the versions brings them back).
+  void set_versions(std::string model_version, std::string catalog_version);
+
+  /// In-memory entry count (on-disk entries are not enumerated).
+  [[nodiscard]] std::size_t size() const;
+
+  /// File name an entry is stored under: a sanitized human-readable stem
+  /// plus a hash of the exact (key, seed), so distinct keys never collide
+  /// on sanitization.
+  [[nodiscard]] static std::string entry_filename(const TuneKey& key,
+                                                  std::uint64_t seed);
+
+  /// Serialize / parse one entry (the on-disk format; exposed for tests).
+  static void save_entry(const Entry& entry, bool persist_model,
+                         std::ostream& os);
+  [[nodiscard]] static Entry load_entry(std::istream& is);
+
+ private:
+  using MemoryKey = std::pair<TuneKey, std::uint64_t>;
+  struct MemoryKeyHash {
+    [[nodiscard]] std::size_t operator()(const MemoryKey& k) const noexcept {
+      const std::size_t h = TuneKeyHash{}(k.first);
+      return h ^ (std::hash<std::uint64_t>{}(k.second) + 0x9e3779b97f4a7c15ULL +
+                  (h << 6U) + (h >> 2U));
+    }
+  };
+
+  [[nodiscard]] std::string entry_path(const TuneKey& key,
+                                       std::uint64_t seed) const;
+  [[nodiscard]] std::optional<Entry> load_from_disk(const TuneKey& key,
+                                                    std::uint64_t seed) const;
+  void write_to_disk(const Entry& entry) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<MemoryKey, Entry, MemoryKeyHash> memory_;
+};
+
+}  // namespace pt::serve

@@ -39,25 +39,49 @@ AutoTuner::AutoTuner(AutoTunerOptions options) : options_(std::move(options)) {
     throw std::invalid_argument("AutoTuner: zero second-stage size");
 }
 
+AutoTuneResult AutoTuner::tune(Evaluator& evaluator,
+                               const TuneRun& request) const {
+  const TunerRunContext& run = request.effective_context(options_.run);
+  const RandomSampler default_sampler;
+  const Sampler& sampler =
+      request.sampler != nullptr ? *request.sampler : default_sampler;
+  const std::size_t stream_limit =
+      request.stage2_stream_limit.value_or(options_.stage2_stream_limit);
+  if (request.rng != nullptr)
+    return run_tune(evaluator, sampler, *request.rng, run, stream_limit);
+  common::Rng rng = run.make_rng();
+  return run_tune(evaluator, sampler, rng, run, stream_limit);
+}
+
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator) const {
-  const RandomSampler sampler;
-  return tune(evaluator, sampler);
+  return tune(evaluator, TuneRun{});
 }
 
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator,
                                const Sampler& sampler) const {
-  common::Rng rng = options_.run.make_rng();
-  return tune(evaluator, sampler, rng);
+  TuneRun request;
+  request.sampler = &sampler;
+  return tune(evaluator, request);
 }
 
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator, common::Rng& rng) const {
-  const RandomSampler sampler;
-  return tune(evaluator, sampler, rng);
+  TuneRun request;
+  request.rng = &rng;
+  return tune(evaluator, request);
 }
 
 AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
                                common::Rng& rng) const {
-  const TunerRunContext& run = options_.run;
+  TuneRun request;
+  request.sampler = &sampler;
+  request.rng = &rng;
+  return tune(evaluator, request);
+}
+
+AutoTuneResult AutoTuner::run_tune(Evaluator& evaluator, const Sampler& sampler,
+                                   common::Rng& rng,
+                                   const TunerRunContext& run,
+                                   std::size_t stream_limit) const {
   const ScopedRunContext scoped(run);
   StageScope whole(run, "autotuner", "autotuner.tune");
 
@@ -312,7 +336,7 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
     for (const ScanCandidate& candidate : candidates) try_candidate(candidate);
   }
 
-  if (!found && options_.stage2_stream_limit > result.stage2_measured) {
+  if (!found && stream_limit > result.stage2_measured) {
     // Graceful degradation: every primary candidate failed, so instead of
     // giving no prediction, walk further down the predicted ranking
     // (unfiltered — in this situation the validity filter is as suspect as
@@ -328,14 +352,14 @@ AutoTuneResult AutoTuner::tune(Evaluator& evaluator, const Sampler& sampler,
     for (const ScanCandidate& candidate : candidates)
       tried.insert(candidate.index);
     std::uint64_t request = candidates.size();
-    while (!found && result.stage2_measured < options_.stage2_stream_limit &&
+    while (!found && result.stage2_measured < stream_limit &&
            tried.size() < scan_end) {
       request = std::min<std::uint64_t>(
           scan_end, std::max<std::uint64_t>(request * 2, 16));
       const TopMScanResult more = result.model->predict_scan_top_m(
           0, scan_end, static_cast<std::size_t>(request));
       for (const auto& c : more.top) {
-        if (found || result.stage2_measured >= options_.stage2_stream_limit)
+        if (found || result.stage2_measured >= stream_limit)
           break;
         if (!tried.insert(c.index).second) continue;
         ++result.stage2_streamed;

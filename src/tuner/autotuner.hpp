@@ -18,20 +18,21 @@
 #include <optional>
 #include <vector>
 
-#include "clsim/analyze/checker.hpp"
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
 #include "tuner/observer.hpp"
+#include "tuner/options.hpp"
 #include "tuner/sampler.hpp"
 #include "tuner/validity.hpp"
 
 namespace pt::tuner {
 
-struct AutoTunerOptions {
+/// The shared fields (model, static_checker, run) live in TunerOptions;
+/// their names are unchanged (`options.model`, `options.run`, ...).
+struct AutoTunerOptions : TunerOptions {
   std::size_t training_samples = 2000;  // N, stage-1 sample count
   std::size_t second_stage_size = 100;  // M, stage-2 candidate count
-  AnnPerformanceModel::Options model{};
   /// Optional guard for enormous spaces: scan at most this many predictions
   /// in stage 2 (0 = scan the whole space, the paper's behaviour).
   std::uint64_t prediction_scan_limit = 0;
@@ -40,14 +41,11 @@ struct AutoTunerOptions {
   /// configurations from the second stage.
   bool validity_filter = false;
   ValidityModel::Options validity{};
-  /// Opt-in clstat static pre-filter: skip configurations the analyzer
-  /// proves invalid before they enter the stage-2 prediction scan's top-M
-  /// heap. Sound pruning only removes configurations that would measure
-  /// invalid, so it never changes which valid configuration wins — it just
-  /// avoids wasting candidate slots and measurements on proven rejects.
-  /// The checker must be built over this evaluator's space (same dimension
-  /// order) and the target device.
-  std::shared_ptr<const clsim::analyze::StaticChecker> static_checker;
+  /// The inherited static_checker skips configurations the analyzer proves
+  /// invalid before they enter the stage-2 prediction scan's top-M heap.
+  /// Sound pruning only removes configurations that would measure invalid,
+  /// so it never changes which valid configuration wins — it just avoids
+  /// wasting candidate slots and measurements on proven rejects.
   /// With validity_filter and static_checker set: augment the classifier's
   /// training set with this many analyzer-certain labels (free — zero
   /// launches) via ValidityModel::fit_with_oracle. Draws from the run RNG,
@@ -61,12 +59,8 @@ struct AutoTunerOptions {
   /// default so results are bit-identical to the streaming-free tuner
   /// unless a caller opts in. Set it to at least the space size to
   /// guarantee a prediction whenever any valid configuration exists in the
-  /// scanned range.
+  /// scanned range. A TuneRun may override it per request.
   std::size_t stage2_stream_limit = 0;
-  /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
-  /// tuner/observer.hpp). The default context is inert — results are
-  /// bit-identical to a context-free run.
-  TunerRunContext run{};
 };
 
 struct AutoTuneResult {
@@ -137,21 +131,33 @@ class AutoTuner {
     return options_;
   }
 
-  /// Run both stages against the evaluator, drawing the run's RNG from
-  /// options().run.seed. The sampler defaults to the paper's uniform random
-  /// sampling. This is the primary entry point; the rng-taking overloads
-  /// below are the pre-context API, kept for callers that manage their own
-  /// generator (they ignore run.seed but honour the rest of the context).
+  /// Canonical entry point: run both stages against the evaluator as the
+  /// request describes. A default-constructed TuneRun reproduces
+  /// `tune(evaluator)` exactly — context (and so the seed) from
+  /// options().run, the paper's uniform random sampler, the options'
+  /// degradation knobs. All other overloads are thin shims over this one
+  /// and bit-identical to the requests they construct.
+  [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
+                                    const TuneRun& request) const;
+
+  /// Shims (the pre-TuneRun API). The rng-taking forms are for callers
+  /// that thread their own generator; they ignore run.seed but honour the
+  /// rest of the context.
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator) const;
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
                                     const Sampler& sampler) const;
-
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator,
                                     common::Rng& rng) const;
   [[nodiscard]] AutoTuneResult tune(Evaluator& evaluator, const Sampler& sampler,
                                     common::Rng& rng) const;
 
  private:
+  [[nodiscard]] AutoTuneResult run_tune(Evaluator& evaluator,
+                                        const Sampler& sampler,
+                                        common::Rng& rng,
+                                        const TunerRunContext& run,
+                                        std::size_t stream_limit) const;
+
   AutoTunerOptions options_;
 };
 

@@ -43,18 +43,39 @@ std::vector<double> InputAwarePerformanceModel::encode(
 
 void InputAwarePerformanceModel::fit(
     const ParamSpace& space, std::vector<std::string> problem_parameter_names,
+    const std::vector<InputAwareSample>& samples, const TuneRun& request) {
+  const TunerRunContext& run = request.effective_context(options_.run);
+  if (request.rng != nullptr) {
+    do_fit(space, std::move(problem_parameter_names), samples, *request.rng,
+           run);
+    return;
+  }
+  common::Rng rng = run.make_rng();
+  do_fit(space, std::move(problem_parameter_names), samples, rng, run);
+}
+
+void InputAwarePerformanceModel::fit(
+    const ParamSpace& space, std::vector<std::string> problem_parameter_names,
     const std::vector<InputAwareSample>& samples) {
-  common::Rng rng = options_.run.make_rng();
-  fit(space, std::move(problem_parameter_names), samples, rng);
+  fit(space, std::move(problem_parameter_names), samples, TuneRun{});
 }
 
 void InputAwarePerformanceModel::fit(
     const ParamSpace& space, std::vector<std::string> problem_parameter_names,
     const std::vector<InputAwareSample>& samples, common::Rng& rng) {
+  TuneRun request;
+  request.rng = &rng;
+  fit(space, std::move(problem_parameter_names), samples, request);
+}
+
+void InputAwarePerformanceModel::do_fit(
+    const ParamSpace& space, std::vector<std::string> problem_parameter_names,
+    const std::vector<InputAwareSample>& samples, common::Rng& rng,
+    const TunerRunContext& run) {
   if (samples.empty())
     throw std::invalid_argument("InputAwarePerformanceModel::fit: no samples");
-  const ScopedRunContext scoped(options_.run);
-  StageScope stage(options_.run, "input_aware", "input_aware.fit");
+  const ScopedRunContext scoped(run);
+  StageScope stage(run, "input_aware", "input_aware.fit");
   space_ = space;
   codec_ = FeatureCodec::build(space, options_.encoding);
   range_encoder_ = RangeEncoder(codec_, space_);
@@ -94,13 +115,13 @@ void InputAwarePerformanceModel::fit(
   stage.finish();
   // Replay per-member training curves in deterministic (member, epoch)
   // order (see tuner/observer.hpp).
-  if (options_.run.observer != nullptr) {
+  if (run.observer != nullptr) {
     const auto& curves = ensemble_.train_results();
     for (std::size_t member = 0; member < curves.size(); ++member) {
       const ml::TrainResult& tr = curves[member];
       for (std::size_t epoch = 0; epoch < tr.train_loss.size(); ++epoch)
-        options_.run.observer->on_epoch(member, epoch, tr.train_loss[epoch],
-                                        tr.monitored_loss[epoch]);
+        run.observer->on_epoch(member, epoch, tr.train_loss[epoch],
+                               tr.monitored_loss[epoch]);
     }
   }
 }

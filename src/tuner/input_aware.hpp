@@ -19,6 +19,7 @@
 #include "ml/ensemble.hpp"
 #include "tuner/features.hpp"
 #include "tuner/observer.hpp"
+#include "tuner/options.hpp"
 #include "tuner/param.hpp"
 #include "tuner/scan.hpp"
 
@@ -54,9 +55,18 @@ class InputAwarePerformanceModel {
   InputAwarePerformanceModel() : InputAwarePerformanceModel(Options{}) {}
   explicit InputAwarePerformanceModel(Options options);
 
-  /// `problem_parameter_names` fixes the instance layout (and the feature
-  /// order); every sample's instance must have that many values. The
-  /// rng-free overload draws the RNG from options().run.seed.
+  /// Canonical entry point (see tuner/options.hpp): fit as the request
+  /// describes. `problem_parameter_names` fixes the instance layout (and
+  /// the feature order); every sample's instance must have that many
+  /// values. request.sampler and the degradation knobs are ignored.
+  void fit(const ParamSpace& space,
+           std::vector<std::string> problem_parameter_names,
+           const std::vector<InputAwareSample>& samples,
+           const TuneRun& request);
+
+  /// Shims (the pre-TuneRun API). The rng-free form draws the RNG from
+  /// options().run.seed; the rng-taking form ignores run.seed but honours
+  /// the rest of the context.
   void fit(const ParamSpace& space,
            std::vector<std::string> problem_parameter_names,
            const std::vector<InputAwareSample>& samples, common::Rng& rng);
@@ -102,6 +112,10 @@ class InputAwarePerformanceModel {
       const Configuration& config, const ProblemInstance& instance) const;
 
  private:
+  void do_fit(const ParamSpace& space,
+              std::vector<std::string> problem_parameter_names,
+              const std::vector<InputAwareSample>& samples, common::Rng& rng,
+              const TunerRunContext& run);
   /// Instance features with the optional log2 applied (validated once, then
   /// reused for every row of a scan).
   [[nodiscard]] std::vector<double> instance_features(

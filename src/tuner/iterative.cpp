@@ -44,14 +44,32 @@ IterativeTuner::IterativeTuner(IterativeTunerOptions options)
     throw std::invalid_argument("IterativeTuner: bad exploration fraction");
 }
 
+IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
+                                         const TuneRun& request) const {
+  const TunerRunContext& run = request.effective_context(options_.run);
+  const bool explore_until_valid =
+      request.explore_until_valid.value_or(options_.explore_until_valid);
+  if (request.rng != nullptr)
+    return run_tune(evaluator, *request.rng, run, explore_until_valid);
+  common::Rng rng = run.make_rng();
+  return run_tune(evaluator, rng, run, explore_until_valid);
+}
+
 IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator) const {
-  common::Rng rng = options_.run.make_rng();
-  return tune(evaluator, rng);
+  return tune(evaluator, TuneRun{});
 }
 
 IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
                                          common::Rng& rng) const {
-  const TunerRunContext& run = options_.run;
+  TuneRun request;
+  request.rng = &rng;
+  return tune(evaluator, request);
+}
+
+IterativeTuneResult IterativeTuner::run_tune(Evaluator& evaluator,
+                                             common::Rng& rng,
+                                             const TunerRunContext& run,
+                                             bool explore_until_valid) const {
   const ScopedRunContext scoped(run);
   StageScope whole(run, "iterative", "iterative.tune");
 
@@ -121,7 +139,7 @@ IterativeTuneResult IterativeTuner::tune(Evaluator& evaluator,
   // train on. Instead of giving up, keep exploring at random — any valid
   // measurement un-blocks the model-guided loop below.
   measure_stage = "resample";
-  while (options_.explore_until_valid && data.empty() &&
+  while (explore_until_valid && data.empty() &&
          result.measurements < options_.measurement_budget &&
          measured.size() < space.size()) {
     StageScope stage(run, "iterative", "iterative.resample");

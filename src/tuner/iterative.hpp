@@ -23,15 +23,17 @@
 #include <optional>
 #include <vector>
 
-#include "clsim/analyze/checker.hpp"
 #include "common/rng.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/model.hpp"
 #include "tuner/observer.hpp"
+#include "tuner/options.hpp"
 
 namespace pt::tuner {
 
-struct IterativeTunerOptions {
+/// The shared fields (model, static_checker, run) live in TunerOptions;
+/// their names are unchanged (`options.model`, `options.run`, ...).
+struct IterativeTunerOptions : TunerOptions {
   std::size_t measurement_budget = 2000;  // total configurations measured
   std::size_t initial_samples = 400;      // round-0 random sample
   std::size_t batch_size = 200;           // measurements per later round
@@ -45,20 +47,15 @@ struct IterativeTunerOptions {
   /// random batches until one measures valid or the budget/space runs out,
   /// instead of giving up after round 0. Off by default so results are
   /// bit-identical to the pre-degradation tuner unless a caller opts in.
+  /// A TuneRun may override it per request.
   bool explore_until_valid = false;
-  /// Opt-in clstat static pre-filter for the exploitation scan: proven-
-  /// invalid configurations never enter a round's exploit batch, so their
-  /// slots go to configurations that can actually measure. Unlike the
+  /// The inherited static_checker pre-filters the exploitation scan:
+  /// proven-invalid configurations never enter a round's exploit batch, so
+  /// their slots go to configurations that can actually measure. Unlike the
   /// one-shot tuner this *changes the measurement trajectory* (different
   /// configurations get measured, feeding different models) — sound but not
   /// bit-identical to a filter-free run. Random exploration stays
   /// unfiltered, preserving the invalid-region labels it supplies.
-  std::shared_ptr<const clsim::analyze::StaticChecker> static_checker;
-  AnnPerformanceModel::Options model{};
-  /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
-  /// tuner/observer.hpp). The default context is inert — results are
-  /// bit-identical to a context-free run.
-  TunerRunContext run{};
 };
 
 struct IterativeTuneResult {
@@ -104,14 +101,24 @@ class IterativeTuner {
     return options_;
   }
 
-  /// Context-driven entry point: the run's RNG comes from
-  /// options().run.seed. The rng-taking overload is the pre-context API
-  /// (it ignores run.seed but honours the rest of the context).
+  /// Canonical entry point (see tuner/options.hpp). A default-constructed
+  /// TuneRun reproduces `tune(evaluator)` exactly; request.sampler is
+  /// ignored (this tuner draws its own exploration samples).
+  [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator,
+                                         const TuneRun& request) const;
+
+  /// Shims (the pre-TuneRun API). The rng-taking form ignores run.seed but
+  /// honours the rest of the context.
   [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator) const;
   [[nodiscard]] IterativeTuneResult tune(Evaluator& evaluator,
                                          common::Rng& rng) const;
 
  private:
+  [[nodiscard]] IterativeTuneResult run_tune(Evaluator& evaluator,
+                                             common::Rng& rng,
+                                             const TunerRunContext& run,
+                                             bool explore_until_valid) const;
+
   IterativeTunerOptions options_;
 };
 

@@ -1,0 +1,96 @@
+#pragma once
+
+// TunerOptions + TuneRun — the shared configuration base and the canonical
+// per-run request struct of the tuning stack.
+//
+// TunerOptions collects the fields every tuner used to duplicate (the
+// performance-model configuration, the opt-in clstat static pre-filter and
+// the per-run wiring context); AutoTunerOptions and IterativeTunerOptions
+// inherit it, so existing field names (`options.model`, `options.run`,
+// `options.static_checker`) keep working unchanged and a service can
+// configure both tuners through one type.
+//
+// TuneRun is the canonical request: one struct carrying everything that may
+// vary per tune() call — the run context (seed, observer, telemetry,
+// threads, check mode), an optional external RNG, an optional sampler, and
+// per-request degradation overrides. Every tuner exposes exactly one
+// canonical entry point taking it (`tune(Evaluator&, const TuneRun&)`,
+// `fit(..., const TuneRun&)`); the historic overload matrix
+// (`tune(eval)` / `tune(eval, rng)` / `tune(eval, sampler, rng)`) survives
+// as thin delegating shims, bit-identical to the canonical calls they
+// forward to. The serve layer (src/serve) only ever issues TuneRuns.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "clsim/analyze/checker.hpp"
+#include "common/rng.hpp"
+#include "tuner/model.hpp"
+#include "tuner/observer.hpp"
+
+namespace pt::tuner {
+
+class Sampler;
+
+/// Configuration shared by every tuner. Derived option structs add their
+/// stage budgets and tuner-specific knobs on top.
+struct TunerOptions {
+  /// Performance-model configuration (ensemble topology, encoding, scan
+  /// engine knobs).
+  AnnPerformanceModel::Options model{};
+  /// Opt-in clstat static pre-filter for prediction scans. Must be built
+  /// over the evaluated space (same dimension order) and the target device.
+  /// See the derived options for each tuner's pruning semantics.
+  std::shared_ptr<const clsim::analyze::StaticChecker> static_checker;
+  /// Per-run wiring: observer, telemetry, seed, threads, check mode (see
+  /// tuner/observer.hpp). The default context is inert — results are
+  /// bit-identical to a context-free run. A TuneRun's context, when set,
+  /// takes precedence for that run.
+  TunerRunContext run{};
+};
+
+/// One tune request. Default-constructed it reproduces `tune(evaluator)`
+/// exactly: context and knobs fall back to the tuner's options.
+struct TuneRun {
+  /// Per-run wiring override; when absent the tuner's options().run
+  /// applies (including its seed).
+  std::optional<TunerRunContext> context;
+  /// External generator for callers that thread one RNG through several
+  /// runs (the pre-context API). When set, the context/options seed is
+  /// ignored; the rest of the effective context still applies.
+  common::Rng* rng = nullptr;
+  /// Stage-1 sampler override (AutoTuner only; others ignore it).
+  /// nullptr = the paper's uniform RandomSampler.
+  const Sampler* sampler = nullptr;
+  /// Per-request graceful-degradation overrides (nullopt = the value in the
+  /// tuner's options). stage2_stream_limit applies to AutoTuner,
+  /// explore_until_valid to IterativeTuner.
+  std::optional<std::size_t> stage2_stream_limit;
+  std::optional<bool> explore_until_valid;
+
+  /// The effective run context given a tuner's options.
+  [[nodiscard]] const TunerRunContext& effective_context(
+      const TunerRunContext& fallback) const noexcept {
+    return context ? *context : fallback;
+  }
+
+  /// Convenience: a request that only overrides the seed (what a served
+  /// tune uses — client-supplied seed, otherwise inert context).
+  [[nodiscard]] static TuneRun with_seed(std::uint64_t seed) {
+    TuneRun request;
+    request.context = TunerRunContext{};
+    request.context->seed = seed;
+    return request;
+  }
+
+  /// Convenience: a request threading an external generator (the harness
+  /// idiom: one RNG across several runs).
+  [[nodiscard]] static TuneRun with_rng(common::Rng& rng) {
+    TuneRun request;
+    request.rng = &rng;
+    return request;
+  }
+};
+
+}  // namespace pt::tuner

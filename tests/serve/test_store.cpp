@@ -1,0 +1,197 @@
+#include "serve/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tuner/autotuner.hpp"
+#include "tuner/options.hpp"
+
+#include "../tuner/test_helpers.hpp"
+
+namespace pt::serve {
+namespace {
+
+using tuner::testing::BowlEvaluator;
+
+/// A real tuned entry (with a trained model) to round-trip.
+TunedConfigStore::Entry make_entry() {
+  tuner::AutoTunerOptions options;
+  options.training_samples = 60;
+  options.second_stage_size = 10;
+  options.model.ensemble.k = 3;
+  options.model.ensemble.hidden_layers = {
+      ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  options.model.ensemble.trainer.common.max_epochs = 200;
+  BowlEvaluator eval;
+  tuner::AutoTuneResult result =
+      tuner::AutoTuner(options).tune(eval, tuner::TuneRun::with_seed(17));
+  EXPECT_TRUE(result.success);
+
+  TunedConfigStore::Entry entry;
+  entry.key = TuneKey{"bowl", "AMD Radeon HD 7970", "small"};
+  entry.seed = 17;
+  entry.best_config = result.best_config;
+  entry.best_time_ms = result.best_time_ms;
+  entry.data_gathering_cost_ms = result.data_gathering_cost_ms;
+  if (result.model.has_value())
+    entry.model = std::make_shared<tuner::AnnPerformanceModel>(
+        std::move(*result.model));
+  return entry;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pt_store_test_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(TunedConfigStore, EntryStreamRoundTripPreservesEverything) {
+  const TunedConfigStore::Entry entry = make_entry();
+  std::stringstream stream;
+  TunedConfigStore::save_entry(entry, /*persist_model=*/true, stream);
+  const TunedConfigStore::Entry loaded = TunedConfigStore::load_entry(stream);
+
+  EXPECT_EQ(loaded.key, entry.key);  // device name contains spaces
+  EXPECT_EQ(loaded.seed, entry.seed);
+  EXPECT_EQ(loaded.best_config.values, entry.best_config.values);
+  EXPECT_DOUBLE_EQ(loaded.best_time_ms, entry.best_time_ms);
+  EXPECT_DOUBLE_EQ(loaded.data_gathering_cost_ms,
+                   entry.data_gathering_cost_ms);
+  ASSERT_NE(loaded.model, nullptr);
+  // The reloaded model is the same function as the original.
+  const tuner::Configuration probe{{8, 16, 2}};
+  EXPECT_DOUBLE_EQ(loaded.model->predict_ms(probe),
+                   entry.model->predict_ms(probe));
+}
+
+TEST(TunedConfigStore, FilenamesAreSanitizedAndCollisionResistant) {
+  const TuneKey spaced{"conv/2d", "AMD Radeon HD 7970", "small"};
+  const TuneKey folded{"conv_2d", "AMD_Radeon_HD_7970", "small"};
+  const std::string a = TunedConfigStore::entry_filename(spaced, 1);
+  const std::string b = TunedConfigStore::entry_filename(folded, 1);
+  EXPECT_EQ(a.find(' '), std::string::npos);
+  EXPECT_EQ(a.find('/'), std::string::npos);
+  // Same sanitized stem, different exact keys: the hash suffix separates.
+  EXPECT_NE(a, b);
+  EXPECT_NE(TunedConfigStore::entry_filename(spaced, 1),
+            TunedConfigStore::entry_filename(spaced, 2));
+}
+
+TEST(TunedConfigStore, MemoryOnlyStorePutLookup) {
+  TunedConfigStore store(TunedConfigStore::Options{});  // no directory
+  const TunedConfigStore::Entry entry = make_entry();
+  EXPECT_FALSE(store.lookup(entry.key, entry.seed).has_value());
+  store.put(entry);
+  EXPECT_EQ(store.size(), 1u);
+  const auto hit = store.lookup(entry.key, entry.seed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->best_config.values, entry.best_config.values);
+  EXPECT_FALSE(store.lookup(entry.key, entry.seed + 1).has_value());
+  TuneKey other = entry.key;
+  other.device = "Nvidia K40";
+  EXPECT_FALSE(store.lookup(other, entry.seed).has_value());
+}
+
+TEST(TunedConfigStore, DiskRoundTripAcrossStoreInstances) {
+  const std::string dir = fresh_dir("disk");
+  const TunedConfigStore::Entry entry = make_entry();
+
+  TunedConfigStore::Options options;
+  options.directory = dir;
+  {
+    TunedConfigStore writer(options);
+    writer.put(entry);
+  }
+  // A second store over the same directory starts warm.
+  TunedConfigStore reader(options);
+  EXPECT_EQ(reader.size(), 0u);
+  const auto hit = reader.lookup(entry.key, entry.seed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->best_config.values, entry.best_config.values);
+  EXPECT_DOUBLE_EQ(hit->best_time_ms, entry.best_time_ms);
+  ASSERT_NE(hit->model, nullptr);
+  const tuner::Configuration probe{{8, 16, 2}};
+  EXPECT_DOUBLE_EQ(hit->model->predict_ms(probe),
+                   entry.model->predict_ms(probe));
+  EXPECT_EQ(reader.size(), 1u);  // promoted into memory
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TunedConfigStore, PersistModelsOffStoresConfigOnly) {
+  const std::string dir = fresh_dir("nomodel");
+  TunedConfigStore::Options options;
+  options.directory = dir;
+  options.persist_models = false;
+  {
+    TunedConfigStore writer(options);
+    writer.put(make_entry());
+  }
+  TunedConfigStore reader(options);
+  const auto hit =
+      reader.lookup(TuneKey{"bowl", "AMD Radeon HD 7970", "small"}, 17);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->model, nullptr);
+  EXPECT_GT(hit->best_time_ms, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TunedConfigStore, VersionBumpInvalidatesMemoryAndDisk) {
+  const std::string dir = fresh_dir("versions");
+  TunedConfigStore::Options options;
+  options.directory = dir;
+  options.model_version = "model-a";
+  options.catalog_version = "catalog-a";
+  TunedConfigStore store(options);
+  const TunedConfigStore::Entry entry = make_entry();
+  store.put(entry);
+  ASSERT_TRUE(store.lookup(entry.key, entry.seed).has_value());
+
+  // Catalog bump: memory cleared, on-disk entry stale.
+  store.set_versions("model-a", "catalog-b");
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.lookup(entry.key, entry.seed).has_value());
+
+  // Same-version re-put validates again; then a model bump invalidates.
+  store.put(entry);
+  ASSERT_TRUE(store.lookup(entry.key, entry.seed).has_value());
+  store.set_versions("model-b", "catalog-b");
+  EXPECT_FALSE(store.lookup(entry.key, entry.seed).has_value());
+
+  // Rolling back to the versions the file was written under revalidates
+  // it (invalidation deletes nothing): the last put stamped the entry
+  // model-a/catalog-b.
+  store.set_versions("model-a", "catalog-b");
+  EXPECT_TRUE(store.lookup(entry.key, entry.seed).has_value());
+
+  // A fresh store under the bumped versions misses the old entries too.
+  TunedConfigStore::Options bumped = options;
+  bumped.catalog_version = "catalog-c";
+  TunedConfigStore fresh(bumped);
+  EXPECT_FALSE(fresh.lookup(entry.key, entry.seed).has_value());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TunedConfigStore, CorruptFileIsAMissNotACrash) {
+  const std::string dir = fresh_dir("corrupt");
+  TunedConfigStore::Options options;
+  options.directory = dir;
+  TunedConfigStore store(options);
+  const TuneKey key{"bowl", "Nvidia K40", "small"};
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream os(std::filesystem::path(dir) /
+                     TunedConfigStore::entry_filename(key, 3));
+    os << "not a tuned entry\n";
+  }
+  EXPECT_FALSE(store.lookup(key, 3).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pt::serve

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "tuner/autotuner.hpp"
+#include "tuner/input_aware.hpp"
+#include "tuner/iterative.hpp"
+#include "tuner/options.hpp"
+
+#include "../tuner/test_helpers.hpp"
+
+// Overload-parity suite for the canonical TuneRun entry points (satellite
+// of the serve PR): every legacy overload must be bit-identical to the
+// TuneRun it is documented to construct, at 1 and at 4 worker threads.
+
+namespace pt::tuner {
+namespace {
+
+using testing::BowlEvaluator;
+
+AutoTunerOptions fast_auto_options() {
+  AutoTunerOptions o;
+  o.training_samples = 80;
+  o.second_stage_size = 12;
+  o.model.ensemble.k = 3;
+  o.model.ensemble.hidden_layers = {
+      ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  o.model.ensemble.trainer.common.max_epochs = 200;
+  return o;
+}
+
+IterativeTunerOptions fast_iter_options() {
+  IterativeTunerOptions o;
+  o.measurement_budget = 60;
+  o.initial_samples = 30;
+  o.batch_size = 15;
+  o.model.ensemble.k = 3;
+  o.model.ensemble.hidden_layers = {
+      ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  o.model.ensemble.trainer.common.max_epochs = 200;
+  return o;
+}
+
+void expect_same(const AutoTuneResult& a, const AutoTuneResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(a.best_config.values, b.best_config.values);
+  EXPECT_DOUBLE_EQ(a.best_time_ms, b.best_time_ms);
+  EXPECT_EQ(a.stage1_measured, b.stage1_measured);
+  EXPECT_EQ(a.stage2_measured, b.stage2_measured);
+  EXPECT_DOUBLE_EQ(a.data_gathering_cost_ms, b.data_gathering_cost_ms);
+}
+
+void expect_same(const IterativeTuneResult& a, const IterativeTuneResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(a.best_config.values, b.best_config.values);
+  EXPECT_DOUBLE_EQ(a.best_time_ms, b.best_time_ms);
+  EXPECT_EQ(a.measurements, b.measurements);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.incumbent_trace, b.incumbent_trace);
+}
+
+/// The thread counts the parity contract is tested at.
+const std::size_t kThreadCounts[] = {1, 4};
+
+class TuneRunParity : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { common::set_global_pool_threads(GetParam()); }
+  void TearDown() override { common::set_global_pool_threads(0); }
+};
+
+TEST_P(TuneRunParity, AutoTunerDefaultRequestMatchesPlainTune) {
+  const AutoTuner tuner(fast_auto_options());
+  BowlEvaluator eval_a;
+  const AutoTuneResult plain = tuner.tune(eval_a);
+  BowlEvaluator eval_b;
+  const AutoTuneResult canonical = tuner.tune(eval_b, TuneRun{});
+  expect_same(plain, canonical);
+}
+
+TEST_P(TuneRunParity, AutoTunerWithRngMatchesRngOverload) {
+  const AutoTuner tuner(fast_auto_options());
+  BowlEvaluator eval_a;
+  common::Rng rng_a(5);
+  const AutoTuneResult shim = tuner.tune(eval_a, rng_a);
+  BowlEvaluator eval_b;
+  common::Rng rng_b(5);
+  const AutoTuneResult canonical =
+      tuner.tune(eval_b, TuneRun::with_rng(rng_b));
+  expect_same(shim, canonical);
+}
+
+TEST_P(TuneRunParity, AutoTunerWithSeedMatchesOptionsSeed) {
+  AutoTunerOptions seeded = fast_auto_options();
+  seeded.run.seed = 42;
+  BowlEvaluator eval_a;
+  const AutoTuneResult via_options = AutoTuner(seeded).tune(eval_a);
+  BowlEvaluator eval_b;
+  const AutoTuneResult via_request =
+      AutoTuner(fast_auto_options()).tune(eval_b, TuneRun::with_seed(42));
+  expect_same(via_options, via_request);
+}
+
+TEST_P(TuneRunParity, AutoTunerSamplerOverloadMatchesRequestSampler) {
+  const AutoTuner tuner(fast_auto_options());
+  const RandomSampler sampler;
+  BowlEvaluator eval_a;
+  common::Rng rng_a(9);
+  const AutoTuneResult shim = tuner.tune(eval_a, sampler, rng_a);
+  BowlEvaluator eval_b;
+  common::Rng rng_b(9);
+  TuneRun request = TuneRun::with_rng(rng_b);
+  request.sampler = &sampler;
+  const AutoTuneResult canonical = tuner.tune(eval_b, request);
+  expect_same(shim, canonical);
+}
+
+TEST_P(TuneRunParity, AutoTunerStreamLimitOverrideMatchesOptionsKnob) {
+  AutoTunerOptions streaming = fast_auto_options();
+  streaming.stage2_stream_limit = 256;
+  testing::TrapEvaluator eval_a;
+  const AutoTuneResult via_options =
+      AutoTuner(streaming).tune(eval_a, TuneRun::with_seed(3));
+  testing::TrapEvaluator eval_b;
+  TuneRun request = TuneRun::with_seed(3);
+  request.stage2_stream_limit = 256;
+  const AutoTuneResult via_request =
+      AutoTuner(fast_auto_options()).tune(eval_b, request);
+  expect_same(via_options, via_request);
+}
+
+TEST_P(TuneRunParity, IterativeTunerOverloadsMatchCanonical) {
+  const IterativeTuner tuner(fast_iter_options());
+  BowlEvaluator eval_a;
+  const IterativeTuneResult plain = tuner.tune(eval_a);
+  BowlEvaluator eval_b;
+  const IterativeTuneResult canonical = tuner.tune(eval_b, TuneRun{});
+  expect_same(plain, canonical);
+
+  BowlEvaluator eval_c;
+  common::Rng rng_c(7);
+  const IterativeTuneResult shim = tuner.tune(eval_c, rng_c);
+  BowlEvaluator eval_d;
+  common::Rng rng_d(7);
+  const IterativeTuneResult via_request =
+      tuner.tune(eval_d, TuneRun::with_rng(rng_d));
+  expect_same(shim, via_request);
+}
+
+TEST_P(TuneRunParity, InputAwareFitOverloadsMatchCanonical) {
+  const ParamSpace space = testing::small_space();
+  std::vector<InputAwareSample> samples;
+  common::Rng gen(11);
+  for (int i = 0; i < 40; ++i) {
+    const Configuration config =
+        space.decode(gen.below(space.size()));
+    const double size = static_cast<double>(1 << (1 + (i % 4)));
+    const double t = 1.0 + 0.01 * static_cast<double>(config.values[0]) +
+                     0.5 * size;
+    samples.push_back({config, ProblemInstance{{size}}, t});
+  }
+  InputAwarePerformanceModel::Options options;
+  options.ensemble.k = 3;
+  options.ensemble.hidden_layers = {
+      ml::LayerSpec{12, ml::Activation::kSigmoid}};
+  options.ensemble.trainer.common.max_epochs = 200;
+
+  InputAwarePerformanceModel shim_model(options);
+  common::Rng rng_a(13);
+  shim_model.fit(space, {"size"}, samples, rng_a);
+  InputAwarePerformanceModel canonical_model(options);
+  common::Rng rng_b(13);
+  canonical_model.fit(space, {"size"}, samples, TuneRun::with_rng(rng_b));
+
+  const Configuration probe = BowlEvaluator::optimum();
+  const ProblemInstance instance{{4.0}};
+  EXPECT_DOUBLE_EQ(shim_model.predict_ms(probe, instance),
+                   canonical_model.predict_ms(probe, instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TuneRunParity,
+                         ::testing::ValuesIn(kThreadCounts));
+
+/// The cross-thread-count invariant the serve layer's determinism contract
+/// rests on: one seed, different pool sizes, identical results.
+TEST(TuneRunParityCross, SeededTuneIdenticalAcrossThreadCounts) {
+  std::vector<int> reference_config;
+  double reference_time = 0.0;
+  bool have_reference = false;
+  for (const std::size_t threads : kThreadCounts) {
+    common::set_global_pool_threads(threads);
+    BowlEvaluator eval;
+    const AutoTuneResult result =
+        AutoTuner(fast_auto_options()).tune(eval, TuneRun::with_seed(21));
+    ASSERT_TRUE(result.success);
+    if (!have_reference) {
+      have_reference = true;
+      reference_config = result.best_config.values;
+      reference_time = result.best_time_ms;
+    } else {
+      EXPECT_EQ(result.best_config.values, reference_config);
+      EXPECT_DOUBLE_EQ(result.best_time_ms, reference_time);
+    }
+  }
+  common::set_global_pool_threads(0);
+}
+
+}  // namespace
+}  // namespace pt::tuner
