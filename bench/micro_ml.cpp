@@ -15,6 +15,7 @@
 #include "ml/batched.hpp"
 #include "ml/ensemble.hpp"
 #include "ml/mlp.hpp"
+#include "ml/quant.hpp"
 #include "ml/trainer.hpp"
 
 namespace {
@@ -198,6 +199,52 @@ void BM_BatchedEnsemblePredict(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_BatchedEnsemblePredict)->Arg(65536);
+
+// --- quantized inference tier ----------------------------------------------
+
+/// The trained ensemble the quantized benches pack (same shape as the
+/// fp32 batched bench so throughputs compare directly).
+ml::BaggingEnsemble bench_ensemble(common::Rng& rng) {
+  ml::Dataset data;
+  data.x = random_matrix(400, 9, rng);
+  data.y = random_matrix(400, 1, rng);
+  ml::BaggingEnsemble::Options opts;
+  opts.k = 11;  // paper's ensemble size
+  opts.trainer.common.max_epochs = 30;
+  ml::BaggingEnsemble ensemble(opts);
+  ensemble.fit(data, rng);
+  return ensemble;
+}
+
+void BM_QuantEnsemblePredict(benchmark::State& state, ml::QuantMode mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(8);  // same seed/shape as BM_BatchedEnsemblePredict
+  const ml::BaggingEnsemble ensemble = bench_ensemble(rng);
+  ml::QuantCalibration calib;
+  calib.lo.assign(9, -8.0F);
+  calib.hi.assign(9, 8.0F);
+  const ml::QuantizedEnsemble quant(
+      ensemble, mode, mode == ml::QuantMode::kInt8 ? &calib : nullptr);
+  const auto x = random_floats(n * 9, rng);
+  std::vector<float> out;
+  ml::QuantizedEnsemble::Scratch scratch;
+  for (auto _ : state) {
+    quant.predict_batch_into(x.data(), n, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_QuantInt8EnsemblePredict(benchmark::State& state) {
+  BM_QuantEnsemblePredict(state, ml::QuantMode::kInt8);
+}
+BENCHMARK(BM_QuantInt8EnsemblePredict)->Arg(65536);
+
+void BM_QuantFp16EnsemblePredict(benchmark::State& state) {
+  BM_QuantEnsemblePredict(state, ml::QuantMode::kFp16);
+}
+BENCHMARK(BM_QuantFp16EnsemblePredict)->Arg(65536);
 
 }  // namespace
 

@@ -1,18 +1,24 @@
 // Microbenchmark for the parallel prediction-scan engine: a configs/sec
 // trajectory over the Table-2 spaces. For every space and thread count it
 // times the dense range scan (predict_range_ms) and the streaming top-M scan
-// (predict_scan_top_m) on BOTH inference paths — the scalar fp64 reference
-// and the batched SIMD fp32 engine — checks that the fp32 selection is
-// identical to the fp64 one (indices and values), checks determinism across
-// thread counts, and writes BENCH_scan.json.
+// (predict_scan_top_m) on ALL inference paths — the scalar fp64 reference,
+// the batched SIMD fp32 engine, and the quantized int8 and fp16 tiers —
+// checks that every approximate path's top-M selection is identical to the
+// fp64 one (indices and values), checks determinism across thread counts,
+// and writes BENCH_scan.json. Speedups are always against the same-run fp64
+// baseline, so columns within one report are directly comparable.
 //
 // The model is trained on synthetic (strictly positive) times so the bench
 // exercises exactly the prediction path — no device simulation involved.
 //
-// Gate (skipped under --smoke): at threads=1 the batched fp32 path must
-// sustain >= 2x the configs/sec of the fp64 baseline on every space, for
-// both the range scan and the top-M scan, with the top-M selection
-// unchanged. Exit code 1 on any violation.
+// Gates (skipped under --smoke), all at threads=1, on every space:
+//   * batched fp32 must sustain >= 2x the configs/sec of the fp64 baseline
+//     on both entry points (range scan and top-M scan);
+//   * quantized int8 must sustain >= 2x the range-scan configs/sec of the
+//     batched fp32 path (the tier exists to beat fp32, not just fp64).
+// The top-M selection must match fp64 exactly on every path (also under
+// --smoke — the quantized exactness cell ctest runs). Exit code 1 on any
+// violation.
 //
 // Flags:
 //   --out=FILE      JSON report path (default micro_scan.json)
@@ -67,24 +73,25 @@ double synthetic_time_ms(const pt::tuner::Configuration& config) {
 
 /// One inference path at one thread count.
 struct PathRun {
-  std::string inference;  // "fp64" | "fp32"
+  std::string inference;  // "fp64" | "fp32" | "int8" | "fp16"
   double range_ms = 0.0;
   double range_configs_per_sec = 0.0;
   double top_m_ms = 0.0;
   double top_m_configs_per_sec = 0.0;
   std::uint64_t fp64_reranked = 0;
+  std::uint64_t quant_reranked = 0;
   std::uint64_t near_ties = 0;
+  // Against the same-run fp64 baseline (1.0 for the baseline itself).
+  double range_speedup = 1.0;
+  double top_m_speedup = 1.0;
+  bool top_m_match = true;
   std::vector<std::uint64_t> top_indices;
   std::vector<double> top_values;
 };
 
 struct Run {
   std::size_t threads = 0;
-  PathRun fp64;
-  PathRun fp32;
-  double range_speedup = 0.0;
-  double top_m_speedup = 0.0;
-  bool top_m_match = true;
+  std::vector<PathRun> paths;  // index-aligned with kInferences
 };
 
 struct SpaceReport {
@@ -98,10 +105,22 @@ struct SpaceReport {
   bool gate_pass = true;
 };
 
-PathRun run_path(const pt::tuner::AnnPerformanceModel& model,
-                 std::uint64_t scanned, std::size_t m, bool fp32) {
+constexpr pt::tuner::ScanInference kInferences[] = {
+    pt::tuner::ScanInference::kScalarFp64,
+    pt::tuner::ScanInference::kBatchedFp32,
+    pt::tuner::ScanInference::kQuantInt8,
+    pt::tuner::ScanInference::kFp16,
+};
+
+PathRun run_path(pt::tuner::AnnPerformanceModel& model,
+                 pt::tuner::ScanInference inference, std::uint64_t scanned,
+                 std::size_t m) {
+  pt::tuner::ScanOptions options;
+  options.inference = inference;
+  model.set_scan_options(options);
+
   PathRun run;
-  run.inference = fp32 ? "fp32" : "fp64";
+  run.inference = pt::tuner::scan_inference_name(inference);
   {
     const auto start = Clock::now();
     const auto preds = model.predict_range_ms(0, scanned);
@@ -115,6 +134,7 @@ PathRun run_path(const pt::tuner::AnnPerformanceModel& model,
     run.top_m_ms = ms_since(start);
     run.top_m_configs_per_sec = configs_per_sec(scanned, run.top_m_ms);
     run.fp64_reranked = scan.fp64_reranked;
+    run.quant_reranked = scan.quant_reranked;
     run.near_ties = scan.near_ties;
     run.top_indices.reserve(scan.top.size());
     for (const auto& c : scan.top) {
@@ -182,51 +202,60 @@ int main(int argc, char** argv) {
       report.fit_ms = ms_since(start);
     }
 
-    tuner::ScanOptions batched;
-    batched.inference = tuner::ScanInference::kBatchedFp32;
-
     for (const std::size_t threads : thread_counts) {
       common::set_global_pool_threads(threads);
       Run run;
       run.threads = threads;
-      model.set_scan_options(tuner::ScanOptions{});
-      run.fp64 = run_path(model, report.scanned, m, false);
-      model.set_scan_options(batched);
-      run.fp32 = run_path(model, report.scanned, m, true);
-      run.range_speedup = run.fp64.range_ms / run.fp32.range_ms;
-      run.top_m_speedup = run.fp64.top_m_ms / run.fp32.top_m_ms;
+      for (const auto inference : kInferences)
+        run.paths.push_back(run_path(model, inference, report.scanned, m));
 
-      // The accuracy gate: the batched path must select exactly the fp64
-      // top-M — same indices, same predicted values.
-      run.top_m_match = run.fp32.top_indices == run.fp64.top_indices &&
-                        run.fp32.top_values == run.fp64.top_values;
-      if (!run.top_m_match) report.top_m_match = false;
-
-      // Determinism: every path and thread count selects the same top-M.
-      if (!report.runs.empty() &&
-          (run.fp64.top_indices != report.runs.front().fp64.top_indices ||
-           run.fp32.top_indices != report.runs.front().fp32.top_indices)) {
-        report.deterministic = false;
+      // Per-mode speedups against this run's fp64 baseline, and the
+      // accuracy gate: every approximate path must select exactly the
+      // fp64 top-M — same indices, same predicted values.
+      const PathRun& fp64 = run.paths.front();
+      for (PathRun& path : run.paths) {
+        if (path.range_ms > 0.0)
+          path.range_speedup = fp64.range_ms / path.range_ms;
+        if (path.top_m_ms > 0.0)
+          path.top_m_speedup = fp64.top_m_ms / path.top_m_ms;
+        path.top_m_match = path.top_indices == fp64.top_indices &&
+                           path.top_values == fp64.top_values;
+        if (!path.top_m_match) report.top_m_match = false;
       }
 
-      std::cout << name << " threads=" << threads << " fp64="
-                << static_cast<std::uint64_t>(run.fp64.top_m_configs_per_sec)
-                << " cfg/s fp32="
-                << static_cast<std::uint64_t>(run.fp32.top_m_configs_per_sec)
-                << " cfg/s (top-m x" << run.top_m_speedup << ", range x"
-                << run.range_speedup << ", match=" << run.top_m_match << ")\n"
-                << std::flush;
+      // Determinism: every path and thread count selects the same top-M.
+      if (!report.runs.empty()) {
+        for (std::size_t p = 0; p < run.paths.size(); ++p) {
+          if (run.paths[p].top_indices !=
+              report.runs.front().paths[p].top_indices)
+            report.deterministic = false;
+        }
+      }
+
+      std::cout << name << " threads=" << threads;
+      for (const PathRun& path : run.paths)
+        std::cout << " " << path.inference << "="
+                  << static_cast<std::uint64_t>(path.range_configs_per_sec)
+                  << " cfg/s (x" << path.range_speedup
+                  << ", match=" << path.top_m_match << ")";
+      std::cout << "\n" << std::flush;
       report.runs.push_back(std::move(run));
     }
 
-    // >= 2x configs/sec gate at threads=1, both entry points.
+    // The threads=1 throughput gates: fp32 >= 2x fp64 on both entry
+    // points, int8 >= 2x fp32 on the range scan.
     if (!smoke && !report.runs.empty()) {
       const Run& single = report.runs.front();
-      if (single.range_speedup < 2.0 || single.top_m_speedup < 2.0)
+      const PathRun& fp32 = single.paths[1];
+      const PathRun& int8 = single.paths[2];
+      if (fp32.range_speedup < 2.0 || fp32.top_m_speedup < 2.0)
+        report.gate_pass = false;
+      if (int8.range_configs_per_sec < 2.0 * fp32.range_configs_per_sec)
         report.gate_pass = false;
     }
     if (!report.top_m_match) {
-      std::cout << "FAIL: " << name << ": fp32 top-M differs from fp64\n";
+      std::cout << "FAIL: " << name
+                << ": an approximate top-M differs from fp64\n";
       all_match = false;
     }
     if (!report.deterministic) {
@@ -236,7 +265,8 @@ int main(int argc, char** argv) {
     }
     if (!report.gate_pass) {
       std::cout << "FAIL: " << name
-                << ": batched path below the 2x configs/sec gate\n";
+                << ": below a configs/sec gate (fp32 >= 2x fp64, "
+                   "int8 >= 2x fp32)\n";
       all_gates = false;
     }
     reports.push_back(std::move(report));
@@ -248,7 +278,8 @@ int main(int argc, char** argv) {
       .set("training_samples", training)
       .set("smoke", smoke)
       .set("simd_backend", std::string(common::simd::backend_name()))
-      .set("gate_required_speedup", 2.0)
+      .set("gate_fp32_required_speedup_vs_fp64", 2.0)
+      .set("gate_int8_required_speedup_vs_fp32", 2.0)
       .set("gate_pass", all_gates)
       .set("top_m_match", all_match);
   common::json::Value benchmarks = common::json::Value::array();
@@ -266,21 +297,22 @@ int main(int argc, char** argv) {
       common::json::Value run_json = common::json::Value::object();
       run_json.set("threads", run.threads);
       common::json::Value paths = common::json::Value::array();
-      for (const PathRun* p : {&run.fp64, &run.fp32}) {
+      for (const PathRun& p : run.paths) {
         common::json::Value path_json = common::json::Value::object();
-        path_json.set("inference", p->inference);
-        path_json.set("range_ms", p->range_ms);
-        path_json.set("range_configs_per_sec", p->range_configs_per_sec);
-        path_json.set("top_m_ms", p->top_m_ms);
-        path_json.set("top_m_configs_per_sec", p->top_m_configs_per_sec);
-        path_json.set("fp64_reranked", p->fp64_reranked);
-        path_json.set("near_ties", p->near_ties);
+        path_json.set("inference", p.inference);
+        path_json.set("range_ms", p.range_ms);
+        path_json.set("range_configs_per_sec", p.range_configs_per_sec);
+        path_json.set("range_speedup_vs_fp64", p.range_speedup);
+        path_json.set("top_m_ms", p.top_m_ms);
+        path_json.set("top_m_configs_per_sec", p.top_m_configs_per_sec);
+        path_json.set("top_m_speedup_vs_fp64", p.top_m_speedup);
+        path_json.set("fp64_reranked", p.fp64_reranked);
+        path_json.set("quant_reranked", p.quant_reranked);
+        path_json.set("near_ties", p.near_ties);
+        path_json.set("top_m_match", p.top_m_match);
         paths.push(std::move(path_json));
       }
       run_json.set("paths", std::move(paths));
-      run_json.set("range_speedup", run.range_speedup);
-      run_json.set("top_m_speedup", run.top_m_speedup);
-      run_json.set("top_m_match", run.top_m_match);
       runs.push(std::move(run_json));
     }
     entry.set("runs", std::move(runs));

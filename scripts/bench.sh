@@ -22,8 +22,10 @@ fi
   --out="$repo_root/BENCH_exec.json"
 
 # BENCH_scan.json — the prediction-scan configs/sec trajectory
-# (bench/micro_scan): fp64 reference vs batched SIMD fp32 path, with the
-# >=2x speedup gate and fp32-vs-fp64 top-M equality enforced by the binary.
+# (bench/micro_scan): fp64 reference vs batched SIMD fp32 vs quantized
+# int8/fp16 paths. The binary enforces top-M equality with fp64 for every
+# approximate path plus the configs/sec gates (fp32 >= 2x fp64, int8 >=
+# 2x fp32, both at threads=1).
 if [[ ! -x "$build_dir/bench/micro_scan" ]]; then
   echo "building micro_scan in $build_dir ..."
   cmake --build "$build_dir" --target micro_scan -j

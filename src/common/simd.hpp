@@ -249,6 +249,260 @@ struct VecF {
 #endif
 
 // ---------------------------------------------------------------------------
+// VecD: 4 packed doubles. The logical width is fixed at 4 on *every*
+// backend (AVX2 uses one 256-bit register, NEON a pair of 128-bit ones, the
+// scalar fallback an array), so kernels written against VecD have identical
+// semantics everywhere — which is what lets the fp64 training matmuls
+// (ml/matrix.cpp) stay bit-identical to their blocked scalar forms.
+// Deliberately minimal: load/store/broadcast, add, mul (two-rounding, like
+// the scalar `+`/`*` they replace — no FMA), and the pairwise horizontal
+// sum (l0 + l1) + (l2 + l3) that matches the matmul_bt accumulator combine.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kWidthD = 4;
+
+#if defined(PT_SIMD_AVX2)
+
+struct VecD {
+  __m256d v;
+
+  [[nodiscard]] static VecD load(const double* p) noexcept {
+    return {_mm256_loadu_pd(p)};
+  }
+  [[nodiscard]] static VecD broadcast(double x) noexcept {
+    return {_mm256_set1_pd(x)};
+  }
+  [[nodiscard]] static VecD zero() noexcept { return {_mm256_setzero_pd()}; }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+};
+
+[[nodiscard]] inline VecD add(VecD a, VecD b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+[[nodiscard]] inline VecD mul(VecD a, VecD b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+/// (l0 + l1) + (l2 + l3), the exact combine order of matmul_bt's four
+/// scalar accumulators.
+[[nodiscard]] inline double hsum_pairwise(VecD a) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(a.v);    // l0, l1
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);  // l2, l3
+  const double s01 = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+  const double s23 = _mm_cvtsd_f64(_mm_add_sd(hi, _mm_unpackhi_pd(hi, hi)));
+  return s01 + s23;
+}
+
+#elif defined(PT_SIMD_NEON) && defined(__aarch64__)
+
+struct VecD {
+  float64x2_t lo;  // l0, l1
+  float64x2_t hi;  // l2, l3
+
+  [[nodiscard]] static VecD load(const double* p) noexcept {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  [[nodiscard]] static VecD broadcast(double x) noexcept {
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  [[nodiscard]] static VecD zero() noexcept {
+    return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  }
+  void store(double* p) const noexcept {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+};
+
+[[nodiscard]] inline VecD add(VecD a, VecD b) noexcept {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+[[nodiscard]] inline VecD mul(VecD a, VecD b) noexcept {
+  return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+/// (l0 + l1) + (l2 + l3), the exact combine order of matmul_bt's four
+/// scalar accumulators.
+[[nodiscard]] inline double hsum_pairwise(VecD a) noexcept {
+  const double s01 = vgetq_lane_f64(a.lo, 0) + vgetq_lane_f64(a.lo, 1);
+  const double s23 = vgetq_lane_f64(a.hi, 0) + vgetq_lane_f64(a.hi, 1);
+  return s01 + s23;
+}
+
+#else  // scalar fallback (and 32-bit NEON, which has no float64x2 ops)
+
+struct VecD {
+  double v[kWidthD];
+
+  [[nodiscard]] static VecD load(const double* p) noexcept {
+    VecD r;
+    for (std::size_t i = 0; i < kWidthD; ++i) r.v[i] = p[i];
+    return r;
+  }
+  [[nodiscard]] static VecD broadcast(double x) noexcept {
+    VecD r;
+    for (std::size_t i = 0; i < kWidthD; ++i) r.v[i] = x;
+    return r;
+  }
+  [[nodiscard]] static VecD zero() noexcept { return broadcast(0.0); }
+  void store(double* p) const noexcept {
+    for (std::size_t i = 0; i < kWidthD; ++i) p[i] = v[i];
+  }
+};
+
+[[nodiscard]] inline VecD add(VecD a, VecD b) noexcept {
+  for (std::size_t i = 0; i < kWidthD; ++i) a.v[i] += b.v[i];
+  return a;
+}
+[[nodiscard]] inline VecD mul(VecD a, VecD b) noexcept {
+  for (std::size_t i = 0; i < kWidthD; ++i) a.v[i] *= b.v[i];
+  return a;
+}
+/// (l0 + l1) + (l2 + l3), the exact combine order of matmul_bt's four
+/// scalar accumulators.
+[[nodiscard]] inline double hsum_pairwise(VecD a) noexcept {
+  return (a.v[0] + a.v[1]) + (a.v[2] + a.v[3]);
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// IEEE fp16 storage conversions (ml/quant.hpp keeps fp16 weight panels and
+// converts to fp32 in the inner loop). f32->f16 rounds to nearest-even and
+// only runs at pack time; it is always the software conversion, so packed
+// panels are identical on every backend. f16->f32 is exact (every half is
+// representable as a float); load_f16 widens kWidth halves to a VecF and
+// uses the F16C instruction when compiled in, which computes the same exact
+// conversion.
+// ---------------------------------------------------------------------------
+
+/// Round a float to IEEE half (round-to-nearest-even, overflow to inf).
+[[nodiscard]] inline std::uint16_t f32_to_f16(float x) noexcept {
+  constexpr std::uint32_t kF32Inf = 255U << 23;
+  constexpr std::uint32_t kF16Max = (127U + 16U) << 23;
+  constexpr std::uint32_t kDenormMagic = ((127U - 15U) + (23U - 10U) + 1U)
+                                         << 23;
+  const std::uint32_t in = std::bit_cast<std::uint32_t>(x);
+  const std::uint32_t sign = in & 0x80000000U;
+  std::uint32_t f = in ^ sign;
+  std::uint16_t out;
+  if (f >= kF16Max) {  // overflow -> inf; nan -> quiet nan
+    out = f > kF32Inf ? 0x7E00U : 0x7C00U;
+  } else if (f < (113U << 23)) {  // half-subnormal range (incl. zero)
+    // Adding the magic constant shifts the mantissa into the subnormal
+    // position with correct round-to-nearest-even.
+    const float shifted =
+        std::bit_cast<float>(f) + std::bit_cast<float>(kDenormMagic);
+    out = static_cast<std::uint16_t>(std::bit_cast<std::uint32_t>(shifted) -
+                                     kDenormMagic);
+  } else {
+    const std::uint32_t mant_odd = (f >> 13) & 1U;  // ties-to-even bit
+    f += 0xC8000FFFU;  // exponent rebias (15 - 127) << 23, plus 0xFFF
+    f += mant_odd;
+    out = static_cast<std::uint16_t>(f >> 13);
+  }
+  return static_cast<std::uint16_t>(out | (sign >> 16));
+}
+
+/// Exact widening of an IEEE half to float.
+[[nodiscard]] inline float f16_to_f32(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000U) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1FU;
+  const std::uint32_t man = h & 0x3FFU;
+  if (exp == 0) {
+    // Subnormal (or zero): value is man * 2^-24, exact in fp32.
+    const float v = static_cast<float>(man) * 0x1p-24f;
+    return sign ? -v : v;
+  }
+  if (exp == 31) {  // inf / nan
+    return std::bit_cast<float>(sign | 0x7F800000U | (man << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp - 15U + 127U) << 23) | (man << 13));
+}
+
+/// Widen kWidth consecutive halves to a VecF (exact conversion).
+[[nodiscard]] inline VecF load_f16(const std::uint16_t* p) noexcept {
+#if defined(PT_SIMD_AVX2) && defined(__F16C__)
+  return {_mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+#else
+  float lanes[kWidth];
+  for (std::size_t i = 0; i < kWidth; ++i) lanes[i] = f16_to_f32(p[i]);
+  return VecF::load(lanes);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Integer microkernels for the quantized int8 inference engine
+// (ml/quant.hpp). All arithmetic is exact integer arithmetic, so every
+// backend produces identical results by construction; self_test still
+// verifies the vector implementations against the scalar loops.
+//
+// Value contract: activations are unsigned 7-bit (0..127) and weights
+// signed 8-bit (-127..127), so a pair product sum fits s16 under
+// AVX2 maddubs saturation (2 * 127 * 127 = 32258 < 32767) and an s32
+// accumulator is exact for any practical fan-in (< 2^16 input pairs).
+// ---------------------------------------------------------------------------
+
+/// Channels per packed int8 weight block (one 32-byte vector of 8
+/// channels x 4 inputs).
+inline constexpr std::size_t kQuantChannelBlock = 8;
+/// Inputs per packed group within a channel block.
+inline constexpr std::size_t kQuantInputQuad = 4;
+/// Activation buffers feeding dot_u7s8 are zero-padded to this multiple.
+inline constexpr std::size_t kQuantDotAlign = 32;
+
+/// Dense GEMV over a quad-interleaved int8 panel:
+///   out[c] = sum_i a[i] * w_packed[i][c]   for c in [0, channels)
+/// `a` holds `in` u7 activations, `in` a multiple of kQuantInputQuad;
+/// `channels` is a multiple of kQuantChannelBlock. Panel layout: for each
+/// channel block c0 (step 8), for each input quad q (step 4), a 32-byte
+/// group holding bytes w[4q+k][c0+j] at offset 4j+k for j = 0..7,
+/// k = 0..3 — the AVX2 kernel broadcasts one activation dword against it
+/// (maddubs then madd-by-ones accumulates the four products per channel
+/// straight into s32), and the inner loop streams the panel contiguously.
+void gemv_u7s8(const std::uint8_t* a, const std::int8_t* w, std::size_t in,
+               std::size_t channels, std::int32_t* out) noexcept;
+
+/// Plain dot product of `n` u7 activations against s8 weights; n must be a
+/// multiple of kQuantDotAlign (pad both with zeros).
+[[nodiscard]] std::int32_t dot_u7s8(const std::uint8_t* a,
+                                    const std::int8_t* w,
+                                    std::size_t n) noexcept;
+
+/// Quantize `n` fp32 features to u7 activations:
+///   out[i] = clamp(rne((x[i] - lo[i]) * inv_step[i]), 0, 127)
+/// where rne is round-to-nearest-even (lrintf under the default rounding
+/// mode, which is also what the vector cvtps path implements) — one fp32
+/// subtract and multiply, so every backend produces identical bytes.
+void quantize_u7(const float* x, const float* lo, const float* inv_step,
+                 std::size_t n, std::uint8_t* out) noexcept;
+
+/// Requantize + table activation for `n` channels (n a multiple of 8):
+///   out[c] = (u8) lut[ clamp((acc[c] + bias[c]) >> shift[c], 0, size-1) ]
+/// The shift is an arithmetic right shift (floor division by 2^shift —
+/// well-defined for negative values in C++20); shifts must be in [0, 31]
+/// and lut values in [0, 127] so the result is a valid u7 activation.
+void requant_lut_u8(const std::int32_t* acc, const std::int32_t* bias,
+                    const std::int32_t* shift, std::size_t n,
+                    const std::int32_t* lut, std::int32_t size,
+                    std::uint8_t* out) noexcept;
+
+/// Fused single-hidden-layer int8 forward: exactly
+///   gemv_u7s8(a, w, in, channels, acc);
+///   requant_lut_u8(acc, bias, shift, channels, lut, size, act);
+///   return dot_u7s8(act, outw, channels);
+/// but with the intermediate accumulators and activations kept in
+/// registers (no acc/act memory round-trips, one kernel call per member
+/// row instead of three). `channels` must be a multiple of kQuantDotAlign.
+/// Bit-identical to the composition above on every backend — the AVX2
+/// path performs the same integer operation sequence, and the fallback IS
+/// the composition (over fixed 32-channel stack tiles).
+[[nodiscard]] std::int32_t forward1_u7s8(
+    const std::uint8_t* a, const std::int8_t* w, std::size_t in,
+    std::size_t channels, const std::int32_t* bias, const std::int32_t* shift,
+    const std::int32_t* lut, std::int32_t size,
+    const std::int8_t* outw) noexcept;
+
+// ---------------------------------------------------------------------------
 // Vectorized transcendental approximations (backend-independent algorithm;
 // the scalar references in simd.cpp spell out the identical operation
 // sequence with std::fma, which is what self_test compares against).
@@ -353,6 +607,9 @@ struct AlignedAllocator {
   }
 };
 
-using AlignedVectorF = std::vector<float, AlignedAllocator<float>>;
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+using AlignedVectorF = AlignedVector<float>;
 
 }  // namespace pt::common::simd

@@ -203,6 +203,8 @@ BatchedEnsembleCache::BatchedEnsembleCache(
     BatchedEnsembleCache&& other) noexcept {
   const std::scoped_lock lock(other.mutex_);
   engine_ = std::move(other.engine_);
+  int8_engine_ = std::move(other.int8_engine_);
+  fp16_engine_ = std::move(other.fp16_engine_);
 }
 
 BatchedEnsembleCache& BatchedEnsembleCache::operator=(
@@ -210,6 +212,8 @@ BatchedEnsembleCache& BatchedEnsembleCache::operator=(
   if (this != &other) {
     const std::scoped_lock lock(mutex_, other.mutex_);
     engine_ = std::move(other.engine_);
+    int8_engine_ = std::move(other.int8_engine_);
+    fp16_engine_ = std::move(other.fp16_engine_);
   }
   return *this;
 }
@@ -221,9 +225,27 @@ std::shared_ptr<const BatchedEnsemble> BatchedEnsembleCache::get(
   return engine_;
 }
 
+std::shared_ptr<const QuantizedEnsemble> BatchedEnsembleCache::get_quantized(
+    const BaggingEnsemble& ensemble, QuantMode mode,
+    const QuantCalibration& calibration) const {
+  const std::scoped_lock lock(mutex_);
+  if (mode == QuantMode::kInt8) {
+    if (!int8_engine_ || !(int8_engine_->calibration() == calibration))
+      int8_engine_ =
+          std::make_shared<const QuantizedEnsemble>(ensemble, mode,
+                                                    &calibration);
+    return int8_engine_;
+  }
+  if (!fp16_engine_)
+    fp16_engine_ = std::make_shared<const QuantizedEnsemble>(ensemble, mode);
+  return fp16_engine_;
+}
+
 void BatchedEnsembleCache::reset() noexcept {
   const std::scoped_lock lock(mutex_);
   engine_ = nullptr;
+  int8_engine_ = nullptr;
+  fp16_engine_ = nullptr;
 }
 
 }  // namespace pt::ml

@@ -36,6 +36,7 @@
 #include "ml/activation.hpp"
 #include "ml/ensemble.hpp"
 #include "ml/mlp.hpp"
+#include "ml/quant.hpp"
 #include "ml/scaler.hpp"
 
 namespace pt::ml {
@@ -134,12 +135,22 @@ class BatchedEnsembleCache {
   [[nodiscard]] std::shared_ptr<const BatchedEnsemble> get(
       const BaggingEnsemble& ensemble) const;
 
-  /// Drop the packed engine (outstanding shared_ptrs stay valid).
+  /// The quantized engine for `ensemble` in `mode`, building it on first
+  /// call. The int8 slot is keyed by the calibration as well: asking with a
+  /// different calibration (e.g. input-aware instance tails changed) repacks
+  /// and replaces the cached engine. fp16 ignores `calibration`.
+  [[nodiscard]] std::shared_ptr<const QuantizedEnsemble> get_quantized(
+      const BaggingEnsemble& ensemble, QuantMode mode,
+      const QuantCalibration& calibration) const;
+
+  /// Drop the packed engines (outstanding shared_ptrs stay valid).
   void reset() noexcept;
 
  private:
   mutable std::mutex mutex_;
   mutable std::shared_ptr<const BatchedEnsemble> engine_;
+  mutable std::shared_ptr<const QuantizedEnsemble> int8_engine_;
+  mutable std::shared_ptr<const QuantizedEnsemble> fp16_engine_;
 };
 
 }  // namespace pt::ml

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace pt::ml {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -52,10 +54,34 @@ Matrix& Matrix::operator*=(double scalar) noexcept {
 
 // Cache block over the shared dimension: the block of b rows (or a rows for
 // matmul_at) stays resident while it is streamed against every output row.
-// The inner j loops are branch-free over contiguous memory so the compiler
-// auto-vectorizes them (the old `aik == 0.0` early-out defeated that and
-// almost never fired on real weights).
+//
+// The inner j loops run on the width-4 VecD vector type (common/simd.hpp)
+// with separate mul and add — the exact per-element operation sequence
+// `orow[j] += aik * brow[j]` of the blocked scalar kernels, just four
+// elements per instruction — so results are bit-identical to the scalar
+// form on every backend (training stays deterministic across builds).
 constexpr std::size_t kMatmulBlock = 128;
+
+namespace {
+
+namespace simd = common::simd;
+
+/// orow[j] += s * brow[j] for j in [0, nn): vector body, scalar remainder.
+/// Each element sees one multiply then one add, both rounding — identical
+/// to the scalar loop.
+inline void axpy_row(double s, const double* brow, double* orow,
+                     std::size_t nn) {
+  using simd::VecD;
+  const VecD sv = VecD::broadcast(s);
+  std::size_t j = 0;
+  for (; j + simd::kWidthD <= nn; j += simd::kWidthD) {
+    const VecD prod = simd::mul(sv, VecD::load(brow + j));
+    simd::add(VecD::load(orow + j), prod).store(orow + j);
+  }
+  for (; j < nn; ++j) orow[j] += s * brow[j];
+}
+
+}  // namespace
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
@@ -67,11 +93,8 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
     for (std::size_t i = 0; i < a.rows(); ++i) {
       const auto arow = a.row(i);
       double* const orow = out.row(i).data();
-      for (std::size_t k = k0; k < k1; ++k) {
-        const double aik = arow[k];
-        const double* const brow = b.row(k).data();
-        for (std::size_t j = 0; j < nn; ++j) orow[j] += aik * brow[j];
-      }
+      for (std::size_t k = k0; k < k1; ++k)
+        axpy_row(arow[k], b.row(k).data(), orow, nn);
     }
   }
 }
@@ -81,25 +104,21 @@ void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
     throw std::invalid_argument("matmul_bt: shape mismatch");
   out.reshape(a.rows(), b.rows());
   const std::size_t kk = a.cols();
+  using simd::VecD;
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* const arow = a.row(i).data();
     auto orow = out.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j) {
       const double* const brow = b.row(j).data();
-      // Four independent partial sums break the additive dependency chain so
-      // the reduction vectorizes.
-      double acc0 = 0.0;
-      double acc1 = 0.0;
-      double acc2 = 0.0;
-      double acc3 = 0.0;
+      // Lane l of the vector accumulator is exactly the scalar kernel's
+      // stride-4 partial sum acc_l; hsum_pairwise reproduces its final
+      // (acc0 + acc1) + (acc2 + acc3) combine.
+      VecD accv = VecD::zero();
       std::size_t k = 0;
-      for (; k + 4 <= kk; k += 4) {
-        acc0 += arow[k] * brow[k];
-        acc1 += arow[k + 1] * brow[k + 1];
-        acc2 += arow[k + 2] * brow[k + 2];
-        acc3 += arow[k + 3] * brow[k + 3];
-      }
-      double acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; k + simd::kWidthD <= kk; k += simd::kWidthD)
+        accv = simd::add(accv,
+                         simd::mul(VecD::load(arow + k), VecD::load(brow + k)));
+      double acc = simd::hsum_pairwise(accv);
       for (; k < kk; ++k) acc += arow[k] * brow[k];
       orow[j] = acc;
     }
@@ -115,11 +134,8 @@ void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
     const std::size_t k1 = std::min(a.rows(), k0 + kMatmulBlock);
     for (std::size_t i = 0; i < a.cols(); ++i) {
       double* const orow = out.row(i).data();
-      for (std::size_t k = k0; k < k1; ++k) {
-        const double aki = a(k, i);
-        const double* const brow = b.row(k).data();
-        for (std::size_t j = 0; j < nn; ++j) orow[j] += aki * brow[j];
-      }
+      for (std::size_t k = k0; k < k1; ++k)
+        axpy_row(a(k, i), b.row(k).data(), orow, nn);
     }
   }
 }

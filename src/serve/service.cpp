@@ -29,12 +29,24 @@ TuneResponse make_failure(const TuneRequest& request, ResponseStatus status,
   return response;
 }
 
+/// The scan inference mode rides on the store's model version: a tune
+/// executed under (say) int8 scan inference must not validate against an
+/// entry cached under fp64 — flipping the mode invalidates the cache the
+/// same way a model-format bump does.
+TunedConfigStore::Options with_scan_mode(TunedConfigStore::Options store,
+                                         const tuner::AutoTunerOptions& tuner) {
+  store.model_version += "+scan-";
+  store.model_version +=
+      tuner::scan_inference_name(tuner.model.scan.inference);
+  return store;
+}
+
 }  // namespace
 
 TuneService::TuneService(TuneServiceOptions options, EvaluatorFactory factory)
     : options_(std::move(options)),
       factory_(std::move(factory)),
-      store_(options_.store),
+      store_(with_scan_mode(options_.store, options_.tuner)),
       tuner_(options_.tuner),
       pool_(options_.workers == 0 ? 1 : options_.workers) {
   if (options_.workers == 0) options_.workers = 1;

@@ -66,6 +66,9 @@ struct TuneServiceOptions {
   /// telemetry unset — served runs are headless.
   tuner::AutoTunerOptions tuner{};
   /// Persistent store configuration (directory, versions; see store.hpp).
+  /// The effective model_version is suffixed with "+scan-<mode>" (the
+  /// tuner's scan inference mode), so cached tunes never validate across a
+  /// mode flip.
   TunedConfigStore::Options store{};
 };
 

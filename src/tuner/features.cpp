@@ -122,4 +122,22 @@ void RangeEncoder::fill_f32(std::uint64_t lo, std::uint64_t hi,
   }
 }
 
+ml::QuantCalibration RangeEncoder::calibration(
+    std::span<const float> tail) const {
+  ml::QuantCalibration calib;
+  calib.lo.reserve(dims_.size() + tail.size());
+  calib.hi.reserve(dims_.size() + tail.size());
+  for (const Dim& dim : dims_) {
+    const auto [lo, hi] =
+        std::minmax_element(dim.encoded_f.begin(), dim.encoded_f.end());
+    calib.lo.push_back(*lo);
+    calib.hi.push_back(*hi);
+  }
+  for (const float t : tail) {
+    calib.lo.push_back(t);
+    calib.hi.push_back(t);
+  }
+  return calib;
+}
+
 }  // namespace pt::tuner

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/matrix.hpp"
+#include "ml/quant.hpp"
 #include "tuner/param.hpp"
 
 namespace pt::tuner {
@@ -72,6 +73,14 @@ class RangeEncoder {
   /// (hi - lo) * width(tail.size())).
   void fill_f32(std::uint64_t lo, std::uint64_t hi, std::vector<float>& out,
                 std::span<const float> tail = {}) const;
+
+  /// Per-feature quantization ranges for int8 scan inference: [min, max] of
+  /// each dimension's encoded value table, plus a degenerate [v, v] range
+  /// per `tail` element (the fixed instance features of input-aware scans).
+  /// Every row fill_f32 produces with the same tail lies inside these
+  /// ranges by construction, so quantization clamping never loses range.
+  [[nodiscard]] ml::QuantCalibration calibration(
+      std::span<const float> tail = {}) const;
 
  private:
   struct Dim {

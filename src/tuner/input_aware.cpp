@@ -183,16 +183,44 @@ ScanRowFillerF32 InputAwarePerformanceModel::row_filler_f32(
   };
 }
 
+// Builds the BatchedScan for a reduced-precision inference mode. For the
+// quantized tiers the calibration carries the instance features as
+// degenerate [v, v] tail ranges, so a scan for a different instance repacks
+// the int8 engine (the cache compares calibrations).
+struct InputAwarePerformanceModel::ScanEngines {
+  std::shared_ptr<const ml::BatchedEnsemble> engine;
+  std::shared_ptr<const ml::QuantizedEnsemble> quant;
+  BatchedScan batched;
+};
+
+InputAwarePerformanceModel::ScanEngines
+InputAwarePerformanceModel::scan_engines(
+    const ProblemInstance& instance) const {
+  ScanEngines e;
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    e.engine = batched_.get(ensemble_);
+    e.batched.engine = e.engine.get();
+  } else {
+    const auto inst = instance_features(instance);
+    const std::vector<float> inst_f(inst.begin(), inst.end());
+    e.quant = batched_.get_quantized(ensemble_,
+                                     scan_quant_mode(options_.scan.inference),
+                                     range_encoder_.calibration(inst_f));
+    e.batched.quant = e.quant.get();
+  }
+  e.batched.fill = row_filler_f32(instance);
+  return e;
+}
+
 std::vector<double> InputAwarePerformanceModel::predict_range_ms(
     std::uint64_t begin, std::uint64_t end,
     const ProblemInstance& instance) const {
   if (!fitted())
     throw std::logic_error("InputAwarePerformanceModel: predict before fit");
-  if (options_.scan.inference == ScanInference::kBatchedFp32) {
-    const auto engine = batched_.get(ensemble_);
-    const BatchedScan batched{engine.get(), row_filler_f32(instance)};
+  if (options_.scan.inference != ScanInference::kScalarFp64) {
+    const ScanEngines e = scan_engines(instance);
     return scan_predict_range(ensemble_, row_filler(instance), begin, end,
-                              output_transform(), options_.scan, &batched);
+                              output_transform(), options_.scan, &e.batched);
   }
   return scan_predict_range(ensemble_, row_filler(instance), begin, end,
                             output_transform());
@@ -203,11 +231,10 @@ TopMScanResult InputAwarePerformanceModel::predict_scan_top_m(
     const ProblemInstance& instance, const ScanFilter& filter) const {
   if (!fitted())
     throw std::logic_error("InputAwarePerformanceModel: predict before fit");
-  if (options_.scan.inference == ScanInference::kBatchedFp32) {
-    const auto engine = batched_.get(ensemble_);
-    const BatchedScan batched{engine.get(), row_filler_f32(instance)};
+  if (options_.scan.inference != ScanInference::kScalarFp64) {
+    const ScanEngines e = scan_engines(instance);
     return scan_top_m(ensemble_, row_filler(instance), begin, end, m,
-                      output_transform(), filter, options_.scan, &batched);
+                      output_transform(), filter, options_.scan, &e.batched);
   }
   return scan_top_m(ensemble_, row_filler(instance), begin, end, m,
                     output_transform(), filter);

@@ -125,6 +125,8 @@ class InputAwarePerformanceModel {
   [[nodiscard]] ScanRowFiller row_filler(const ProblemInstance& instance) const;
   [[nodiscard]] ScanRowFillerF32 row_filler_f32(
       const ProblemInstance& instance) const;
+  struct ScanEngines;
+  [[nodiscard]] ScanEngines scan_engines(const ProblemInstance& instance) const;
 
   Options options_;
   ParamSpace space_;

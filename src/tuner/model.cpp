@@ -102,15 +102,38 @@ ScanRowFillerF32 AnnPerformanceModel::row_filler_f32() const {
   };
 }
 
+// Builds the BatchedScan for a reduced-precision inference mode. The shared
+// pointers keep the packed engine alive for the duration of the scan even
+// if the cache is concurrently reset.
+struct AnnPerformanceModel::ScanEngines {
+  std::shared_ptr<const ml::BatchedEnsemble> engine;
+  std::shared_ptr<const ml::QuantizedEnsemble> quant;
+  BatchedScan batched;
+};
+
+AnnPerformanceModel::ScanEngines AnnPerformanceModel::scan_engines() const {
+  ScanEngines e;
+  if (options_.scan.inference == ScanInference::kBatchedFp32) {
+    e.engine = batched_.get(ensemble_);
+    e.batched.engine = e.engine.get();
+  } else {
+    e.quant = batched_.get_quantized(ensemble_,
+                                     scan_quant_mode(options_.scan.inference),
+                                     range_encoder_.calibration());
+    e.batched.quant = e.quant.get();
+  }
+  e.batched.fill = row_filler_f32();
+  return e;
+}
+
 std::vector<double> AnnPerformanceModel::predict_range_ms(
     std::uint64_t begin, std::uint64_t end) const {
   if (!fitted())
     throw std::logic_error("AnnPerformanceModel: predict before fit");
-  if (options_.scan.inference == ScanInference::kBatchedFp32) {
-    const auto engine = batched_.get(ensemble_);
-    const BatchedScan batched{engine.get(), row_filler_f32()};
+  if (options_.scan.inference != ScanInference::kScalarFp64) {
+    const ScanEngines e = scan_engines();
     return scan_predict_range(ensemble_, row_filler(), begin, end,
-                              output_transform(), options_.scan, &batched);
+                              output_transform(), options_.scan, &e.batched);
   }
   return scan_predict_range(ensemble_, row_filler(), begin, end,
                             output_transform());
@@ -121,11 +144,10 @@ TopMScanResult AnnPerformanceModel::predict_scan_top_m(
     const ScanFilter& filter) const {
   if (!fitted())
     throw std::logic_error("AnnPerformanceModel: predict before fit");
-  if (options_.scan.inference == ScanInference::kBatchedFp32) {
-    const auto engine = batched_.get(ensemble_);
-    const BatchedScan batched{engine.get(), row_filler_f32()};
+  if (options_.scan.inference != ScanInference::kScalarFp64) {
+    const ScanEngines e = scan_engines();
     return scan_top_m(ensemble_, row_filler(), begin, end, m,
-                      output_transform(), filter, options_.scan, &batched);
+                      output_transform(), filter, options_.scan, &e.batched);
   }
   return scan_top_m(ensemble_, row_filler(), begin, end, m,
                     output_transform(), filter);

@@ -114,6 +114,8 @@ class AnnPerformanceModel {
   [[nodiscard]] OutputTransform output_transform() const noexcept;
   [[nodiscard]] ScanRowFiller row_filler() const;
   [[nodiscard]] ScanRowFillerF32 row_filler_f32() const;
+  struct ScanEngines;
+  [[nodiscard]] ScanEngines scan_engines() const;
 
   Options options_;
   ParamSpace space_;
@@ -125,8 +127,9 @@ class AnnPerformanceModel {
   double target_mean_ = 0.0;
   double target_scale_ = 1.0;
   ml::BaggingEnsemble ensemble_;
-  // Packed fp32 engine, built lazily on the first batched scan and dropped
-  // whenever the ensemble changes (fit/restore).
+  // Packed reduced-precision engines (fp32 + quantized tiers), built lazily
+  // on the first scan in each mode and dropped whenever the ensemble
+  // changes (fit/restore).
   ml::BatchedEnsembleCache batched_;
 };
 

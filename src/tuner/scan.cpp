@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "common/telemetry/telemetry.hpp"
 #include "common/thread_pool.hpp"
@@ -24,6 +25,7 @@ struct ChunkScratch {
   std::vector<float> xf;
   std::vector<float> predsf;
   ml::BatchedEnsemble::Scratch bs;
+  ml::QuantizedEnsemble::Scratch qs;
 };
 
 class ScratchPool {
@@ -165,11 +167,23 @@ std::vector<ScanCandidate> merge_chunks(
 
 void require_batched(const ScanOptions& options, const BatchedScan* batched,
                      const char* where) {
-  if (options.inference != ScanInference::kBatchedFp32) return;
-  if (!batched || !batched->engine || !batched->fill)
-    throw std::invalid_argument(std::string(where) +
-                                ": batched fp32 inference requested without "
-                                "an engine and fp32 row filler");
+  if (options.inference == ScanInference::kScalarFp64) return;
+  if (options.inference == ScanInference::kBatchedFp32) {
+    if (!batched || !batched->engine || !batched->fill)
+      throw std::invalid_argument(std::string(where) +
+                                  ": batched fp32 inference requested without "
+                                  "an engine and fp32 row filler");
+    return;
+  }
+  const ml::QuantMode mode = options.inference == ScanInference::kQuantInt8
+                                 ? ml::QuantMode::kInt8
+                                 : ml::QuantMode::kFp16;
+  if (!batched || !batched->quant || !batched->fill ||
+      batched->quant->mode() != mode)
+    throw std::invalid_argument(
+        std::string(where) + ": " + scan_inference_name(options.inference) +
+        " inference requested without a matching quantized engine and fp32 "
+        "row filler");
 }
 
 void gauge_configs_per_sec(std::uint64_t n,
@@ -183,22 +197,44 @@ void gauge_configs_per_sec(std::uint64_t n,
                              static_cast<double>(n) / seconds);
 }
 
-/// Exact fp64 raw outputs for a set of flat indices, one unit-range fill and
-/// predict per index. Bit-identical to what the chunked fp64 scan computes
-/// for the same indices: every kernel under predict_batch_into accumulates
-/// per output element in a row-count independent order.
+/// Exact fp64 raw outputs for a set of flat indices: rows are gathered one
+/// unit-range fill at a time (the filler only takes contiguous ranges) into
+/// per-chunk matrices and sent through batched fp64 predicts on the pool.
+/// Bit-identical to what the chunked fp64 scan computes for the same
+/// indices, whatever the gathered row count: every kernel under
+/// predict_batch_into accumulates per output element in a row-count
+/// independent order. Batching matters on the quantized paths, whose wide
+/// re-rank bands can hold thousands of survivors.
 std::unordered_map<std::uint64_t, double> rerank_fp64(
     const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
-    const std::vector<std::uint64_t>& indices) {
+    std::vector<std::uint64_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
   std::unordered_map<std::uint64_t, double> raw64;
   raw64.reserve(indices.size());
-  ChunkScratch scratch;
-  for (const std::uint64_t index : indices) {
-    if (raw64.contains(index)) continue;
-    fill(index, index + 1, scratch.x);
-    ensemble.predict_batch_into(scratch.x, scratch.preds, scratch.ps);
-    raw64.emplace(index, scratch.preds[0]);
-  }
+  if (indices.empty()) return raw64;
+  std::vector<double> preds(indices.size());
+  const std::size_t chunks =
+      (indices.size() + kScanChunkRows - 1) / kScanChunkRows;
+  ScratchPool pool;
+  common::global_pool().parallel_for(0, chunks, [&](std::size_t c) {
+    auto scratch = pool.acquire();
+    const std::size_t lo = c * kScanChunkRows;
+    const std::size_t hi = std::min(indices.size(), lo + kScanChunkRows);
+    fill(indices[lo], indices[lo] + 1, scratch->x);
+    ml::Matrix batch(hi - lo, scratch->x.cols());
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (r != lo) fill(indices[r], indices[r] + 1, scratch->x);
+      const auto src = scratch->x.row(0);
+      auto dst = batch.row(r - lo);
+      for (std::size_t j = 0; j < src.size(); ++j) dst[j] = src[j];
+    }
+    ensemble.predict_batch_into(batch, scratch->preds, scratch->ps);
+    for (std::size_t r = lo; r < hi; ++r) preds[r] = scratch->preds[r - lo];
+    pool.release(std::move(scratch));
+  });
+  for (std::size_t r = 0; r < indices.size(); ++r)
+    raw64.emplace(indices[r], preds[r]);
   return raw64;
 }
 
@@ -257,7 +293,10 @@ std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
   const std::uint64_t n = end - begin;
   std::vector<double> out(static_cast<std::size_t>(n));
   if (n == 0) return out;
-  const bool fp32 = options.inference == ScanInference::kBatchedFp32;
+  const bool quant = options.inference == ScanInference::kQuantInt8 ||
+                     options.inference == ScanInference::kFp16;
+  const bool approx =
+      quant || options.inference == ScanInference::kBatchedFp32;
   const auto start = std::chrono::steady_clock::now();
 
   ScratchPool pool;
@@ -269,10 +308,14 @@ std::vector<double> scan_predict_range(const ml::BaggingEnsemble& ensemble,
         auto scratch = pool.acquire();
         const std::size_t offset = static_cast<std::size_t>(lo - begin);
         const std::size_t rows = static_cast<std::size_t>(hi - lo);
-        if (fp32) {
+        if (approx) {
           batched->fill(lo, hi, scratch->xf);
-          batched->engine->predict_batch_into(scratch->xf.data(), rows,
-                                              scratch->predsf, scratch->bs);
+          if (quant)
+            batched->quant->predict_batch_into(scratch->xf.data(), rows,
+                                               scratch->predsf, scratch->qs);
+          else
+            batched->engine->predict_batch_into(scratch->xf.data(), rows,
+                                                scratch->predsf, scratch->bs);
           for (std::size_t i = 0; i < rows; ++i)
             out[offset + i] =
                 transform(static_cast<double>(scratch->predsf[i]));
@@ -311,8 +354,12 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
   const std::uint64_t n = end - begin;
   result.scanned = n;
   if (n == 0 || m == 0) return result;
-  const bool fp32 = options.inference == ScanInference::kBatchedFp32;
-  const double slack = 2.0 * options.fp32_error_bound;
+  const bool quant = options.inference == ScanInference::kQuantInt8 ||
+                     options.inference == ScanInference::kFp16;
+  const bool approx =
+      quant || options.inference == ScanInference::kBatchedFp32;
+  const double slack = 2.0 * (quant ? options.quant_error_bound
+                                    : options.fp32_error_bound);
   const auto start = std::chrono::steady_clock::now();
 
   const std::size_t chunks = static_cast<std::size_t>(chunk_count_for(n));
@@ -328,10 +375,14 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
     auto scratch = pool.acquire();
     const std::size_t rows = static_cast<std::size_t>(hi - lo);
     std::uint64_t rejected = 0;
-    if (fp32) {
+    if (approx) {
       batched->fill(lo, hi, scratch->xf);
-      batched->engine->predict_batch_into(scratch->xf.data(), rows,
-                                          scratch->predsf, scratch->bs);
+      if (quant)
+        batched->quant->predict_batch_into(scratch->xf.data(), rows,
+                                           scratch->predsf, scratch->qs);
+      else
+        batched->engine->predict_batch_into(scratch->xf.data(), rows,
+                                            scratch->predsf, scratch->bs);
       RelaxedTopM unfiltered(m, slack);
       RelaxedTopM filtered(m, slack);
       for (std::size_t i = 0; i < rows; ++i) {
@@ -376,11 +427,11 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
   });
 
   for (std::uint64_t r : chunk_rejected) result.rejected += r;
-  if (fp32) {
-    // Survivors of the fp32 cutoff (per selection set), then one exact fp64
-    // evaluation per unique survivor, then the fp64-ordered truncation. The
-    // result matches the fp64 path exactly whenever |fp32 - fp64| stays
-    // within fp32_error_bound.
+  if (approx) {
+    // Survivors of the coarse-pass cutoff (per selection set), then one
+    // exact fp64 evaluation per unique survivor, then the fp64-ordered
+    // truncation. The result matches the fp64 path exactly whenever the
+    // coarse-pass error stays within the per-mode bound.
     std::vector<RawCandidate> unfiltered_survivors =
         fp32_survivors(chunk_top_unfiltered, m, slack);
     std::vector<RawCandidate> filtered_survivors =
@@ -395,8 +446,9 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
     indices.reserve(unfiltered_survivors.size() + filtered_survivors.size());
     for (const auto& c : unfiltered_survivors) indices.push_back(c.index);
     for (const auto& c : filtered_survivors) indices.push_back(c.index);
-    const auto raw64 = rerank_fp64(ensemble, fill, indices);
+    const auto raw64 = rerank_fp64(ensemble, fill, std::move(indices));
     result.fp64_reranked = raw64.size();
+    if (quant) result.quant_reranked = result.fp64_reranked;
     result.top_unfiltered = finish_fp64(unfiltered_survivors, raw64, m, transform);
     result.top = filter ? finish_fp64(filtered_survivors, raw64, m, transform)
                         : result.top_unfiltered;
@@ -411,12 +463,15 @@ TopMScanResult scan_top_m(const ml::BaggingEnsemble& ensemble,
                              static_cast<double>(result.scanned));
     common::telemetry::count("scan.candidates_filtered",
                              static_cast<double>(result.rejected));
-    if (fp32) {
+    if (approx) {
       common::telemetry::count("tuner.scan.fp64_rerank",
                                static_cast<double>(result.fp64_reranked));
       common::telemetry::count("tuner.scan.near_ties",
                                static_cast<double>(result.near_ties));
     }
+    if (quant)
+      common::telemetry::count("tuner.scan.quant_rerank",
+                               static_cast<double>(result.quant_reranked));
   }
   return result;
 }

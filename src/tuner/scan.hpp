@@ -23,7 +23,7 @@
 // tie-break makes the order total — merge results cannot depend on chunk
 // arrival order.
 
-// The scan has two inference paths, selected by ScanOptions::inference:
+// The scan has four inference paths, selected by ScanOptions::inference:
 //  - kScalarFp64 (default): the fp64 reference — per-chunk Matrix fill and
 //    BaggingEnsemble::predict_batch_into.
 //  - kBatchedFp32: the SIMD fast path — per-chunk fp32 row fill and a packed
@@ -38,6 +38,14 @@
 //    outputs — bound ~1e-4, observed ~1e-6 for the paper's networks — the
 //    returned top-M is the one the fp64 scan would return, candidate for
 //    candidate, predicted values included.
+//  - kQuantInt8 / kFp16: the quantized tiers (ml/quant.hpp) — the same
+//    two-tier scheme with a coarser first pass and a wider band: the chunk
+//    heaps keep every candidate within 2 * quant_error_bound of the cutoff,
+//    and every survivor of the merged quantized cutoff is re-ranked through
+//    fp64 (batched — one gathered matrix per rerank chunk). The exactness
+//    contract is the same: whenever |quant raw - fp64 raw| stays within
+//    quant_error_bound, the returned top-M is identical to the fp64 scan's,
+//    indices and predicted values both.
 
 #include <atomic>
 #include <cmath>
@@ -93,13 +101,42 @@ struct TopMScanResult {
   std::uint64_t rejected = 0;
   std::uint64_t fp64_reranked = 0;
   std::uint64_t near_ties = 0;
+  /// Candidates re-ranked through fp64 because the coarse pass ran on a
+  /// quantized engine (kQuantInt8/kFp16). Equal to fp64_reranked on those
+  /// paths, zero otherwise.
+  std::uint64_t quant_reranked = 0;
 };
 
 /// Which inference engine the scan drives.
 enum class ScanInference {
   kScalarFp64,   // per-chunk fp64 matrix forward (reference)
   kBatchedFp32,  // packed SIMD fp32 forward with fp64 near-tie re-ranking
+  kQuantInt8,    // s8-weight/u7-activation forward, wide-band fp64 re-rank
+  kFp16,         // f16-storage/fp32-compute forward, wide-band fp64 re-rank
 };
+
+/// QuantMode behind a quantized scan inference; call only for kQuantInt8 /
+/// kFp16.
+[[nodiscard]] constexpr ml::QuantMode scan_quant_mode(
+    ScanInference inference) noexcept {
+  return inference == ScanInference::kQuantInt8 ? ml::QuantMode::kInt8
+                                                : ml::QuantMode::kFp16;
+}
+
+[[nodiscard]] constexpr const char* scan_inference_name(
+    ScanInference inference) noexcept {
+  switch (inference) {
+    case ScanInference::kScalarFp64:
+      return "fp64";
+    case ScanInference::kBatchedFp32:
+      return "fp32";
+    case ScanInference::kQuantInt8:
+      return "int8";
+    case ScanInference::kFp16:
+      return "fp16";
+  }
+  return "fp64";
+}
 
 /// Scan tuning knobs, carried by the model layer (AnnPerformanceModel
 /// options) so callers opt in without new plumbing at every call site.
@@ -109,6 +146,15 @@ struct ScanOptions {
   /// within 2x this bound of the fp32 selection cutoff are re-ranked in
   /// fp64. In raw (standardized) output units.
   double fp32_error_bound = 1e-4;
+  /// Same role for the quantized tiers (kQuantInt8/kFp16): assumed upper
+  /// bound on |quantized raw output - fp64 raw output|. Deliberately loose —
+  /// int8 error is dominated by the u7 activation resolution times the
+  /// output layer's L1 norm, measured at ~0.06 worst-case on the paper's
+  /// default ensemble (k=5, 30 sigmoid hidden); tests verify the measured
+  /// error stays under half this bound so it keeps a 2x margin. The band is
+  /// around the top-M cutoff — deep in the tail of the score distribution —
+  /// so widening it re-ranks few extra rows.
+  double quant_error_bound = 0.15;
 };
 
 /// Validity predicate over flat indices. Called concurrently from worker
@@ -148,11 +194,14 @@ using ScanRowFiller =
 using ScanRowFillerF32 = std::function<void(
     std::uint64_t lo, std::uint64_t hi, std::vector<float>& rows)>;
 
-/// The batched fp32 engine and its row filler, passed alongside the fp64
-/// pair when ScanOptions::inference is kBatchedFp32. The fp64 filler/
-/// ensemble are still required — they are the re-ranking reference.
+/// The reduced-precision engines and their shared fp32 row filler, passed
+/// alongside the fp64 pair when ScanOptions::inference is not kScalarFp64.
+/// kBatchedFp32 uses `engine`; kQuantInt8/kFp16 use `quant` (whose mode must
+/// match the requested inference). The fp64 filler/ensemble are still
+/// required — they are the re-ranking reference.
 struct BatchedScan {
   const ml::BatchedEnsemble* engine = nullptr;
+  const ml::QuantizedEnsemble* quant = nullptr;
   ScanRowFillerF32 fill;
 };
 
@@ -161,10 +210,11 @@ struct BatchedScan {
     const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
     std::uint64_t begin, std::uint64_t end, const OutputTransform& transform);
 
-/// As above, honouring options.inference. The batched path computes each
-/// prediction in fp32 (values may differ from the reference by up to
-/// transform-scaled fp32_error_bound); throws std::invalid_argument if
-/// batched inference is requested without a usable BatchedScan.
+/// As above, honouring options.inference. The non-fp64 paths compute each
+/// prediction at their reduced precision (values may differ from the
+/// reference by up to the transform-scaled per-mode error bound); throws
+/// std::invalid_argument if a reduced-precision inference is requested
+/// without the matching BatchedScan engine.
 [[nodiscard]] std::vector<double> scan_predict_range(
     const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
     std::uint64_t begin, std::uint64_t end, const OutputTransform& transform,
@@ -181,11 +231,12 @@ struct BatchedScan {
                                         const OutputTransform& transform,
                                         const ScanFilter& filter = {});
 
-/// As above, honouring options.inference. On the batched path the returned
-/// selection (indices *and* predicted values) is identical to the fp64
-/// reference whenever the fp32 error stays within fp32_error_bound; throws
-/// std::invalid_argument if batched inference is requested without a usable
-/// BatchedScan.
+/// As above, honouring options.inference. On the reduced-precision paths
+/// the returned selection (indices *and* predicted values) is identical to
+/// the fp64 reference whenever the coarse-pass error stays within the
+/// per-mode bound (fp32_error_bound or quant_error_bound); throws
+/// std::invalid_argument if a reduced-precision inference is requested
+/// without the matching BatchedScan engine.
 [[nodiscard]] TopMScanResult scan_top_m(
     const ml::BaggingEnsemble& ensemble, const ScanRowFiller& fill,
     std::uint64_t begin, std::uint64_t end, std::size_t m,

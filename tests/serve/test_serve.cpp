@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -169,6 +170,47 @@ TEST(TuneService, RepeatRequestServedFromStoreAndIdentical) {
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.cache_misses, 1u);
   EXPECT_EQ(stats.tunes_executed, 1u);
+}
+
+TEST(TuneService, ScanModeFlipInvalidatesCachedTunes) {
+  // The store's model version carries the scan inference mode
+  // ("+scan-<mode>"), so a tune cached under fp64 must not answer a
+  // service running quantized inference — and vice versa.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "pt_serve_test_scan_mode_flip";
+  std::filesystem::remove_all(dir);
+
+  RecordingFactory recorder;
+  TuneServiceOptions fp64_opts = fast_service_options(1);
+  fp64_opts.store.directory = dir.string();
+  {
+    TuneService service(fp64_opts, recorder.factory());
+    EXPECT_EQ(service.store().options().model_version, "v1+scan-fp64");
+    const TuneResponse first = Session(service, "t").tune(bowl_key(), 7);
+    ASSERT_EQ(first.status, ResponseStatus::kOk);
+    EXPECT_FALSE(first.from_cache);
+    EXPECT_TRUE(Session(service, "t").tune(bowl_key(), 7).from_cache);
+  }
+
+  // Same store directory, scan inference flipped to int8: the fp64 entry
+  // is stale, the tune re-executes and caches under the new version.
+  TuneServiceOptions int8_opts = fp64_opts;
+  int8_opts.tuner.model.scan.inference = tuner::ScanInference::kQuantInt8;
+  {
+    TuneService service(int8_opts, recorder.factory());
+    EXPECT_EQ(service.store().options().model_version, "v1+scan-int8");
+    const TuneResponse flipped = Session(service, "t").tune(bowl_key(), 7);
+    ASSERT_EQ(flipped.status, ResponseStatus::kOk);
+    EXPECT_FALSE(flipped.from_cache);
+  }
+  EXPECT_EQ(recorder.calls().size(), 2u);  // one executed tune per mode
+
+  // A fresh int8 service over the same directory starts warm again.
+  {
+    TuneService service(int8_opts, recorder.factory());
+    EXPECT_TRUE(Session(service, "t").tune(bowl_key(), 7).from_cache);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TuneService, PredictUsesStoredModel) {
